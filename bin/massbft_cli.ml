@@ -1,0 +1,178 @@
+(* The massbft command-line tool: run single experiments, regenerate
+   the paper's figures, and inspect transfer plans. *)
+
+open Cmdliner
+module Config = Massbft.Config
+module W = Massbft_workload.Workload
+module Runner = Massbft_harness.Runner
+module Clusters = Massbft_harness.Clusters
+module Figures = Massbft_harness.Figures
+
+let system_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "massbft" -> Ok Config.Massbft
+    | "baseline" -> Ok Config.Baseline
+    | "geobft" -> Ok Config.Geobft
+    | "steward" -> Ok Config.Steward
+    | "iss" -> Ok Config.Iss
+    | "br" -> Ok Config.Br
+    | "ebr" -> Ok Config.Ebr
+    | other -> Error (`Msg (Printf.sprintf "unknown system %S" other))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Config.system_name s))
+
+let workload_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "ycsb-a" | "ycsba" -> Ok W.Ycsb_a
+    | "ycsb-b" | "ycsbb" -> Ok W.Ycsb_b
+    | "smallbank" -> Ok W.Smallbank
+    | "tpcc" | "tpc-c" -> Ok W.Tpcc
+    | other -> Error (`Msg (Printf.sprintf "unknown workload %S" other))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt (W.kind_name w))
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let system =
+    Arg.(value & opt system_conv Config.Massbft & info [ "system"; "s" ]
+           ~doc:"System under test: massbft|baseline|geobft|steward|iss|br|ebr.")
+  in
+  let workload =
+    Arg.(value & opt workload_conv W.Ycsb_a & info [ "workload"; "w" ]
+           ~doc:"Workload: ycsb-a|ycsb-b|smallbank|tpcc.")
+  in
+  let nodes =
+    Arg.(value & opt int 7 & info [ "nodes"; "n" ] ~doc:"Nodes per group.")
+  in
+  let groups =
+    Arg.(value & opt int 3 & info [ "groups"; "g" ] ~doc:"Number of groups (data centers).")
+  in
+  let worldwide =
+    Arg.(value & flag & info [ "worldwide" ]
+           ~doc:"Use the worldwide RTT matrix (HK/London/SV) instead of nationwide.")
+  in
+  let duration =
+    Arg.(value & opt float 12.0 & info [ "duration"; "d" ]
+           ~doc:"Measurement window, simulated seconds.")
+  in
+  let warmup =
+    Arg.(value & opt float 4.0 & info [ "warmup" ] ~doc:"Warm-up, simulated seconds.")
+  in
+  let scale =
+    Arg.(value & opt float 0.1 & info [ "scale" ]
+           ~doc:"Workload keyspace scale in (0,1]; 1.0 is the paper's full size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let latency_probe =
+    Arg.(value & flag & info [ "latency-probe" ]
+           ~doc:"Light-load run (small batches) for latency measurement.")
+  in
+  let action system workload nodes groups worldwide duration warmup scale seed
+      latency_probe =
+    let cfg =
+      {
+        (Config.default ~system ~workload ()) with
+        Config.workload_scale = scale;
+        seed = Int64.of_int seed;
+      }
+    in
+    let spec =
+      if worldwide then Clusters.worldwide ~nodes_per_group:nodes ()
+      else Clusters.nationwide ~nodes_per_group:nodes ~groups ()
+    in
+    let r =
+      if latency_probe then
+        Runner.run_latency_probe ~duration ~warmup ~spec ~cfg ()
+      else Runner.run ~duration ~warmup ~spec ~cfg ()
+    in
+    Format.printf "%a@." Runner.pp_result r;
+    List.iter
+      (fun (p, ms) -> Format.printf "  %-20s %8.2f ms@." p ms)
+      r.Runner.phases_ms;
+    List.iteri
+      (fun g t -> Format.printf "  group %d: %.2f ktps@." g t)
+      r.Runner.per_group_ktps
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment on the simulated geo-cluster.")
+    Term.(
+      const action $ system $ workload $ nodes $ groups $ worldwide $ duration
+      $ warmup $ scale $ seed $ latency_probe)
+
+(* ---- figures ---- *)
+
+let figures_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info []
+           ~doc:"Figure ids to run (default: all). See 'massbft list'.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Short windows and reduced sweeps (for smoke runs).")
+  in
+  let action ids quick =
+    let selected =
+      match ids with
+      | [] -> Figures.all
+      | ids ->
+          List.filter (fun (id, _, _) -> List.mem id ids) Figures.all
+    in
+    if selected = [] then prerr_endline "no matching figures (see 'massbft list')"
+    else
+      List.iter
+        (fun (_, _, (f : ?quick:bool -> unit -> Figures.figure)) ->
+          Format.printf "%a@." Figures.pp_figure (f ~quick ()))
+        selected
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const action $ ids $ quick)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun (id, doc, _) -> Format.printf "%-8s %s@." id doc)
+      Figures.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the reproducible figures.")
+    Term.(const action $ const ())
+
+(* ---- plan ---- *)
+
+let plan_cmd =
+  let n1 = Arg.(required & opt (some int) None & info [ "n1" ] ~doc:"Sender group size.") in
+  let n2 = Arg.(required & opt (some int) None & info [ "n2" ] ~doc:"Receiver group size.") in
+  let action n1 n2 =
+    let p = Massbft.Transfer_plan.generate ~n1 ~n2 in
+    Format.printf
+      "transfer plan %d -> %d: n_total=%d n_data=%d n_parity=%d per-sender=%d \
+       per-receiver=%d redundancy=%.3f entry copies@."
+      n1 n2 p.Massbft.Transfer_plan.n_total p.Massbft.Transfer_plan.n_data
+      p.Massbft.Transfer_plan.n_parity p.Massbft.Transfer_plan.nc_send
+      p.Massbft.Transfer_plan.nc_recv
+      (Massbft.Transfer_plan.redundancy p);
+    for s = 0 to n1 - 1 do
+      Format.printf "  sender %2d ships:" s;
+      List.iter
+        (fun (c, r) -> Format.printf " chunk %d->node %d" c r)
+        (Massbft.Transfer_plan.sends_of p ~sender:s);
+      Format.printf "@."
+    done
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Print the Algorithm 1 transfer plan for a group pair.")
+    Term.(const action $ n1 $ n2)
+
+let main =
+  Cmd.group
+    (Cmd.info "massbft" ~version:"1.0.0"
+       ~doc:
+         "MassBFT: fast and scalable geo-distributed BFT consensus \
+          (reproduction of the ICDE 2025 paper).")
+    [ run_cmd; figures_cmd; list_cmd; plan_cmd ]
+
+let () = exit (Cmd.eval main)

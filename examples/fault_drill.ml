@@ -1,0 +1,75 @@
+(* Fault drill: the paper's §VI-E scenario as a narrative. An
+   edge-computing deployment runs normally, then (1) two Byzantine
+   nodes per data center start colluding — encoding tampered entries
+   into chunks and flooding the exchange with them; then (2) an entire
+   data center loses power; later (3) it comes back.
+
+   Watch the throughput timeline: tampering is absorbed (Merkle-root
+   buckets + blacklisting), the crash stalls ordering only until
+   another group takes over the dead group's Raft instance and assigns
+   its frozen clock, and recovery hands leadership back.
+
+   Run with:  dune exec examples/fault_drill.exe *)
+
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Config = Massbft.Config
+module Engine = Massbft.Engine
+module Stats = Massbft_util.Stats
+
+let byz_at = 6.0
+let crash_at = 12.0
+let recover_at = 20.0
+
+let until = 45.0
+
+let () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (Massbft_harness.Clusters.nationwide ()) in
+  let cfg =
+    {
+      (Config.default ~system:Config.Massbft
+         ~workload:Massbft_workload.Workload.Ycsb_a ())
+      with
+      Config.workload_scale = 0.01;
+      (* Modest batches: smaller entries let the recovered data center
+         re-stream its crash gap within this demo's window. *)
+      max_batch = 100;
+      byzantine_per_group = 2;
+      byzantine_from_s = byz_at;
+      crash_group_at = Some (0, crash_at);
+      election_timeout_s = 1.0;
+    }
+  in
+  let engine = Engine.create sim topo cfg in
+  Engine.start engine;
+  ignore (Sim.at sim recover_at (fun () -> Engine.recover_group engine 0));
+  Sim.run sim ~until;
+
+  let m = Engine.metrics engine in
+  print_endline "time    throughput   event";
+  List.iter
+    (fun (t, rate) ->
+      let event =
+        if t = Float.of_int (int_of_float byz_at) then
+          "<- 2 Byzantine nodes/group start tampering with chunks"
+        else if t = Float.of_int (int_of_float crash_at) then
+          "<- data center 0 loses power"
+        else if t = Float.of_int (int_of_float recover_at) then
+          "<- data center 0 restored; leadership transfers back"
+        else ""
+      in
+      Printf.printf "%5.0fs  %7.1f ktps  %s\n" t (rate /. 1000.0) event)
+    (Stats.Timeseries.rate_series m.Massbft.Metrics.txn_rate);
+
+  (* The survivors stayed consistent throughout. *)
+  let l1 = Engine.executed_ids engine ~gid:1 in
+  let l2 = Engine.executed_ids engine ~gid:2 in
+  let common = min (List.length l1) (List.length l2) in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  Printf.printf "\nsurvivors executed %d entries; orders agree: %b\n" common
+    (List.for_all2 Massbft.Types.entry_id_equal (take common l1) (take common l2));
+  print_endline
+    "(after the restore, data center 0 first streams back the entries it\n\
+    \ missed -- bounded by its 20 Mbps downlinks -- and only then contributes\n\
+    \ its own proposals again, so full throughput returns gradually)"

@@ -1,0 +1,68 @@
+(* Geo-distributed banking: the paper's cross-border-cooperation
+   scenario. Three bank data centers (the nationwide sites) each accept
+   SmallBank transfers from local customers; MassBFT orders everything
+   into one global ledger, and Aria executes it deterministically, so
+   all three sites end with byte-identical databases — with no site
+   trusting any single node of another site.
+
+   Run with:  dune exec examples/geo_banking.exe *)
+
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Config = Massbft.Config
+module Engine = Massbft.Engine
+module Stats = Massbft_util.Stats
+
+let () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (Massbft_harness.Clusters.nationwide ()) in
+  let cfg =
+    {
+      (Config.default ~system:Config.Massbft
+         ~workload:Massbft_workload.Workload.Smallbank ())
+      with
+      Config.workload_scale = 0.001 (* 1,000 accounts for the demo *);
+      (* Each site runs its own replica of the full database. *)
+      independent_stores = true;
+    }
+  in
+  let engine = Engine.create sim topo cfg in
+  Engine.start engine;
+  Sim.run sim ~until:6.0;
+
+  let m = Engine.metrics engine in
+  Printf.printf "banking throughput: %.1f k transfers/s\n"
+    (Massbft.Metrics.throughput_tps m ~duration:6.0 /. 1000.0);
+  Printf.printf "overdrafts refused (logic aborts): %d\n"
+    (Stats.Counter.get m.Massbft.Metrics.logic_aborted_txns);
+  Printf.printf "conflicting transfers retried:      %d\n"
+    (Stats.Counter.get m.Massbft.Metrics.conflicted_txns);
+
+  (* The sites independently executed the global order; when they have
+     processed the same prefix, their databases are identical. *)
+  let counts =
+    List.map
+      (fun g -> List.length (Engine.executed_ids engine ~gid:g))
+      [ 0; 1; 2 ]
+  in
+  (match counts with
+  | [ a; b; c ] ->
+      Printf.printf "entries executed per site: %d / %d / %d\n" a b c;
+      if a = b && b = c then begin
+        let f g = Massbft_util.Hexdump.short ~len:16
+            (Engine.leader_store_fingerprint engine ~gid:g)
+        in
+        Printf.printf "database fingerprints: %s %s %s\n" (f 0) (f 1) (f 2);
+        Printf.printf "all sites hold the identical database: %b\n"
+          (f 0 = f 1 && f 1 = f 2)
+      end
+      else
+        print_endline
+          "sites are at different prefixes of the same order (still consistent)"
+  | _ -> ());
+
+  (* Hash-chained audit trail. *)
+  let ledger = Engine.ledger_of engine ~gid:0 in
+  Printf.printf "audit ledger: %d blocks, tamper-evident chain verifies: %b\n"
+    (Massbft_exec.Ledger.height ledger)
+    (Massbft_exec.Ledger.verify ledger)

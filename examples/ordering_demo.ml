@@ -1,0 +1,95 @@
+(* Algorithm 2, by hand: the paper's Figure 6 scenario.
+
+   Three groups propose entries concurrently; each group's committed
+   timestamp stream arrives at a node in some interleaving, and the
+   deterministic orderer releases entries in the unique global order —
+   the same order at every node, whatever the interleaving. This demo
+   replays the exact entries and vector timestamps of the paper's
+   Figure 6 and shows (a) the inference at work, (b) the paper's
+   worked comparison e_{2,6} < e_{3,5}, and (c) agreement across two
+   differently-interleaved replays.
+
+   Run with:  dune exec examples/ordering_demo.exe *)
+
+module Orderer = Massbft.Orderer
+module Vts = Massbft.Vts
+module Types = Massbft.Types
+
+(* Figure 6 shows a mid-execution snapshot (sequence numbers 3-7);
+   since a group's logical clock counts its own committed entries, the
+   demo renumbers the same scenario to start from 1 — every VTS
+   relation of the figure is preserved. Entries and their final vector
+   timestamps:
+
+     e(0,1)<1,1,1>  e(0,2)<2,2,2>  e(0,3)<3,3,2>
+     e(1,1)<1,1,1>  e(1,2)<2,2,2>  e(1,3)<2,3,2>   (e_{2,6} in the paper)
+     e(2,1)<1,1,1>  e(2,2)<2,2,2>  e(2,3)<2,3,3>   (e_{3,5} in the paper)
+
+   Group j's stream carries its element of every foreign entry, in that
+   group's commit order; the proposer's own element is implicit. *)
+
+let streams =
+  (* (from_gid, eid, ts) in each stream's order. *)
+  [|
+    (* group 0 assigns clk_0 to entries of groups 1 and 2 *)
+    [ ((1, 1), 1); ((2, 1), 1); ((1, 2), 2); ((2, 2), 2); ((1, 3), 2); ((2, 3), 2) ];
+    (* group 1 assigns clk_1 *)
+    [ ((0, 1), 1); ((2, 1), 1); ((0, 2), 2); ((2, 2), 2); ((0, 3), 3); ((2, 3), 3) ];
+    (* group 2 assigns clk_2 *)
+    [ ((0, 1), 1); ((1, 1), 1); ((0, 2), 2); ((1, 2), 2); ((0, 3), 2); ((1, 3), 2) ];
+  |]
+
+let replay ~label interleaving =
+  let executed = ref [] in
+  let o = Orderer.create ~ng:3 ~on_execute:(fun e -> executed := e :: !executed) in
+  let cursors = Array.map (fun l -> ref l) streams in
+  List.iter
+    (fun j ->
+      match !(cursors.(j)) with
+      | [] -> ()
+      | ((gid, seq), ts) :: rest ->
+          cursors.(j) := rest;
+          Orderer.on_timestamp o ~from_gid:j ~eid:{ Types.gid = gid; seq } ~ts)
+    interleaving;
+  let order = List.rev !executed in
+  Printf.printf "%-28s" label;
+  List.iter
+    (fun (e : Types.entry_id) -> Printf.printf " e(%d,%d)" e.Types.gid e.Types.seq)
+    order;
+  print_newline ();
+  order
+
+let () =
+  print_endline "The paper's Figure 6 comparison, via Vts.prec:";
+  let e26 = Vts.create ~ng:3 ~gid:1 ~seq:6 in
+  Vts.set_element e26 0 6;
+  Vts.set_element e26 2 4;
+  let e35 = Vts.create ~ng:3 ~gid:2 ~seq:5 in
+  Vts.set_element e35 0 6;
+  Vts.set_element e35 1 6;
+  Format.printf "  %a  vs  %a:  prec = %b (the paper: e_{2,6} before e_{3,5})@."
+    Vts.pp e26 Vts.pp e35 (Vts.prec e26 e35);
+
+  print_endline "\nReplaying the three timestamp streams in different interleavings:";
+  (* Round-robin delivery. *)
+  let rr = List.concat (List.init 6 (fun _ -> [ 0; 1; 2 ])) in
+  let o1 = replay ~label:"  round-robin delivery:" rr in
+  (* Stream 2 lags badly, then catches up. *)
+  let skewed = [ 0; 0; 1; 0; 1; 0; 1; 1; 0; 1; 0; 1; 2; 2; 2; 2; 2; 2 ] in
+  let o2 = replay ~label:"  group-2 stream lags:" skewed in
+  (* Reverse-ish order. *)
+  let rev = [ 2; 1; 0; 2; 1; 0; 2; 1; 0; 2; 1; 0; 2; 1; 0; 2; 1; 0 ] in
+  let o3 = replay ~label:"  reverse round-robin:" rev in
+
+  let shortest = min (List.length o1) (min (List.length o2) (List.length o3)) in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let agree =
+    take shortest o1 = take shortest o2 && take shortest o2 = take shortest o3
+  in
+  Printf.printf
+    "\nall interleavings agree on the executed prefix (%d entries): %b\n"
+    shortest agree;
+  print_endline
+    "(this is Theorem V.6's agreement: the orderer only releases an entry\n\
+    \ once its precedence is certain under ANY values the still-missing\n\
+    \ timestamps could take, so delivery order cannot change the result)"

@@ -1,0 +1,29 @@
+(** High-level erasure codec: whole log entries in, indexed chunks out.
+
+    Handles framing (an 8-byte length header so the exact entry is
+    recovered after padding), shard sizing, and automatic field
+    selection — GF(2^8) while [data + parity <= 255], GF(2^16) beyond
+    (mirroring the paper's move off the 64-chunk liberasurecode). *)
+
+type field = Gf8 | Gf16
+
+val field_for : total:int -> field
+(** The smallest field accommodating [total] shards. Raises
+    [Invalid_argument] above 65535. *)
+
+val encode : data:int -> parity:int -> string -> string array
+(** [encode ~data ~parity entry] returns [data + parity] equal-size
+    chunks; chunk [i] for [i < data] is a systematic slice of the framed
+    entry. Any [data] of them reconstruct [entry]. *)
+
+val decode :
+  data:int -> parity:int -> (int * string) list -> (string, string) result
+(** [decode ~data ~parity chunks] rebuilds the entry from an association
+    list of (chunk index, chunk payload). Duplicate indices are an
+    error; corrupted chunks yield either an error (bad framing) or a
+    wrong entry — callers must validate the result against its
+    certificate, as §IV-C prescribes. *)
+
+val chunk_size : data:int -> parity:int -> entry_len:int -> int
+(** The byte size of every chunk produced for an [entry_len]-byte
+    entry. *)

@@ -1,0 +1,37 @@
+(** The field interface shared by {!Gf256} and {!Gf65536}, letting the
+    matrix and Reed–Solomon machinery be written once and instantiated
+    at either symbol size. *)
+
+module type S = sig
+  val order : int
+  (** Number of field elements; a code supports at most [order - 1]
+      total shards. *)
+
+  val add : int -> int -> int
+  val mul : int -> int -> int
+  val div : int -> int -> int
+  val inv : int -> int
+  val exp : int -> int
+
+  val mul_slice : int -> Bytes.t -> Bytes.t -> unit
+  (** [mul_slice c src dst]: [dst <- dst + c*src], element-wise over the
+      buffers. *)
+
+  val mul_slice_set : int -> Bytes.t -> Bytes.t -> unit
+  (** [mul_slice_set c src dst]: [dst <- c*src]. *)
+
+  val symbol_bytes : int
+  (** Bytes per symbol (1 or 2); shard lengths must be a multiple. *)
+end
+
+module Gf8 : S = struct
+  include Gf256
+
+  let symbol_bytes = 1
+end
+
+module Gf16 : S = struct
+  include Gf65536
+
+  let symbol_bytes = 2
+end

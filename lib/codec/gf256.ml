@@ -1,0 +1,72 @@
+let order = 256
+
+(* 0x11d = x^8 + x^4 + x^3 + x^2 + 1, the polynomial used by
+   klauspost/reedsolomon; generator 2 is primitive for it. *)
+let poly = 0x11d
+
+let exp_table, log_table =
+  let exp = Array.make 512 0 in
+  let log = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor poly
+  done;
+  (* Duplicate so mul can skip the mod-255 reduction. *)
+  for i = 255 to 511 do
+    exp.(i) <- exp.(i - 255)
+  done;
+  (exp, log)
+
+let add a b = a lxor b
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) - log_table.(b) + 255)
+
+let inv a = div 1 a
+let exp i = exp_table.(i mod 255)
+
+let log a =
+  if a = 0 then invalid_arg "Gf256.log: log of zero" else log_table.(a)
+
+(* Per-coefficient 256-entry product table, built lazily per call; for
+   slices beyond ~1 KiB this beats per-byte log/exp lookups. *)
+let mul_table c =
+  let t = Bytes.create 256 in
+  for i = 0 to 255 do
+    Bytes.unsafe_set t i (Char.unsafe_chr (mul c i))
+  done;
+  t
+
+let mul_slice c src dst =
+  let n = Bytes.length src in
+  if Bytes.length dst <> n then
+    invalid_arg "Gf256.mul_slice: length mismatch";
+  if c <> 0 then begin
+    let t = mul_table c in
+    for i = 0 to n - 1 do
+      let p = Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)) in
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr (Char.code p lxor Char.code (Bytes.unsafe_get dst i)))
+    done
+  end
+
+let mul_slice_set c src dst =
+  let n = Bytes.length src in
+  if Bytes.length dst <> n then
+    invalid_arg "Gf256.mul_slice_set: length mismatch";
+  if c = 0 then Bytes.fill dst 0 n '\x00'
+  else begin
+    let t = mul_table c in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set dst i
+        (Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)))
+    done
+  end

@@ -1,0 +1,33 @@
+(** Arithmetic in GF(2^8) with the AES/Rijndael reduction polynomial
+    x^8 + x^4 + x^3 + x + 1 (0x11d variant used by Reed–Solomon storage
+    codes). Multiplication and division run on precomputed log/exp
+    tables, the same approach as klauspost/reedsolomon which the paper's
+    implementation uses. Elements are ints in [0, 255]. *)
+
+val order : int
+(** 256. *)
+
+val add : int -> int -> int
+(** XOR; also subtraction. *)
+
+val mul : int -> int -> int
+val div : int -> int -> int
+(** Raises [Division_by_zero] when the divisor is 0. *)
+
+val inv : int -> int
+(** Multiplicative inverse; raises [Division_by_zero] on 0. *)
+
+val exp : int -> int
+(** [exp i] is the generator raised to [i] (any non-negative [i],
+    reduced mod 255). *)
+
+val log : int -> int
+(** Discrete log base the generator; raises [Invalid_argument] on 0. *)
+
+val mul_slice : int -> Bytes.t -> Bytes.t -> unit
+(** [mul_slice c src dst] computes [dst.(i) <- dst.(i) XOR c * src.(i)]
+    for every byte — the inner loop of matrix-vector encoding. [src]
+    and [dst] must have equal length. *)
+
+val mul_slice_set : int -> Bytes.t -> Bytes.t -> unit
+(** [mul_slice_set c src dst] computes [dst.(i) <- c * src.(i)]. *)

@@ -1,0 +1,76 @@
+let order = 65536
+
+(* x^16 + x^12 + x^3 + x + 1 (0x1100b), a standard primitive polynomial
+   for GF(2^16); generator 2. *)
+let poly = 0x1100b
+
+let exp_table, log_table =
+  let exp = Array.make 131072 0 in
+  let log = Array.make 65536 0 in
+  let x = ref 1 in
+  for i = 0 to 65534 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x10000 <> 0 then x := !x lxor poly
+  done;
+  for i = 65535 to 131071 do
+    exp.(i) <- exp.(i - 65535)
+  done;
+  (exp, log)
+
+let add a b = a lxor b
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) - log_table.(b) + 65535)
+
+let inv a = div 1 a
+let exp i = exp_table.(i mod 65535)
+
+let log a =
+  if a = 0 then invalid_arg "Gf65536.log: log of zero" else log_table.(a)
+
+let check_pair src dst op =
+  let n = Bytes.length src in
+  if Bytes.length dst <> n then invalid_arg (op ^ ": length mismatch");
+  if n land 1 <> 0 then invalid_arg (op ^ ": odd byte length");
+  n
+
+let get16 b i = Char.code (Bytes.unsafe_get b i) lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 8)
+
+let set16 b i v =
+  Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+let mul_slice c src dst =
+  let n = check_pair src dst "Gf65536.mul_slice" in
+  if c <> 0 then begin
+    let logc = log_table.(c) in
+    let i = ref 0 in
+    while !i < n do
+      let s = get16 src !i in
+      if s <> 0 then begin
+        let p = exp_table.(logc + log_table.(s)) in
+        set16 dst !i (get16 dst !i lxor p)
+      end;
+      i := !i + 2
+    done
+  end
+
+let mul_slice_set c src dst =
+  let n = check_pair src dst "Gf65536.mul_slice_set" in
+  if c = 0 then Bytes.fill dst 0 n '\x00'
+  else begin
+    let logc = log_table.(c) in
+    let i = ref 0 in
+    while !i < n do
+      let s = get16 src !i in
+      set16 dst !i (if s = 0 then 0 else exp_table.(logc + log_table.(s)));
+      i := !i + 2
+    done
+  end

@@ -1,0 +1,25 @@
+(** Arithmetic in GF(2^16).
+
+    Algorithm 1 sizes the chunk space as lcm(n1, n2) + parity, which can
+    exceed the 256-symbol limit of a GF(2^8) Reed–Solomon code (e.g. a
+    40-node group paired with a 39-node group). The paper hit the same
+    wall with liberasurecode's 64-chunk cap and switched libraries; we
+    instead provide a GF(2^16) code supporting up to 65535 total chunks.
+    Elements are ints in [0, 65535]. *)
+
+val order : int
+(** 65536. *)
+
+val add : int -> int -> int
+val mul : int -> int -> int
+val div : int -> int -> int
+val inv : int -> int
+val exp : int -> int
+val log : int -> int
+
+val mul_slice : int -> Bytes.t -> Bytes.t -> unit
+(** Slice op over byte buffers interpreted as little-endian 16-bit
+    symbols; lengths must be equal and even. XOR-accumulates into
+    [dst]. *)
+
+val mul_slice_set : int -> Bytes.t -> Bytes.t -> unit

@@ -1,0 +1,136 @@
+module Make (F : Field.S) = struct
+  type t = { rows : int; cols : int; data : int array }
+
+  let create rows cols =
+    if rows <= 0 || cols <= 0 then
+      invalid_arg "Matrix.create: dimensions must be positive";
+    { rows; cols; data = Array.make (rows * cols) 0 }
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let check m r c =
+    if r < 0 || r >= m.rows || c < 0 || c >= m.cols then
+      invalid_arg "Matrix: index out of bounds"
+
+  let get m r c =
+    check m r c;
+    m.data.((r * m.cols) + c)
+
+  let set m r c v =
+    check m r c;
+    if v < 0 || v >= F.order then invalid_arg "Matrix.set: not a field element";
+    m.data.((r * m.cols) + c) <- v
+
+  let identity n =
+    let m = create n n in
+    for i = 0 to n - 1 do
+      m.data.((i * n) + i) <- 1
+    done;
+    m
+
+  let copy m = { m with data = Array.copy m.data }
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+    let out = create a.rows b.cols in
+    for r = 0 to a.rows - 1 do
+      for c = 0 to b.cols - 1 do
+        let acc = ref 0 in
+        for k = 0 to a.cols - 1 do
+          acc :=
+            F.add !acc
+              (F.mul a.data.((r * a.cols) + k) b.data.((k * b.cols) + c))
+        done;
+        out.data.((r * out.cols) + c) <- !acc
+      done
+    done;
+    out
+
+  let vandermonde rows cols =
+    if rows >= F.order then
+      invalid_arg "Matrix.vandermonde: too many rows for the field";
+    let m = create rows cols in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        m.data.((r * cols) + c) <- F.exp (r * c)
+      done
+    done;
+    m
+
+  let invert m =
+    if m.rows <> m.cols then invalid_arg "Matrix.invert: not square";
+    let n = m.rows in
+    let work = copy m in
+    let inv = identity n in
+    let wrow r c = work.data.((r * n) + c) in
+    let irow r c = inv.data.((r * n) + c) in
+    let swap_rows a r1 r2 =
+      if r1 <> r2 then
+        for c = 0 to n - 1 do
+          let tmp = a.data.((r1 * n) + c) in
+          a.data.((r1 * n) + c) <- a.data.((r2 * n) + c);
+          a.data.((r2 * n) + c) <- tmp
+        done
+    in
+    let singular = ref false in
+    (try
+       for col = 0 to n - 1 do
+         (* Find a pivot at or below the diagonal. *)
+         let pivot = ref (-1) in
+         for r = col to n - 1 do
+           if !pivot = -1 && wrow r col <> 0 then pivot := r
+         done;
+         if !pivot = -1 then begin
+           singular := true;
+           raise Exit
+         end;
+         swap_rows work col !pivot;
+         swap_rows inv col !pivot;
+         (* Scale the pivot row to 1. *)
+         let d = wrow col col in
+         if d <> 1 then begin
+           let dinv = F.inv d in
+           for c = 0 to n - 1 do
+             work.data.((col * n) + c) <- F.mul dinv (wrow col c);
+             inv.data.((col * n) + c) <- F.mul dinv (irow col c)
+           done
+         end;
+         (* Eliminate the column everywhere else. *)
+         for r = 0 to n - 1 do
+           if r <> col then begin
+             let factor = wrow r col in
+             if factor <> 0 then
+               for c = 0 to n - 1 do
+                 work.data.((r * n) + c) <-
+                   F.add (wrow r c) (F.mul factor (wrow col c));
+                 inv.data.((r * n) + c) <-
+                   F.add (irow r c) (F.mul factor (irow col c))
+               done
+           end
+         done
+       done
+     with Exit -> ());
+    if !singular then None else Some inv
+
+  let select_rows m idx =
+    let out = create (Array.length idx) m.cols in
+    Array.iteri
+      (fun i r ->
+        if r < 0 || r >= m.rows then
+          invalid_arg "Matrix.select_rows: row out of range";
+        Array.blit m.data (r * m.cols) out.data (i * m.cols) m.cols)
+      idx;
+    out
+
+  let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+  let pp fmt m =
+    for r = 0 to m.rows - 1 do
+      Format.fprintf fmt "[";
+      for c = 0 to m.cols - 1 do
+        Format.fprintf fmt "%4d" m.data.((r * m.cols) + c)
+      done;
+      Format.fprintf fmt " ]@."
+    done
+end

@@ -1,0 +1,38 @@
+(** Dense matrices over a finite field — the linear algebra behind
+    systematic Reed–Solomon encoding (Vandermonde construction) and
+    decoding (sub-matrix inversion). *)
+
+module Make (F : Field.S) : sig
+  type t
+
+  val create : int -> int -> t
+  (** [create rows cols] is the zero matrix. Dimensions must be
+      positive. *)
+
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> int
+  val set : t -> int -> int -> int -> unit
+  val identity : int -> t
+
+  val copy : t -> t
+
+  val mul : t -> t -> t
+  (** Matrix product; raises [Invalid_argument] on dimension
+      mismatch. *)
+
+  val vandermonde : int -> int -> t
+  (** [vandermonde rows cols] has entry (r, c) = g^(r*c) for the field
+      generator g; any [cols] rows are linearly independent provided
+      [rows <= order - 1]. *)
+
+  val invert : t -> t option
+  (** Gauss–Jordan inverse of a square matrix; [None] when singular. *)
+
+  val select_rows : t -> int array -> t
+  (** [select_rows m idx] stacks the rows [idx] of [m] in order. *)
+
+  val equal : t -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end

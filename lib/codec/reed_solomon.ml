@@ -1,0 +1,110 @@
+module Make (F : Field.S) = struct
+  module M = Matrix.Make (F)
+
+  type t = { data : int; parity : int; enc : M.t }
+
+  let create ~data ~parity =
+    if data < 1 then invalid_arg "Reed_solomon.create: need >= 1 data shard";
+    if parity < 0 then invalid_arg "Reed_solomon.create: negative parity";
+    if data + parity > F.order - 1 then
+      invalid_arg "Reed_solomon.create: too many shards for the field";
+    let total = data + parity in
+    let vm = M.vandermonde total data in
+    (* Normalize the top square to the identity so the code is
+       systematic: enc = vm * inv(top(vm)). Any `data` rows of a
+       Vandermonde matrix are independent, so the inverse exists. *)
+    let top = M.select_rows vm (Array.init data (fun i -> i)) in
+    let enc =
+      match M.invert top with
+      | Some ti -> M.mul vm ti
+      | None -> assert false
+    in
+    { data; parity; enc }
+
+  let data t = t.data
+  let parity t = t.parity
+  let total t = t.data + t.parity
+
+  let shard_size_for t len =
+    if len < 0 then invalid_arg "Reed_solomon.shard_size_for: negative length";
+    let raw = Massbft_util.Intmath.cdiv (max len 1) t.data in
+    let sym = F.symbol_bytes in
+    Massbft_util.Intmath.cdiv raw sym * sym
+
+  let check_shards t shards =
+    if Array.length shards <> t.data then
+      invalid_arg "Reed_solomon.encode: wrong number of data shards";
+    let size = Bytes.length shards.(0) in
+    if size = 0 || size mod F.symbol_bytes <> 0 then
+      invalid_arg "Reed_solomon.encode: shard size not a symbol multiple";
+    Array.iter
+      (fun s ->
+        if Bytes.length s <> size then
+          invalid_arg "Reed_solomon.encode: unequal shard sizes")
+      shards;
+    size
+
+  (* out.(r) <- sum_c rowsel(r, c) * inputs.(c), streamed per slice. *)
+  let apply_rows rowsel ~nrows inputs size =
+    let out = Array.init nrows (fun _ -> Bytes.create size) in
+    for r = 0 to nrows - 1 do
+      let dst = out.(r) in
+      let first = ref true in
+      Array.iteri
+        (fun c src ->
+          let coeff = rowsel r c in
+          if !first then begin
+            F.mul_slice_set coeff src dst;
+            first := false
+          end
+          else F.mul_slice coeff src dst)
+        inputs
+    done;
+    out
+
+  let encode t shards =
+    let size = check_shards t shards in
+    apply_rows
+      (fun r c -> M.get t.enc (t.data + r) c)
+      ~nrows:t.parity shards size
+
+  let reconstruct t shards =
+    let total = total t in
+    if Array.length shards <> total then
+      Error "reconstruct: expected one slot per shard"
+    else begin
+      let present =
+        Array.to_list (Array.mapi (fun i s -> (i, s)) shards)
+        |> List.filter_map (fun (i, s) ->
+               match s with Some b -> Some (i, b) | None -> None)
+      in
+      if List.length present < t.data then
+        Error
+          (Printf.sprintf "reconstruct: only %d of %d required shards present"
+             (List.length present) t.data)
+      else begin
+        let chosen = Array.of_list (List.filteri (fun i _ -> i < t.data) present) in
+        let size = Bytes.length (snd chosen.(0)) in
+        let ok_sizes =
+          Array.for_all (fun (_, b) -> Bytes.length b = size) chosen
+          && size > 0
+          && size mod F.symbol_bytes = 0
+        in
+        if not ok_sizes then Error "reconstruct: inconsistent shard sizes"
+        else begin
+          let row_idx = Array.map fst chosen in
+          let inputs = Array.map snd chosen in
+          let sub = M.select_rows t.enc row_idx in
+          match M.invert sub with
+          | None -> Error "reconstruct: singular decode matrix"
+          | Some dec ->
+              Ok (apply_rows (fun r c -> M.get dec r c) ~nrows:t.data inputs size)
+        end
+      end
+    end
+
+  let encoding_row t i =
+    if i < 0 || i >= total t then
+      invalid_arg "Reed_solomon.encoding_row: out of range";
+    Array.init t.data (fun c -> M.get t.enc i c)
+end

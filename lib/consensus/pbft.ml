@@ -1,0 +1,278 @@
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+
+type msg =
+  | Pre_prepare of { view : int; seq : int; digest : string }
+  | Prepare of { view : int; seq : int; digest : string }
+  | Commit of { view : int; seq : int; digest : string }
+  | View_change of { new_view : int; prepared : (int * string) list }
+  | New_view of { view : int; reproposals : (int * string) list }
+
+type certificate = {
+  cert_seq : int;
+  cert_digest : string;
+  cert_view : int;
+  cert_signers : int list;
+}
+
+type config = { n : int; me : int; skip_prepare : bool }
+type callbacks = { send : int -> msg -> unit; decide : certificate -> unit }
+
+type slot = {
+  mutable slot_view : int;  (* the view the vote sets below belong to *)
+  mutable accepted : string option;  (* digest pre-prepared in slot_view *)
+  mutable prepares : ISet.t SMap.t;  (* digest -> prepare voters *)
+  mutable commits : ISet.t SMap.t;  (* digest -> commit voters *)
+  mutable sent_commit : bool;
+  mutable prepared : bool;
+  mutable decided_digest : string option;
+}
+
+type vc_state = {
+  mutable vc_voters : ISet.t;
+  mutable vc_reproposals : string SMap.t;  (* keyed by string_of_int seq *)
+}
+
+type t = {
+  cfg : config;
+  cb : callbacks;
+  f : int;
+  quorum : int;
+  mutable cur_view : int;
+  mutable in_view_change : bool;
+  slots : (int, slot) Hashtbl.t;
+  vc : (int, vc_state) Hashtbl.t;  (* keyed by target view *)
+  mutable proposed : ISet.t;  (* seqs this leader proposed in cur_view *)
+}
+
+let leader_of_view ~n ~view = view mod n
+
+let create cfg cb =
+  if cfg.n < 1 then invalid_arg "Pbft.create: empty group";
+  if cfg.me < 0 || cfg.me >= cfg.n then invalid_arg "Pbft.create: bad replica id";
+  let f = Massbft_util.Intmath.pbft_f cfg.n in
+  {
+    cfg;
+    cb;
+    f;
+    quorum = (2 * f) + 1;
+    cur_view = 0;
+    in_view_change = false;
+    slots = Hashtbl.create 64;
+    vc = Hashtbl.create 4;
+    proposed = ISet.empty;
+  }
+
+let view t = t.cur_view
+let is_leader t = leader_of_view ~n:t.cfg.n ~view:t.cur_view = t.cfg.me
+
+let decided t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | None -> None
+  | Some s -> s.decided_digest
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s ->
+      (* Vote sets from older views are void after a view change. *)
+      if s.slot_view < t.cur_view then begin
+        s.slot_view <- t.cur_view;
+        s.accepted <- None;
+        s.prepares <- SMap.empty;
+        s.commits <- SMap.empty;
+        s.sent_commit <- false;
+        s.prepared <- false
+      end;
+      s
+  | None ->
+      let s =
+        {
+          slot_view = t.cur_view;
+          accepted = None;
+          prepares = SMap.empty;
+          commits = SMap.empty;
+          sent_commit = false;
+          prepared = false;
+          decided_digest = None;
+        }
+      in
+      Hashtbl.replace t.slots seq s;
+      s
+
+let broadcast t msg =
+  for i = 0 to t.cfg.n - 1 do
+    if i <> t.cfg.me then t.cb.send i msg
+  done
+
+let add_vote votes digest id =
+  let cur = Option.value ~default:ISet.empty (SMap.find_opt digest votes) in
+  SMap.add digest (ISet.add id cur) votes
+
+let votes_for votes digest =
+  Option.value ~default:ISet.empty (SMap.find_opt digest votes)
+
+(* Re-examine a slot after any state change and move it forward. *)
+let rec advance t seq s =
+  match (s.accepted, s.decided_digest) with
+  | None, _ | _, Some _ -> ()
+  | Some d, None ->
+      (* Phase 2: become prepared (or skip straight past it). *)
+      if not s.prepared then
+        if t.cfg.skip_prepare then s.prepared <- true
+        else if ISet.cardinal (votes_for s.prepares d) >= t.quorum then
+          s.prepared <- true;
+      (* Phase 3: first time prepared, cast our commit. *)
+      if s.prepared && not s.sent_commit then begin
+        s.sent_commit <- true;
+        s.commits <- add_vote s.commits d t.cfg.me;
+        broadcast t (Commit { view = s.slot_view; seq; digest = d });
+        advance t seq s
+      end
+      else if s.prepared then begin
+        let committers = votes_for s.commits d in
+        if ISet.cardinal committers >= t.quorum then begin
+          s.decided_digest <- Some d;
+          t.cb.decide
+            {
+              cert_seq = seq;
+              cert_digest = d;
+              cert_view = s.slot_view;
+              cert_signers = ISet.elements committers;
+            }
+        end
+      end
+
+let accept_pre_prepare t ~seq ~digest =
+  let s = slot t seq in
+  match s.accepted with
+  | Some _ -> () (* only the first pre-prepare per view/seq is accepted *)
+  | None ->
+      if s.decided_digest = None then begin
+        s.accepted <- Some digest;
+        (* The leader's pre-prepare doubles as its prepare vote. *)
+        s.prepares <-
+          add_vote s.prepares digest (leader_of_view ~n:t.cfg.n ~view:t.cur_view);
+        if (not t.cfg.skip_prepare) && not (is_leader t) then begin
+          s.prepares <- add_vote s.prepares digest t.cfg.me;
+          broadcast t (Prepare { view = t.cur_view; seq; digest })
+        end;
+        advance t seq s
+      end
+
+let propose t ~seq ~digest =
+  if not (is_leader t) then invalid_arg "Pbft.propose: not the leader";
+  if t.in_view_change then invalid_arg "Pbft.propose: view change in progress";
+  if ISet.mem seq t.proposed then
+    invalid_arg "Pbft.propose: sequence already proposed in this view";
+  t.proposed <- ISet.add seq t.proposed;
+  broadcast t (Pre_prepare { view = t.cur_view; seq; digest });
+  accept_pre_prepare t ~seq ~digest
+
+(* The (seq, digest) pairs this replica prepared but has not decided —
+   what must survive into the next view. *)
+let prepared_undecided t =
+  Hashtbl.fold
+    (fun seq s acc ->
+      match (s.prepared, s.accepted, s.decided_digest) with
+      | true, Some d, None -> (seq, d) :: acc
+      | _ -> acc)
+    t.slots []
+
+let vc_state t nv =
+  match Hashtbl.find_opt t.vc nv with
+  | Some st -> st
+  | None ->
+      let st = { vc_voters = ISet.empty; vc_reproposals = SMap.empty } in
+      Hashtbl.replace t.vc nv st;
+      st
+
+let enter_view t nv =
+  t.cur_view <- nv;
+  t.in_view_change <- false;
+  t.proposed <- ISet.empty
+
+let record_vc_vote t ~nv ~from ~prepared =
+  let st = vc_state t nv in
+  st.vc_voters <- ISet.add from st.vc_voters;
+  List.iter
+    (fun (seq, d) ->
+      st.vc_reproposals <- SMap.add (string_of_int seq) d st.vc_reproposals)
+    prepared;
+  st
+
+let broadcast_view_change t nv =
+  let prepared = prepared_undecided t in
+  ignore (record_vc_vote t ~nv ~from:t.cfg.me ~prepared);
+  broadcast t (View_change { new_view = nv; prepared })
+
+let maybe_complete_view_change t nv =
+  let st = vc_state t nv in
+  if
+    ISet.cardinal st.vc_voters >= t.quorum
+    && leader_of_view ~n:t.cfg.n ~view:nv = t.cfg.me
+    && t.cur_view < nv
+  then begin
+    let reproposals =
+      SMap.fold
+        (fun seq_s d acc -> (int_of_string seq_s, d) :: acc)
+        st.vc_reproposals []
+      |> List.sort compare
+    in
+    enter_view t nv;
+    broadcast t (New_view { view = nv; reproposals });
+    List.iter
+      (fun (seq, d) ->
+        t.proposed <- ISet.add seq t.proposed;
+        accept_pre_prepare t ~seq ~digest:d)
+      reproposals
+  end
+
+let start_view_change t =
+  let nv = t.cur_view + 1 in
+  t.in_view_change <- true;
+  broadcast_view_change t nv;
+  maybe_complete_view_change t nv
+
+let handle t ~from msg =
+  if from < 0 || from >= t.cfg.n || from = t.cfg.me then ()
+  else
+    match msg with
+    | Pre_prepare { view; seq; digest } ->
+        if
+          view = t.cur_view
+          && (not t.in_view_change)
+          && from = leader_of_view ~n:t.cfg.n ~view
+        then accept_pre_prepare t ~seq ~digest
+    | Prepare { view; seq; digest } ->
+        if view = t.cur_view && not t.in_view_change then begin
+          let s = slot t seq in
+          s.prepares <- add_vote s.prepares digest from;
+          advance t seq s
+        end
+    | Commit { view; seq; digest } ->
+        if view = t.cur_view && not t.in_view_change then begin
+          let s = slot t seq in
+          s.commits <- add_vote s.commits digest from;
+          advance t seq s
+        end
+    | View_change { new_view; prepared } ->
+        if new_view > t.cur_view then begin
+          let st = record_vc_vote t ~nv:new_view ~from ~prepared in
+          (* Liveness rule: join a view change once f+1 others are in it,
+             even if our own timer has not fired. *)
+          if
+            ISet.cardinal st.vc_voters >= t.f + 1
+            && not (ISet.mem t.cfg.me st.vc_voters)
+          then begin
+            t.in_view_change <- true;
+            broadcast_view_change t new_view
+          end;
+          maybe_complete_view_change t new_view
+        end
+    | New_view { view; reproposals } ->
+        if view > t.cur_view && from = leader_of_view ~n:t.cfg.n ~view then begin
+          enter_view t view;
+          List.iter
+            (fun (seq, d) -> accept_pre_prepare t ~seq ~digest:d)
+            reproposals
+        end

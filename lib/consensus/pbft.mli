@@ -1,0 +1,78 @@
+(** PBFT (Castro & Liskov) as a pure, transport-agnostic state machine.
+
+    MassBFT and every competitor in the paper run PBFT for local
+    consensus inside each data-center group (n >= 3f + 1 nodes). This
+    module implements the three normal-case phases — pre-prepare,
+    prepare, commit — plus a view change, and the prepare-skipping
+    variant used for the global *accept* phase, where the consensus
+    input is already certified by the sender group so followers need not
+    agree on it again (paper §II-A, after Ziziphus).
+
+    The state machine never touches a clock or a socket: the embedder
+    supplies [send] and receives decisions via [decide], and decides
+    when to call [start_view_change] (on its own timeout). This keeps
+    the module deterministic and directly testable.
+
+    Authentication model: messages are assumed to arrive over
+    point-to-point authenticated channels (the simulator's transport
+    plays this role; signature CPU costs are charged by the engine's
+    cost model). Byzantine *content* faults are tolerated by quorum
+    counting; a replica accepts only the first pre-prepare per (view,
+    seq) and needs 2f + 1 matching votes to decide. *)
+
+type msg =
+  | Pre_prepare of { view : int; seq : int; digest : string }
+  | Prepare of { view : int; seq : int; digest : string }
+  | Commit of { view : int; seq : int; digest : string }
+  | View_change of { new_view : int; prepared : (int * string) list }
+      (** [prepared] carries this replica's prepared-but-undecided
+          (seq, digest) pairs, which the new leader must re-propose. *)
+  | New_view of { view : int; reproposals : (int * string) list }
+
+type certificate = {
+  cert_seq : int;
+  cert_digest : string;
+  cert_view : int;
+  cert_signers : int list;  (** the 2f+1 replicas whose commits decided *)
+}
+
+type config = {
+  n : int;  (** replicas in the group; requires n >= 3f+1 with f >= 0 *)
+  me : int;  (** this replica's id in [0, n) *)
+  skip_prepare : bool;
+      (** when true, replicas jump from pre-prepare straight to commit
+          (the accept-phase variant). *)
+}
+
+type callbacks = {
+  send : int -> msg -> unit;  (** unicast to a replica id (never [me]) *)
+  decide : certificate -> unit;
+      (** fired exactly once per decided sequence number, in whatever
+          order decisions complete. *)
+}
+
+type t
+
+val create : config -> callbacks -> t
+
+val leader_of_view : n:int -> view:int -> int
+(** Round-robin: [view mod n]. *)
+
+val view : t -> int
+val is_leader : t -> bool
+val decided : t -> int -> string option
+(** The digest decided at a sequence number, if any. *)
+
+val propose : t -> seq:int -> digest:string -> unit
+(** Leader-only: start consensus on [digest] at [seq]. Raises
+    [Invalid_argument] if called on a non-leader or with a sequence
+    number this leader already proposed in the current view. *)
+
+val handle : t -> from:int -> msg -> unit
+(** Feed an incoming message. Unknown views and duplicate votes are
+    ignored; the state machine is safe under arbitrary message
+    reordering and duplication. *)
+
+val start_view_change : t -> unit
+(** Move to view v+1 and broadcast a view-change message. The embedder
+    calls this on a progress timeout. *)

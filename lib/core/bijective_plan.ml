@@ -1,0 +1,47 @@
+module Intmath = Massbft_util.Intmath
+
+type t = {
+  n1 : int;
+  n2 : int;
+  f1 : int;
+  f2 : int;
+  transfers : (int * int) array;
+}
+
+(* With tau diagonal transfers (i mod n1, i mod n2), a sender carries at
+   most ceil(tau/n1) of them and a receiver at most ceil(tau/n2); by the
+   union bound the adversary voids at most f1*ceil(tau/n1) +
+   f2*ceil(tau/n2), so we need one more than that. *)
+let sufficient ~n1 ~n2 ~f1 ~f2 tau =
+  tau - (f1 * Intmath.cdiv tau n1) - (f2 * Intmath.cdiv tau n2) >= 1
+
+let generate ~n1 ~n2 =
+  if n1 < 1 || n2 < 1 then invalid_arg "Bijective_plan.generate: empty group";
+  let f1 = Intmath.pbft_f n1 and f2 = Intmath.pbft_f n2 in
+  (* The transfer count never needs to exceed lcm(n1, n2) * something
+     small; search upward from the ideal f1 + f2 + 1. *)
+  let rec find tau =
+    if tau > 4 * (n1 + n2) * (1 + f1 + f2) then
+      invalid_arg "Bijective_plan.generate: no feasible plan"
+    else if sufficient ~n1 ~n2 ~f1 ~f2 tau then tau
+    else find (tau + 1)
+  in
+  let tau = find (f1 + f2 + 1) in
+  (* Diagonal assignment: balanced per-sender and per-receiver loads,
+     distinct pairs for tau <= lcm(n1, n2). *)
+  let transfers = Array.init tau (fun i -> (i mod n1, i mod n2)) in
+  { n1; n2; f1; f2; transfers }
+
+let transfer_count t = Array.length t.transfers
+
+let sends_of t ~sender =
+  if sender < 0 || sender >= t.n1 then
+    invalid_arg "Bijective_plan.sends_of: bad sender id";
+  Array.to_list t.transfers
+  |> List.filter_map (fun (s, r) -> if s = sender then Some r else None)
+
+let survives t ~faulty_senders ~faulty_receivers =
+  Array.exists
+    (fun (s, r) ->
+      (not (List.mem s faulty_senders)) && not (List.mem r faulty_receivers))
+    t.transfers

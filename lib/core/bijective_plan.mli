@@ -1,0 +1,41 @@
+(** The general (non-coded) bijective group-sending plan of §IV-A —
+    the cluster-sending construction of Hellings & Sadoghi that GeoBFT
+    uses in its remote view-change and that the BR ablation evaluates.
+
+    A sender group with [f1] faulty nodes ships complete entry copies to
+    a receiver group with [f2] faulty nodes. The plan is a list of
+    (sender, receiver) transfers, load-balanced on both sides, sized so
+    that {e any} choice of [f1] faulty senders and [f2] faulty receivers
+    still leaves at least one transfer with a correct sender and a
+    correct receiver (who then broadcasts the entry locally).
+
+    When both groups have at least [f1 + f2 + 1] nodes this is the
+    paper's plain bijective sending with exactly [f1 + f2 + 1]
+    transfers; for very lopsided sizes the partitioned construction
+    reuses nodes with balanced loads and the transfer count grows
+    according to the cluster-sending lower bound. *)
+
+type t = private {
+  n1 : int;
+  n2 : int;
+  f1 : int;
+  f2 : int;
+  transfers : (int * int) array;  (** (sender, receiver) pairs *)
+}
+
+val generate : n1:int -> n2:int -> t
+(** Computes the minimal balanced plan. Raises [Invalid_argument] on
+    non-positive sizes or when no plan can guarantee delivery (all-
+    faulty corner cases cannot occur under n >= 3f + 1). *)
+
+val transfer_count : t -> int
+(** Number of full entry copies crossing the WAN — [f1 + f2 + 1]
+    whenever both groups are large enough. *)
+
+val sends_of : t -> sender:int -> int list
+(** Receivers this sender ships a full copy to (possibly several for
+    lopsided groups; empty for unused senders). *)
+
+val survives : t -> faulty_senders:int list -> faulty_receivers:int list -> bool
+(** [true] iff some transfer avoids both faulty sets — exposed so tests
+    can check the guarantee exhaustively. *)

@@ -1,0 +1,37 @@
+module Merkle = Massbft_crypto.Merkle
+module Erasure = Massbft_codec.Erasure
+
+type chunk = {
+  index : int;
+  payload : string;
+  root : string;
+  proof : Merkle.proof;
+}
+
+let encode ~(plan : Transfer_plan.t) ~entry =
+  let payloads =
+    Erasure.encode ~data:plan.Transfer_plan.n_data
+      ~parity:plan.Transfer_plan.n_parity entry
+  in
+  let tree = Merkle.build (Array.to_list payloads) in
+  let root = Merkle.root tree in
+  Array.mapi
+    (fun index payload -> { index; payload; root; proof = Merkle.prove tree index })
+    payloads
+
+let chunk_wire_size ~(plan : Transfer_plan.t) ~entry_len =
+  let payload =
+    Erasure.chunk_size ~data:plan.Transfer_plan.n_data
+      ~parity:plan.Transfer_plan.n_parity ~entry_len
+  in
+  let proof_len =
+    (32 * Massbft_util.Intmath.log2_ceil plan.Transfer_plan.n_total) + 4
+  in
+  payload + Types.digest_bytes + proof_len + Types.header_bytes
+
+let verify_chunk c =
+  c.proof.Merkle.leaf_index = c.index
+  && Merkle.verify ~root:c.root ~leaf:c.payload c.proof
+
+let total_wire_bytes ~plan ~entry_len =
+  plan.Transfer_plan.n_total * chunk_wire_size ~plan ~entry_len

@@ -1,0 +1,32 @@
+(** Entry → authenticated chunks, the sender half of encoded bijective
+    log replication (§IV-B/C).
+
+    Every node of the sender group deterministically erasure-codes the
+    locally-agreed entry with the pair's {!Transfer_plan}, builds a
+    Merkle tree over the chunks, and ships each chunk with its inclusion
+    proof. Because the encoding is deterministic, all correct senders
+    produce the identical chunk set and Merkle root — a receiver can
+    therefore bucket chunks by root and know that chunks under one root
+    come from one encoding. *)
+
+type chunk = {
+  index : int;  (** position in the chunk space of the plan *)
+  payload : string;
+  root : string;  (** Merkle root of the full chunk set *)
+  proof : Massbft_crypto.Merkle.proof;
+}
+
+val encode : plan:Transfer_plan.t -> entry:string -> chunk array
+(** All [plan.n_total] chunks, index-ordered. Deterministic. *)
+
+val chunk_wire_size : plan:Transfer_plan.t -> entry_len:int -> int
+(** Bytes one chunk occupies on the WAN: payload + Merkle root and proof
+    + header. Used for traffic accounting and by the simulator's
+    virtual-payload mode, so that both modes agree byte-for-byte. *)
+
+val verify_chunk : chunk -> bool
+(** Checks the Merkle proof binds [payload] to [index] under [root]. *)
+
+val total_wire_bytes : plan:Transfer_plan.t -> entry_len:int -> int
+(** WAN bytes for one full entry transfer under the plan — the Figure 10
+    quantity (chunks only; the Raft metadata is accounted separately). *)

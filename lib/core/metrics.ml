@@ -1,0 +1,55 @@
+module Stats = Massbft_util.Stats
+
+type t = {
+  committed_txns : Stats.Counter.t;
+  conflicted_txns : Stats.Counter.t;
+  logic_aborted_txns : Stats.Counter.t;
+  entries_executed : Stats.Counter.t;
+  txn_rate : Stats.Timeseries.t;
+  latency_s : Stats.Summary.t;
+  latency_ts : Stats.Timeseries.t;
+  phase_batch_s : Stats.Summary.t;
+  phase_local_s : Stats.Summary.t;
+  phase_coding_s : Stats.Summary.t;
+  phase_global_s : Stats.Summary.t;
+  phase_order_s : Stats.Summary.t;
+  phase_exec_s : Stats.Summary.t;
+  committed_per_group : (int, Stats.Counter.t) Hashtbl.t;
+  mutable measure_from : float;
+}
+
+let create () =
+  {
+    committed_txns = Stats.Counter.create ();
+    conflicted_txns = Stats.Counter.create ();
+    logic_aborted_txns = Stats.Counter.create ();
+    entries_executed = Stats.Counter.create ();
+    txn_rate = Stats.Timeseries.create ~bucket:1.0;
+    latency_s = Stats.Summary.create ();
+    latency_ts = Stats.Timeseries.create ~bucket:1.0;
+    phase_batch_s = Stats.Summary.create ();
+    phase_local_s = Stats.Summary.create ();
+    phase_coding_s = Stats.Summary.create ();
+    phase_global_s = Stats.Summary.create ();
+    phase_order_s = Stats.Summary.create ();
+    phase_exec_s = Stats.Summary.create ();
+    committed_per_group = Hashtbl.create 8;
+    measure_from = 0.0;
+  }
+
+let throughput_tps t ~duration =
+  if duration <= 0.0 then 0.0
+  else float_of_int (Stats.Counter.get t.committed_txns) /. duration
+
+let mean_latency_ms t = 1000.0 *. Stats.Summary.mean t.latency_s
+let p99_latency_ms t = 1000.0 *. Stats.Summary.percentile t.latency_s 99.0
+
+let group_committed t gid =
+  match Hashtbl.find_opt t.committed_per_group gid with
+  | Some c -> Stats.Counter.get c
+  | None -> 0
+
+let commit_ratio t =
+  let c = Stats.Counter.get t.committed_txns in
+  let a = Stats.Counter.get t.conflicted_txns in
+  if c + a = 0 then 1.0 else float_of_int c /. float_of_int (c + a)

@@ -1,0 +1,35 @@
+(** Per-run measurement state collected by the engine and read by the
+    harness; all the figures derive from these. *)
+
+module Stats = Massbft_util.Stats
+
+type t = {
+  committed_txns : Stats.Counter.t;  (** Aria-committed, cluster-wide *)
+  conflicted_txns : Stats.Counter.t;  (** Aria conflict aborts (retried) *)
+  logic_aborted_txns : Stats.Counter.t;
+  entries_executed : Stats.Counter.t;
+  txn_rate : Stats.Timeseries.t;  (** committed txns per second bucket *)
+  latency_s : Stats.Summary.t;  (** per-entry client-visible latency *)
+  latency_ts : Stats.Timeseries.t;  (** latency over time (Figure 15) *)
+  phase_batch_s : Stats.Summary.t;  (** Figure 11 breakdown: batching *)
+  phase_local_s : Stats.Summary.t;  (** local consensus *)
+  phase_coding_s : Stats.Summary.t;  (** erasure encode + rebuild *)
+  phase_global_s : Stats.Summary.t;  (** global replication (commit) *)
+  phase_order_s : Stats.Summary.t;  (** ordering wait *)
+  phase_exec_s : Stats.Summary.t;  (** execution *)
+  committed_per_group : (int, Stats.Counter.t) Hashtbl.t;
+      (** per proposing group (Figure 12's breakdown) *)
+  mutable measure_from : float;  (** warm-up cutoff; samples before are dropped *)
+}
+
+val create : unit -> t
+
+val throughput_tps : t -> duration:float -> float
+(** Committed transactions per second over the measurement window. *)
+
+val mean_latency_ms : t -> float
+val p99_latency_ms : t -> float
+val commit_ratio : t -> float
+
+val group_committed : t -> int -> int
+(** Transactions committed from entries proposed by one group. *)

@@ -1,0 +1,77 @@
+module Erasure = Massbft_codec.Erasure
+module ISet = Set.Make (Int)
+
+type verdict =
+  | Accepted
+  | Rebuilt of string
+  | Rejected_proof
+  | Rejected_blacklisted
+  | Rejected_duplicate
+  | Rejected_fake_bucket of int list
+  | Already_done
+
+type bucket = { mutable chunks : (int * string) list }
+
+type t = {
+  plan : Transfer_plan.t;
+  validate : string -> bool;
+  buckets : (string, bucket) Hashtbl.t;  (* keyed by Merkle root *)
+  mutable blacklist : ISet.t;
+  mutable rebuilt : string option;
+}
+
+let create ~plan ~validate () =
+  { plan; validate; buckets = Hashtbl.create 4; blacklist = ISet.empty; rebuilt = None }
+
+let bucket t root =
+  match Hashtbl.find_opt t.buckets root with
+  | Some b -> b
+  | None ->
+      let b = { chunks = [] } in
+      Hashtbl.replace t.buckets root b;
+      b
+
+let try_rebuild t b =
+  let data = t.plan.Transfer_plan.n_data in
+  let parity = t.plan.Transfer_plan.n_parity in
+  match Erasure.decode ~data ~parity b.chunks with
+  | Error _ -> None
+  | Ok entry -> if t.validate entry then Some entry else None
+
+let add t (c : Chunker.chunk) =
+  match t.rebuilt with
+  | Some _ -> Already_done
+  | None ->
+      if c.Chunker.index < 0 || c.Chunker.index >= t.plan.Transfer_plan.n_total
+      then Rejected_proof
+      else if ISet.mem c.Chunker.index t.blacklist then Rejected_blacklisted
+      else if not (Chunker.verify_chunk c) then Rejected_proof
+      else begin
+        let b = bucket t c.Chunker.root in
+        if List.mem_assoc c.Chunker.index b.chunks then Rejected_duplicate
+        else begin
+          b.chunks <- (c.Chunker.index, c.Chunker.payload) :: b.chunks;
+          if List.length b.chunks < t.plan.Transfer_plan.n_data then Accepted
+          else
+            match try_rebuild t b with
+            | Some entry ->
+                t.rebuilt <- Some entry;
+                Rebuilt entry
+            | None ->
+                (* Every chunk under this root is fake: burn the ids and
+                   drop the bucket. *)
+                let ids = List.map fst b.chunks in
+                t.blacklist <- List.fold_left (fun s i -> ISet.add i s) t.blacklist ids;
+                Hashtbl.remove t.buckets c.Chunker.root;
+                (* Ids burned here may appear in other (also fake)
+                   buckets; those buckets can simply keep waiting — they
+                   can never validate. *)
+                Rejected_fake_bucket (List.sort compare ids)
+        end
+      end
+
+let result t = t.rebuilt
+let blacklisted t = ISet.elements t.blacklist
+
+let chunks_held t =
+  Hashtbl.fold (fun _ b acc -> acc + List.length b.chunks) t.buckets 0

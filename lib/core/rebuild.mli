@@ -1,0 +1,41 @@
+(** Optimistic entry rebuild with DoS protection — the receiver half of
+    encoded bijective replication (§IV-C).
+
+    Incoming chunks are first proof-checked, then grouped by Merkle root
+    into buckets. When a bucket reaches [n_data] chunks the entry is
+    tentatively rebuilt and validated against its PBFT certificate (the
+    [validate] callback). A bucket that fails validation is entirely
+    fake — all chunks under one root come from one encoding — so its
+    chunk {e ids} are blacklisted: those ids were handled by faulty
+    nodes, their correct versions will never appear, and accepting more
+    candidates for them would re-open the denial-of-service vector the
+    paper closes. *)
+
+type verdict =
+  | Accepted  (** queued into a bucket, no rebuild attempted yet *)
+  | Rebuilt of string  (** the entry, certificate-validated *)
+  | Rejected_proof  (** Merkle proof does not bind the chunk *)
+  | Rejected_blacklisted  (** chunk id burned by a failed rebuild *)
+  | Rejected_duplicate  (** this (root, id) was already accepted *)
+  | Rejected_fake_bucket of int list
+      (** bucket rebuilt but failed certificate validation; the listed
+          chunk ids are now blacklisted *)
+  | Already_done  (** the entry was rebuilt earlier *)
+
+type t
+
+val create :
+  plan:Transfer_plan.t -> validate:(string -> bool) -> unit -> t
+(** [validate candidate] checks a rebuilt candidate entry against its
+    certificate (digest comparison in practice). *)
+
+val add : t -> Chunker.chunk -> verdict
+
+val result : t -> string option
+(** The validated entry, once rebuilt. *)
+
+val blacklisted : t -> int list
+(** Currently burned chunk ids (ascending). *)
+
+val chunks_held : t -> int
+(** Total accepted chunks across buckets (diagnostic). *)

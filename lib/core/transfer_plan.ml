@@ -1,0 +1,57 @@
+module Intmath = Massbft_util.Intmath
+
+type t = {
+  n1 : int;
+  n2 : int;
+  n_total : int;
+  n_data : int;
+  n_parity : int;
+  nc_send : int;
+  nc_recv : int;
+}
+
+let generate ~n1 ~n2 =
+  if n1 < 1 || n2 < 1 then invalid_arg "Transfer_plan.generate: empty group";
+  (* Lines 1-6 of Algorithm 1. *)
+  let n_total = Intmath.lcm n1 n2 in
+  let nc_send = n_total / n1 in
+  let nc_recv = n_total / n2 in
+  let f1 = (n1 - 1) / 3 and f2 = (n2 - 1) / 3 in
+  let n_parity = (nc_send * f1) + (nc_recv * f2) in
+  let n_data = n_total - n_parity in
+  if n_data < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Transfer_plan.generate: no data chunks left for groups %d/%d" n1 n2);
+  { n1; n2; n_total; n_data; n_parity; nc_send; nc_recv }
+
+let check_chunk t c =
+  if c < 0 || c >= t.n_total then
+    invalid_arg "Transfer_plan: chunk id out of range"
+
+(* Chunks are assigned to nodes in ascending id order: sender i ships
+   chunks [nc_send*i, nc_send*(i+1)), receiver j takes
+   [nc_recv*j, nc_recv*(j+1)). *)
+let sender_of_chunk t c =
+  check_chunk t c;
+  c / t.nc_send
+
+let receiver_of_chunk t c =
+  check_chunk t c;
+  c / t.nc_recv
+
+let sends_of t ~sender =
+  if sender < 0 || sender >= t.n1 then
+    invalid_arg "Transfer_plan.sends_of: bad sender id";
+  List.init t.nc_send (fun k ->
+      let c = (t.nc_send * sender) + k in
+      (c, c / t.nc_recv))
+
+let receives_of t ~receiver =
+  if receiver < 0 || receiver >= t.n2 then
+    invalid_arg "Transfer_plan.receives_of: bad receiver id";
+  List.init t.nc_recv (fun k ->
+      let c = (t.nc_recv * receiver) + k in
+      (c, c / t.nc_send))
+
+let redundancy t = float_of_int t.n_total /. float_of_int t.n_data

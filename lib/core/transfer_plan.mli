@@ -1,0 +1,46 @@
+(** Algorithm 1 of the paper: the transfer plan for encoded bijective
+    log replication between a sender group of [n1] nodes and a receiver
+    group of [n2] nodes.
+
+    The chunk space is sized by lcm(n1, n2) so that every sender ships
+    exactly [n_total / n1] chunks and every receiver takes exactly
+    [n_total / n2]; each chunk crosses the WAN exactly once. The parity
+    budget covers the worst case in which the chunks handled by the f1
+    faulty senders and the f2 faulty receivers are disjoint:
+    n_parity = nc1*f1 + nc2*f2. Whatever survives — n_data chunks — is
+    enough to rebuild the entry.
+
+    The paper's §IV-B case study (n1 = 4, n2 = 7) gives n_total = 28,
+    n_parity = 15, n_data = 13, and a redundancy factor of 28/13 ≈ 2.15
+    entry copies, versus 4 for the bijective-only approach; both numbers
+    are pinned by unit tests. *)
+
+type t = private {
+  n1 : int;  (** sender group size *)
+  n2 : int;  (** receiver group size *)
+  n_total : int;  (** lcm(n1, n2) *)
+  n_data : int;
+  n_parity : int;
+  nc_send : int;  (** chunks each sender ships *)
+  nc_recv : int;  (** chunks each receiver takes *)
+}
+
+val generate : n1:int -> n2:int -> t
+(** Raises [Invalid_argument] on non-positive sizes, or when the group
+    pair is too small to leave any data chunks (n_parity >= n_total —
+    only possible for degenerate configurations). *)
+
+val sender_of_chunk : t -> int -> int
+(** [sender_of_chunk t c] is the sender node id shipping chunk [c]. *)
+
+val receiver_of_chunk : t -> int -> int
+
+val sends_of : t -> sender:int -> (int * int) list
+(** [(chunk, receiver)] pairs for one sender node, ascending by chunk id
+    — lines 7-10 of Algorithm 1. *)
+
+val receives_of : t -> receiver:int -> (int * int) list
+(** [(chunk, sender)] pairs for one receiver node — lines 11-14. *)
+
+val redundancy : t -> float
+(** n_total / n_data: how many entry-equivalents cross the WAN. *)

@@ -1,0 +1,89 @@
+type t = { gid : int; seq : int; vts : int array; set : bool array }
+
+let create ~ng ~gid ~seq =
+  if ng < 1 then invalid_arg "Vts.create: need at least one group";
+  if gid < 0 || gid >= ng then invalid_arg "Vts.create: bad group id";
+  if seq < 1 then invalid_arg "Vts.create: sequence numbers start at 1";
+  let vts = Array.make ng 0 in
+  let set = Array.make ng false in
+  (* Overlapped assignment: the proposer's element is its local sequence
+     number, known the moment the entry exists. *)
+  vts.(gid) <- seq;
+  set.(gid) <- true;
+  { gid; seq; vts; set }
+
+let check_elem e j =
+  if j < 0 || j >= Array.length e.vts then
+    invalid_arg "Vts: element index out of range"
+
+let set_element e j ts =
+  check_elem e j;
+  if e.set.(j) then begin
+    if e.vts.(j) <> ts then
+      invalid_arg
+        (Printf.sprintf "Vts.set_element: element %d already set to %d <> %d" j
+           e.vts.(j) ts)
+  end
+  else begin
+    if ts < e.vts.(j) then
+      invalid_arg
+        (Printf.sprintf
+           "Vts.set_element: timestamp %d below inferred lower bound %d" ts
+           e.vts.(j));
+    e.vts.(j) <- ts;
+    e.set.(j) <- true
+  end
+
+let infer_element e j ts =
+  check_elem e j;
+  if (not e.set.(j)) && ts > e.vts.(j) then e.vts.(j) <- ts
+
+let complete e = Array.for_all Fun.id e.set
+
+(* Lines 21-30 of Algorithm 2, verbatim. *)
+let prec e1 e2 =
+  let ng = Array.length e1.vts in
+  if Array.length e2.vts <> ng then invalid_arg "Vts.prec: group count mismatch";
+  let rec loop j =
+    if j >= ng then
+      (* Identical, fully compared VTSs: fall back to seq then gid. *)
+      if e1.seq <> e2.seq then e1.seq < e2.seq else e1.gid < e2.gid
+    else if e1.set.(j) then
+      if e1.vts.(j) < e2.vts.(j) then
+        (* e2.vts[j] can only grow; the relation is settled. *)
+        true
+      else if e2.set.(j) && e1.vts.(j) = e2.vts.(j) then loop (j + 1)
+      else
+        (* Either e2's element is greater, or it is inferred and could
+           still exceed e1's: not provably before. *)
+        false
+    else
+      (* e1's element is only a lower bound: it may grow past e2's. *)
+      false
+  in
+  loop 0
+
+let compare_complete e1 e2 =
+  if not (complete e1 && complete e2) then
+    invalid_arg "Vts.compare_complete: incomplete VTS";
+  let ng = Array.length e1.vts in
+  let rec loop j =
+    if j >= ng then
+      let c = compare e1.seq e2.seq in
+      if c <> 0 then c else compare e1.gid e2.gid
+    else
+      let c = compare e1.vts.(j) e2.vts.(j) in
+      if c <> 0 then c else loop (j + 1)
+  in
+  loop 0
+
+let pp fmt e =
+  Format.fprintf fmt "e(%d,%d)<" e.gid e.seq;
+  Array.iteri
+    (fun j v ->
+      Format.fprintf fmt "%s%d%s"
+        (if j > 0 then "," else "")
+        v
+        (if e.set.(j) then "" else "?"))
+    e.vts;
+  Format.fprintf fmt ">"

@@ -1,0 +1,50 @@
+(** Vector timestamps and the conservative precedence test of
+    Algorithm 2.
+
+    An entry's VTS has one element per group: element [j] is the value
+    of group j's logical clock when it processed the entry. Elements are
+    either {e set} (the real, replicated timestamp) or {e inferred} (a
+    lower bound deduced from the stream — each group assigns
+    non-decreasing timestamps, so the last value seen from group j
+    bounds every later assignment).
+
+    [prec e1 e2] returns [true] only when e1 is {e certain} to precede
+    e2 under the eventual fully-set timestamps, whatever the inferred
+    elements turn out to be — the property that makes the ordering
+    decisions of different nodes consistent even though they learn
+    timestamps in different interleavings. *)
+
+type t = {
+  gid : int;
+  seq : int;
+  vts : int array;  (** one element per group *)
+  set : bool array;  (** [set.(j)] — is [vts.(j)] real (vs inferred)? *)
+}
+
+val create : ng:int -> gid:int -> seq:int -> t
+(** All elements inferred at 0, except [vts.(gid) = seq] which is set —
+    the deterministic self-assignment of the overlapped scheme
+    (Fig. 7b). *)
+
+val set_element : t -> int -> int -> unit
+(** [set_element e j ts] records the real timestamp from group [j].
+    Raises [Invalid_argument] if a *different* real value was already
+    set (identical re-delivery is idempotent) or if [ts] is below the
+    current inferred lower bound. *)
+
+val infer_element : t -> int -> int -> unit
+(** Raise the inferred lower bound of element [j] to [ts]; no-op if the
+    element is set or already at least [ts]. *)
+
+val complete : t -> bool
+(** All elements set. *)
+
+val prec : t -> t -> bool
+(** The [Prec] function, lines 21-30 of Algorithm 2. *)
+
+val compare_complete : t -> t -> int
+(** Total order of Lemma V.4 over complete VTSs: lexicographic on vts,
+    then seq, then gid. Raises [Invalid_argument] if either side is
+    incomplete. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+let block = Sha256.block_size
+
+let normalize_key key =
+  let key = if String.length key > block then Sha256.digest key else key in
+  if String.length key = block then key
+  else key ^ String.make (block - String.length key) '\x00'
+
+let xor_pad key byte =
+  String.init block (fun i -> Char.chr (Char.code key.[i] lxor byte))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest (xor_pad key 0x36 ^ msg) in
+  Sha256.digest (xor_pad key 0x5c ^ inner)
+
+let verify ~key ~msg ~tag =
+  let expected = mac ~key msg in
+  String.length tag = String.length expected
+  &&
+  (* Fold over every byte so timing does not leak the mismatch index. *)
+  let acc = ref 0 in
+  String.iteri
+    (fun i c -> acc := !acc lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  !acc = 0

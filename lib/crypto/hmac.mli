@@ -1,0 +1,9 @@
+(** HMAC-SHA-256 (RFC 2104), the MAC underneath the simulated signature
+    scheme. Validated against the RFC 4231 test vectors. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA-256 tag of [msg] under
+    [key]. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of [tag] against [mac ~key msg]. *)

@@ -1,0 +1,67 @@
+(** Merkle trees and inclusion proofs over chunk sets (paper §IV-C).
+
+    After encoding an entry into chunks, each sender builds a Merkle
+    tree over the chunks and ships each chunk with its proof. Receivers
+    bucket incoming chunks by Merkle root: chunks under the same root
+    are guaranteed to come from the same encoding, so a single failed
+    rebuild condemns the whole bucket.
+
+    Leaves are domain-separated from internal nodes (0x00 / 0x01
+    prefixes) to rule out second-preimage tree-splicing attacks. An odd
+    node at any level is paired with itself. *)
+
+type tree
+
+type proof = { leaf_index : int; path : string list }
+(** Sibling hashes from the leaf up to (excluding) the root. *)
+
+val build : string list -> tree
+(** [build leaves] hashes each leaf and builds the tree. Raises
+    [Invalid_argument] on an empty list. *)
+
+val root : tree -> string
+(** The 32-byte root hash. *)
+
+val leaf_count : tree -> int
+
+val prove : tree -> int -> proof
+(** [prove t i] is the inclusion proof for the [i]-th leaf. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** [verify ~root ~leaf p] checks that [leaf] sits at [p.leaf_index]
+    under [root]. *)
+
+val proof_size : proof -> int
+(** Serialized size in bytes (for WAN traffic accounting): 32 bytes per
+    path element plus a 4-byte index. *)
+
+(** {2 Compact multiproofs}
+
+    When one sender ships several chunks to the same receiver (transfer
+    plans with [nc_send > 1] per destination), the per-chunk proofs
+    share most of their path hashes. A multiproof (Ramabaja &
+    Avdullahu, the paper's reference for chunk authentication) carries
+    each needed hash exactly once. *)
+
+type multiproof = { mp_indices : int list; mp_nodes : string list }
+(** [mp_indices] are the proven leaf positions (ascending);
+    [mp_nodes] the sibling hashes, ordered level by level, ascending
+    position within each level. *)
+
+val prove_many : tree -> int list -> multiproof
+(** [prove_many t indices] proves all [indices] together. Raises
+    [Invalid_argument] on an empty list, duplicates, or out-of-range
+    indices. *)
+
+val verify_many :
+  root:string -> leaf_count:int -> leaves:(int * string) list -> multiproof -> bool
+(** [verify_many ~root ~leaf_count ~leaves mp] checks that every
+    [(index, leaf)] sits in the [leaf_count]-leaf tree under [root]
+    (receivers know the chunk count from the transfer plan). The leaves
+    must be exactly the multiproof's index set. *)
+
+val multiproof_size : multiproof -> int
+(** Serialized bytes: 32 per node hash plus 4 per index. *)
+
+val leaf_hash : string -> string
+(** The domain-separated hash of a raw leaf (exposed for tests). *)

@@ -1,0 +1,31 @@
+(** SHA-256 (FIPS 180-4), implemented from the specification. The paper
+    uses SHA-256 for data integrity (chunk hashes, Merkle trees, entry
+    digests); no crypto library ships with this container, so the
+    primitive is built here and validated against the NIST test
+    vectors in the test suite. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte digest. The context must not be reused after
+    finalization. *)
+
+val digest : string -> string
+(** One-shot hash of a string; 32 raw bytes. *)
+
+val digest_bytes : Bytes.t -> string
+
+val hex : string -> string
+(** [hex s] is the lowercase hex digest of [s] — convenience for tests
+    and logging. *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64; exposed for HMAC. *)

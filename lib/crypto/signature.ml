@@ -1,0 +1,26 @@
+type keyring = { master : string; keys : (string, string) Hashtbl.t }
+type signature = string
+
+let signature_size = 64
+
+let create_keyring ~seed =
+  let master = Sha256.digest (Printf.sprintf "massbft-keyring-%Ld" seed) in
+  { master; keys = Hashtbl.create 64 }
+
+let derive_key kr id = Hmac.mac ~key:kr.master id
+
+let register kr id =
+  if not (Hashtbl.mem kr.keys id) then
+    Hashtbl.replace kr.keys id (derive_key kr id)
+
+let sign kr ~id msg =
+  match Hashtbl.find_opt kr.keys id with
+  | None -> invalid_arg (Printf.sprintf "Signature.sign: unknown identity %s" id)
+  | Some key -> Hmac.mac ~key msg
+
+let verify kr ~id ~msg s =
+  match Hashtbl.find_opt kr.keys id with
+  | None -> false
+  | Some key -> Hmac.verify ~key ~msg ~tag:s
+
+let forge msg = Sha256.digest ("forged:" ^ msg)

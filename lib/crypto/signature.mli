@@ -1,0 +1,42 @@
+(** Message authentication for the simulated PKI.
+
+    The paper signs messages with ED25519 under a public-key
+    infrastructure. This container has no curve library, so — as
+    documented in DESIGN.md — we substitute a keyed-MAC scheme backed by
+    a registry (the [keyring]) standing in for the PKI: the registry
+    maps a signer identity to its secret key, [sign] produces
+    HMAC-SHA-256 tags, and [verify] consults the registry. Inside the
+    simulation the adversary never learns a correct node's key, so
+    unforgeability holds exactly where the protocol needs it; the CPU
+    cost of real ED25519 is accounted separately by the simulator's cost
+    model ({!Massbft_sim.Cpu}). *)
+
+type keyring
+(** The registry of signer identities, playing the role of the PKI. *)
+
+type signature = private string
+(** A 32-byte authentication tag. *)
+
+val create_keyring : seed:int64 -> keyring
+(** Deterministically derives per-identity keys from [seed]. *)
+
+val register : keyring -> string -> unit
+(** [register kr id] creates a key pair for identity [id] (e.g.
+    ["g1/n3"]). Registering the same identity twice is idempotent. *)
+
+val sign : keyring -> id:string -> string -> signature
+(** [sign kr ~id msg] signs [msg] as identity [id]. Raises
+    [Invalid_argument] if [id] was never registered. *)
+
+val verify : keyring -> id:string -> msg:string -> signature -> bool
+(** [verify kr ~id ~msg s] checks that [s] is [id]'s signature over
+    [msg]. Unregistered identities never verify. *)
+
+val forge : string -> signature
+(** A syntactically valid but cryptographically bogus signature, used by
+    the fault injector to model Byzantine senders. [verify] rejects it
+    except with negligible probability. *)
+
+val signature_size : int
+(** Bytes on the wire (64, matching ED25519, so traffic accounting is
+    faithful even though the tag itself is 32 bytes). *)

@@ -1,0 +1,138 @@
+module Txn = Massbft_workload.Txn
+module SMap = Map.Make (String)
+
+type outcome = {
+  committed : Txn.t list;
+  conflicted : Txn.t list;
+  logic_aborted : Txn.t list;
+  reads : int;
+  writes : int;
+}
+
+type exec_record = {
+  txn : Txn.t;
+  pos : int;
+  read_set : (string, unit) Hashtbl.t;
+  write_buf : (string, string) Hashtbl.t;
+  logic_abort : bool;
+}
+
+let run_one store pos txn counters =
+  let read_set = Hashtbl.create 8 in
+  let write_buf = Hashtbl.create 8 in
+  let aborted = ref false in
+  let ctx =
+    {
+      Txn.read =
+        (fun k ->
+          Hashtbl.replace read_set k ();
+          incr (fst counters);
+          match Hashtbl.find_opt write_buf k with
+          | Some v -> Some v
+          | None -> Kvstore.get store k);
+      write =
+        (fun k v ->
+          incr (snd counters);
+          Hashtbl.replace write_buf k v);
+      abort = (fun () -> raise Txn.Logic_abort);
+    }
+  in
+  (try txn.Txn.body ctx with Txn.Logic_abort -> aborted := true);
+  { txn; pos; read_set; write_buf; logic_abort = !aborted }
+
+let reserve records get_keys =
+  (* key -> smallest batch position touching it (logic aborts hold no
+     reservations: their effects vanish). *)
+  List.fold_left
+    (fun acc r ->
+      if r.logic_abort then acc
+      else
+        Hashtbl.fold
+          (fun k () acc ->
+            match SMap.find_opt k acc with
+            | Some p when p <= r.pos -> acc
+            | _ -> SMap.add k r.pos acc)
+          (get_keys r) acc)
+    SMap.empty records
+
+let conflicts_with reservations keys ~pos =
+  Hashtbl.fold
+    (fun k () acc ->
+      acc
+      ||
+      match SMap.find_opt k reservations with
+      | Some p -> p < pos
+      | None -> false)
+    keys false
+
+(* Aria's fallback lane: serial execution with immediate visibility;
+   deterministic because the order is the list order. *)
+let run_fallback store txns committed logic counters =
+  List.iter
+    (fun (txn : Txn.t) ->
+      let write_buf = Hashtbl.create 8 in
+      let aborted = ref false in
+      let ctx =
+        {
+          Txn.read =
+            (fun k ->
+              incr (fst counters);
+              match Hashtbl.find_opt write_buf k with
+              | Some v -> Some v
+              | None -> Kvstore.get store k);
+          write =
+            (fun k v ->
+              incr (snd counters);
+              Hashtbl.replace write_buf k v);
+          abort = (fun () -> raise Txn.Logic_abort);
+        }
+      in
+      (try txn.Txn.body ctx with Txn.Logic_abort -> aborted := true);
+      if !aborted then logic := txn :: !logic
+      else begin
+        Hashtbl.iter (fun k v -> Kvstore.put store k v) write_buf;
+        committed := txn :: !committed
+      end)
+    txns
+
+let execute_batch ?(reorder = true) ?(fallback = []) store txns =
+  let read_ops = ref 0 and write_ops = ref 0 in
+  let counters = (read_ops, write_ops) in
+  let records = List.mapi (fun pos txn -> run_one store pos txn counters) txns in
+  let write_res = reserve records (fun r -> r.write_buf |> fun wb ->
+      (* view the write buffer as a key set *)
+      let keys = Hashtbl.create (Hashtbl.length wb) in
+      Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) wb;
+      keys)
+  in
+  let read_res = reserve records (fun r -> r.read_set) in
+  let committed = ref [] and conflicted = ref [] and logic = ref [] in
+  List.iter
+    (fun r ->
+      if r.logic_abort then logic := r.txn :: !logic
+      else begin
+        let write_keys = Hashtbl.create (Hashtbl.length r.write_buf) in
+        Hashtbl.iter (fun k _ -> Hashtbl.replace write_keys k ()) r.write_buf;
+        let waw = conflicts_with write_res write_keys ~pos:r.pos in
+        let raw = conflicts_with write_res r.read_set ~pos:r.pos in
+        let war = conflicts_with read_res write_keys ~pos:r.pos in
+        let abort = if reorder then waw || (raw && war) else waw || raw in
+        if abort then conflicted := r.txn :: !conflicted
+        else begin
+          committed := r.txn :: !committed;
+          Hashtbl.iter (fun k v -> Kvstore.put store k v) r.write_buf
+        end
+      end)
+    records;
+  run_fallback store fallback committed logic counters;
+  {
+    committed = List.rev !committed;
+    conflicted = List.rev !conflicted;
+    logic_aborted = List.rev !logic;
+    reads = !read_ops;
+    writes = !write_ops;
+  }
+
+let commit_rate o =
+  let c = List.length o.committed and a = List.length o.conflicted in
+  if c + a = 0 then 1.0 else float_of_int c /. float_of_int (c + a)

@@ -1,0 +1,45 @@
+(** Aria deterministic concurrency control (Lu et al., VLDB 2020) — the
+    execution engine the paper uses so that every node, given the same
+    ordered stream of entries, computes the identical database state
+    with no coordination.
+
+    A batch executes in two phases: every transaction first runs against
+    the same snapshot (reads see the pre-batch store plus the
+    transaction's own writes), then reservations decide commits
+    deterministically from batch positions alone:
+
+    - standard rule: abort T iff raw(T) or waw(T);
+    - with deterministic reordering ([`reorder`]): abort T iff waw(T) or
+      (raw(T) and war(T)) — transactions with only one conflict
+      direction are serialized logically instead of aborted.
+
+    Conflict-aborted transactions are returned for re-execution in a
+    later batch (the engine prepends them to the next entry). Logic
+    aborts (e.g. TPC-C's 1 % invalid-item rollback, SmallBank overdraft
+    refusals) are final. *)
+
+module Txn = Massbft_workload.Txn
+
+type outcome = {
+  committed : Txn.t list;  (** in batch order *)
+  conflicted : Txn.t list;  (** deterministically aborted; retry later *)
+  logic_aborted : Txn.t list;  (** rolled back by their own logic *)
+  reads : int;  (** total read operations executed *)
+  writes : int;  (** total write operations executed *)
+}
+
+val execute_batch :
+  ?reorder:bool -> ?fallback:Txn.t list -> Kvstore.t -> Txn.t list -> outcome
+(** Runs one batch to completion and applies the committed writes to the
+    store. Deterministic: same store state + same batch (same order)
+    gives the same outcome and post-state, regardless of platform.
+
+    [fallback] carries transactions that already conflicted in an
+    earlier batch: per Aria's deterministic fallback they execute
+    serially, in list order, after the parallel phase — each sees the
+    preceding ones' writes — and always commit (unless their own logic
+    aborts). This bounds retries to one round and prevents hot-key
+    livelock. *)
+
+val commit_rate : outcome -> float
+(** committed / (committed + conflicted), 1.0 for empty batches. *)

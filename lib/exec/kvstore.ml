@@ -1,0 +1,31 @@
+type t = { data : (string, string) Hashtbl.t; init : string -> string option }
+
+let create ?(init = fun _ -> None) () = { data = Hashtbl.create 1024; init }
+
+let get t key =
+  match Hashtbl.find_opt t.data key with
+  | Some v -> Some v
+  | None -> (
+      match t.init key with
+      | Some v ->
+          (* Fault the default in so later fingerprints see it. *)
+          Hashtbl.replace t.data key v;
+          Some v
+      | None -> None)
+
+let put t key value = Hashtbl.replace t.data key value
+let size t = Hashtbl.length t.data
+
+let fingerprint t =
+  (* XOR of per-binding hashes: order-insensitive and incremental enough
+     for test-sized stores. *)
+  let acc = Bytes.make 32 '\x00' in
+  Hashtbl.iter
+    (fun k v ->
+      let h = Massbft_crypto.Sha256.digest (k ^ "\x00" ^ v) in
+      for i = 0 to 31 do
+        Bytes.set acc i
+          (Char.chr (Char.code (Bytes.get acc i) lxor Char.code h.[i]))
+      done)
+    t.data;
+  Massbft_crypto.Sha256.digest_bytes acc

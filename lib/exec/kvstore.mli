@@ -1,0 +1,24 @@
+(** The in-memory database state: a hash table with lazy default
+    materialization. The paper stores states in in-memory hash tables;
+    here cold rows (e.g. SmallBank's million initial balances) are
+    produced on first touch by an initializer instead of being
+    physically preloaded, which preserves execution semantics while
+    keeping simulations light (see DESIGN.md substitutions). *)
+
+type t
+
+val create : ?init:(string -> string option) -> unit -> t
+(** [init key] supplies the initial value of a never-written key; [None]
+    means absent. *)
+
+val get : t -> string -> string option
+val put : t -> string -> string -> unit
+
+val size : t -> int
+(** Number of materialized keys (written or faulted-in). *)
+
+val fingerprint : t -> string
+(** An order-insensitive digest of the materialized contents — equal
+    fingerprints mean equal states. Used by tests to check that all
+    nodes converge to identical databases (the paper's agreement
+    property, observed at the state level). *)

@@ -1,0 +1,41 @@
+(** The hash-chained ledger: each group produces a subchain of blocks,
+    and the consensus layer merges them into a single globally ordered
+    chain (paper §VI, Implementation). Blocks carry metadata and a
+    payload digest; chaining uses SHA-256. *)
+
+type block = {
+  height : int;  (** position in this chain, from 0 *)
+  gid : int;  (** proposing group *)
+  seq : int;  (** the entry's local sequence number in its group *)
+  txn_count : int;
+  payload_digest : string;  (** digest of the entry's batch *)
+  prev_hash : string;
+  block_hash : string;
+}
+
+type t
+
+val create : unit -> t
+
+val genesis_hash : string
+
+val append : t -> gid:int -> seq:int -> txn_count:int -> payload_digest:string -> block
+(** Extends the chain; the block hash covers every field including
+    [prev_hash]. *)
+
+val height : t -> int
+(** Number of blocks appended. *)
+
+val head_hash : t -> string
+(** [genesis_hash] when empty. *)
+
+val blocks : t -> block list
+(** Oldest first. *)
+
+val verify : t -> bool
+(** Recomputes every hash and link; [false] if any block was tampered
+    with. *)
+
+val equal_prefix : t -> t -> int
+(** Length of the common prefix of two chains — used by tests to show
+    all nodes build the same global ledger. *)

@@ -1,0 +1,70 @@
+(** One reproduction per table and figure of the paper's evaluation
+    (§VI), as enumerated in DESIGN.md's experiment index. Each function
+    runs the experiment on the simulated substrate and returns a
+    printable figure: labeled rows of named values, with the paper's
+    reported value attached where the paper states one (figures that are
+    only plots carry qualitative expectations instead).
+
+    [quick] shortens the warm-up/measurement windows (used by tests);
+    the default windows match EXPERIMENTS.md. *)
+
+type cell = { name : string; value : float; paper : float option }
+
+type row = { label : string; cells : cell list }
+
+type figure = {
+  id : string;
+  title : string;
+  expectation : string;
+      (** the qualitative shape the paper reports and this run should
+          show *)
+  rows : row list;
+}
+
+val fig1b : ?quick:bool -> unit -> figure
+(** GeoBFT throughput collapse as group size grows (motivation). *)
+
+val fig8 : ?quick:bool -> unit -> figure
+(** Nationwide cluster: throughput + latency, 5 systems x 4 workloads. *)
+
+val fig9 : ?quick:bool -> unit -> figure
+(** Worldwide cluster: same matrix. *)
+
+val fig10 : ?quick:bool -> unit -> figure
+(** WAN traffic for replicating one entry, MassBFT vs Baseline, by
+    batch size. *)
+
+val fig11 : ?quick:bool -> unit -> figure
+(** MassBFT latency breakdown (batching, local consensus, coding,
+    global replication, ordering, execution). *)
+
+val fig12 : ?quick:bool -> unit -> figure
+(** Heterogeneous group sizes (4/7/7): Baseline vs BR vs EBR vs MassBFT
+    per-group throughput and latency. *)
+
+val fig13a : ?quick:bool -> unit -> figure
+(** Scaling nodes per group, MassBFT vs Baseline. *)
+
+val fig13b : ?quick:bool -> unit -> figure
+(** Scaling the number of groups 3..7, MassBFT vs Baseline. *)
+
+val fig14 : ?quick:bool -> unit -> figure
+(** Mixed node bandwidths: 0..7 slow nodes per group. *)
+
+val fig15 : ?quick:bool -> unit -> figure
+(** Fault-tolerance time series: Byzantine tampering, then a group
+    crash with takeover. *)
+
+val ablations : ?quick:bool -> unit -> figure
+(** Ablations of the design choices DESIGN.md calls out: overlapped vs
+    serial VTS assignment (Fig. 7a/7b) and Aria's deterministic
+    reordering. *)
+
+val tables : unit -> figure
+(** Tables I and II: the qualitative feature matrix, printed for
+    completeness. *)
+
+val all : (string * string * (?quick:bool -> unit -> figure)) list
+(** (id, one-line description, runner) for every figure above. *)
+
+val pp_figure : Format.formatter -> figure -> unit

@@ -1,0 +1,82 @@
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Engine = Massbft.Engine
+module Config = Massbft.Config
+module Metrics = Massbft.Metrics
+module Stats = Massbft_util.Stats
+
+type result = {
+  system : Config.system;
+  workload : Massbft_workload.Workload.kind;
+  throughput_ktps : float;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  commit_ratio : float;
+  entries_executed : int;
+  wan_mb : float;
+  lan_mb : float;
+  wan_mb_per_entry : float;
+  rate_series : (float * float) list;
+  latency_series : (float * float) list;
+  phases_ms : (string * float) list;
+  per_group_ktps : float list;
+}
+
+let run ?(duration = 12.0) ?(warmup = 4.0) ?on_engine ~spec ~cfg () =
+  (* Sequential experiment sweeps allocate a full cluster per run;
+     compact between them so long figure suites stay within memory. *)
+  Gc.compact ();
+  let sim = Sim.create () in
+  let topo = Topology.create sim spec in
+  let engine = Engine.create sim topo cfg in
+  Engine.start engine;
+  Engine.set_measure_from engine warmup;
+  (match on_engine with Some f -> f engine sim topo | None -> ());
+  ignore (Sim.at sim warmup (fun () -> Topology.reset_traffic_baseline topo));
+  Sim.run sim ~until:(warmup +. duration);
+  let m = Engine.metrics engine in
+  let entries = Stats.Counter.get m.Metrics.entries_executed in
+  let wan_mb = float_of_int (Engine.wan_bytes engine) /. 1e6 in
+  {
+    system = cfg.Config.system;
+    workload = cfg.Config.workload;
+    throughput_ktps = Metrics.throughput_tps m ~duration /. 1000.0;
+    mean_latency_ms = Metrics.mean_latency_ms m;
+    p99_latency_ms = Metrics.p99_latency_ms m;
+    commit_ratio = Metrics.commit_ratio m;
+    entries_executed = entries;
+    wan_mb;
+    lan_mb = float_of_int (Engine.lan_bytes engine) /. 1e6;
+    wan_mb_per_entry = (if entries = 0 then 0.0 else wan_mb /. float_of_int entries);
+    rate_series = Stats.Timeseries.rate_series m.Metrics.txn_rate;
+    per_group_ktps =
+      List.init (Topology.n_groups topo) (fun g ->
+          float_of_int (Metrics.group_committed m g) /. duration /. 1000.0);
+    latency_series = Stats.Timeseries.mean_series m.Metrics.latency_ts;
+    phases_ms =
+      [
+        ("batching", 1000.0 *. Stats.Summary.mean m.Metrics.phase_batch_s);
+        ("local_consensus", 1000.0 *. Stats.Summary.mean m.Metrics.phase_local_s);
+        ("coding", 1000.0 *. Stats.Summary.mean m.Metrics.phase_coding_s);
+        ("global_replication", 1000.0 *. Stats.Summary.mean m.Metrics.phase_global_s);
+        ("ordering", 1000.0 *. Stats.Summary.mean m.Metrics.phase_order_s);
+        ("execution", 1000.0 *. Stats.Summary.mean m.Metrics.phase_exec_s);
+      ];
+  }
+
+(* A light-load run for latency reporting: small batches and a shallow
+   pipeline, approximating the near-unloaded operating points at which
+   the paper reports its latencies (e.g. GeoBFT's 68 ms is essentially
+   the bare pipeline latency). Throughput numbers always come from a
+   saturated [run]. *)
+let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?on_engine ~spec ~cfg () =
+  let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
+  run ~duration ~warmup ?on_engine ~spec ~cfg:probe_cfg ()
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-9s %-9s  %8.2f ktps  lat %7.1f ms (p99 %7.1f)  commit %.3f  wan %8.2f MB  entries %d"
+    (Config.system_name r.system)
+    (Massbft_workload.Workload.kind_name r.workload)
+    r.throughput_ktps r.mean_latency_ms r.p99_latency_ms r.commit_ratio r.wan_mb
+    r.entries_executed

@@ -1,0 +1,47 @@
+(** One-experiment runner: builds a simulator + topology + engine from a
+    config, runs warm-up and measurement windows, and extracts the
+    numbers the figures report. *)
+
+type result = {
+  system : Massbft.Config.system;
+  workload : Massbft_workload.Workload.kind;
+  throughput_ktps : float;  (** committed transactions per second / 1000 *)
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  commit_ratio : float;  (** Aria committed / (committed + conflicted) *)
+  entries_executed : int;
+  wan_mb : float;  (** during the measurement window *)
+  lan_mb : float;
+  wan_mb_per_entry : float;
+  rate_series : (float * float) list;  (** (second, committed tps) *)
+  latency_series : (float * float) list;  (** (second, mean latency s) *)
+  phases_ms : (string * float) list;  (** Figure 11 breakdown *)
+  per_group_ktps : float list;  (** throughput split by proposing group *)
+}
+
+val run :
+  ?duration:float ->
+  ?warmup:float ->
+  ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
+  spec:Massbft_sim.Topology.spec ->
+  cfg:Massbft.Config.t ->
+  unit ->
+  result
+(** Defaults: 4 s warm-up, 12 s measurement. [on_engine] runs after
+    [Engine.start] and before the clock moves — the hook for experiment-
+    specific setup (bandwidth degradation, recovery schedules...). *)
+
+val run_latency_probe :
+  ?duration:float ->
+  ?warmup:float ->
+  ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
+  spec:Massbft_sim.Topology.spec ->
+  cfg:Massbft.Config.t ->
+  unit ->
+  result
+(** Same cluster and system, but small batches (40 txns) and a shallow
+    pipeline: the near-unloaded operating point whose mean latency
+    corresponds to the latencies the paper reports next to peak
+    throughput. *)
+
+val pp_result : Format.formatter -> result -> unit

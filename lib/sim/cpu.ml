@@ -1,0 +1,34 @@
+type t = {
+  sim : Sim.t;
+  cores : float array; (* per-core next-free time *)
+  mutable busy : float;
+}
+
+let create sim ~cores =
+  if cores < 1 then invalid_arg "Cpu.create: need at least one core";
+  { sim; cores = Array.make cores 0.0; busy = 0.0 }
+
+let earliest_core t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.cores - 1 do
+    if t.cores.(i) < t.cores.(!best) then best := i
+  done;
+  !best
+
+let submit t ~seconds k =
+  if seconds < 0.0 then invalid_arg "Cpu.submit: negative duration";
+  let core = earliest_core t in
+  let start = Float.max (Sim.now t.sim) t.cores.(core) in
+  let finish = start +. seconds in
+  t.cores.(core) <- finish;
+  t.busy <- t.busy +. seconds;
+  ignore (Sim.at t.sim finish k)
+
+let utilization t ~since =
+  let elapsed = Sim.now t.sim -. since in
+  if elapsed <= 0.0 then 0.0
+  else
+    let capacity = elapsed *. float_of_int (Array.length t.cores) in
+    Float.min 1.0 (t.busy /. capacity)
+
+let busy_seconds t = t.busy

@@ -1,0 +1,22 @@
+(** A multi-core CPU model: [cores] parallel servers fed from a FIFO
+    queue. Transaction signature verification during local PBFT
+    consensus is the dominant CPU cost in the paper (it caps MassBFT's
+    scaling beyond 16 nodes per group, Figure 13a, and throttles TPC-C,
+    Figure 8d), so compute time must be a first-class simulated
+    resource, not free. *)
+
+type t
+
+val create : Sim.t -> cores:int -> t
+
+val submit : t -> seconds:float -> (unit -> unit) -> unit
+(** [submit t ~seconds k] enqueues a task needing [seconds] of
+    single-core compute; [k] runs at its completion. Tasks start in FIFO
+    order on the earliest-free core. *)
+
+val utilization : t -> since:float -> float
+(** Fraction of core-time busy since virtual time [since] (diagnostic;
+    in [0, 1] once the window is non-empty). *)
+
+val busy_seconds : t -> float
+(** Total core-seconds of work accepted so far. *)

@@ -1,0 +1,31 @@
+type t = {
+  sim : Sim.t;
+  mutable bandwidth_bps : float;
+  mutable busy_until : float;  (* bulk-class queue *)
+  mutable ctrl_busy_until : float;  (* control-class queue *)
+  mutable bytes_sent : int;
+}
+
+let create sim ~bandwidth_bps =
+  if bandwidth_bps <= 0.0 then
+    invalid_arg "Nic.create: bandwidth must be positive";
+  { sim; bandwidth_bps; busy_until = 0.0; ctrl_busy_until = 0.0; bytes_sent = 0 }
+
+let bandwidth t = t.bandwidth_bps
+
+let set_bandwidth t bps =
+  if bps <= 0.0 then invalid_arg "Nic.set_bandwidth: bandwidth must be positive";
+  t.bandwidth_bps <- bps
+
+let transmit ?(bulk = false) t ~bytes k =
+  if bytes < 0 then invalid_arg "Nic.transmit: negative size";
+  let queue_head = if bulk then t.busy_until else t.ctrl_busy_until in
+  let start = Float.max (Sim.now t.sim) queue_head in
+  let duration = float_of_int bytes *. 8.0 /. t.bandwidth_bps in
+  let finish = start +. duration in
+  if bulk then t.busy_until <- finish else t.ctrl_busy_until <- finish;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  ignore (Sim.at t.sim finish k)
+
+let busy_until t = t.busy_until
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,38 @@
+(** A network-interface serializer: a FIFO queue draining at a fixed bit
+    rate. Each simulated node owns four of these (WAN up/down, LAN
+    up/down); the WAN uplink at 20 Mbps is precisely the resource whose
+    exhaustion produces the paper's leader bottleneck (Figures 1b and
+    13a). *)
+
+type t
+
+val create : Sim.t -> bandwidth_bps:float -> t
+(** [create sim ~bandwidth_bps] is an idle NIC. Bandwidth must be
+    positive. *)
+
+val bandwidth : t -> float
+
+val set_bandwidth : t -> float -> unit
+(** Takes effect for subsequently enqueued transmissions (Figure 14's
+    mid-experiment bandwidth mix is configured before the run). *)
+
+val transmit : ?bulk:bool -> t -> bytes:int -> (unit -> unit) -> unit
+(** [transmit t ~bytes k] enqueues a [bytes]-sized frame; [k] runs when
+    the last bit has left the interface. Frames drain in FIFO order at
+    the configured rate within their class.
+
+    [bulk] (default [false]) selects the service class. Control frames
+    (votes, acks, consensus metadata) and bulk frames (entry chunks and
+    copies) model separate TCP streams: a small control frame is never
+    stuck behind a deep bulk queue, which is how real deployments behave
+    and what keeps consensus live when a slow group's link saturates.
+    Bulk capacity is unaffected in practice because control traffic is a
+    negligible byte fraction. *)
+
+val busy_until : t -> float
+(** The virtual time at which the queue drains; [now] or earlier when
+    idle. *)
+
+val bytes_sent : t -> int
+(** Cumulative bytes accepted by this NIC, for traffic accounting
+    (Figure 10). *)

@@ -1,0 +1,70 @@
+module Heap = Massbft_util.Heap
+
+type timer = { mutable cancelled : bool; mutable fired : bool }
+
+type event = { time : float; seq : int; handle : timer; fn : unit -> unit }
+
+type t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { clock = 0.0; next_seq = 0; queue = Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: scheduling in the past (%.9f < %.9f)" time
+         t.clock);
+  let handle = { cancelled = false; fired = false } in
+  Heap.push t.queue { time; seq = t.next_seq; handle; fn };
+  t.next_seq <- t.next_seq + 1;
+  handle
+
+let after t delay fn =
+  if delay < 0.0 then invalid_arg "Sim.after: negative delay";
+  at t (t.clock +. delay) fn
+
+let cancel handle = handle.cancelled <- true
+
+let pending t =
+  List.length
+    (List.filter
+       (fun e -> not e.handle.cancelled)
+       (Heap.to_sorted_list t.queue))
+
+let fire t e =
+  t.clock <- e.time;
+  if not e.handle.cancelled then begin
+    e.handle.fired <- true;
+    e.fn ()
+  end
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some e ->
+      fire t e;
+      true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some e when e.time <= until ->
+        ignore (Heap.pop t.queue);
+        fire t e
+    | _ -> continue := false
+  done;
+  if t.clock < until then t.clock <- until
+
+let run_until_idle t ?(limit = 100_000_000) () =
+  let count = ref 0 in
+  while step t do
+    incr count;
+    if !count > limit then
+      failwith "Sim.run_until_idle: event limit exceeded (runaway simulation?)"
+  done

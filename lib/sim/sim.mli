@@ -1,0 +1,42 @@
+(** The discrete-event simulation core.
+
+    All protocol, network and CPU activity in this repository runs on
+    virtual time driven by this event loop. Events at equal timestamps
+    fire in insertion order, making every run bit-for-bit reproducible
+    from its RNG seeds — which the test suite exploits to assert
+    protocol-level invariants over thousands of schedules. *)
+
+type t
+
+type timer
+(** A cancellable handle for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val at : t -> float -> (unit -> unit) -> timer
+(** [at t time f] schedules [f] to run at absolute virtual [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val after : t -> float -> (unit -> unit) -> timer
+(** [after t delay f] schedules [f] in [delay >= 0] seconds. *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or cancelled timer is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)
+
+val run : t -> until:float -> unit
+(** Executes events in timestamp order until the queue is empty or the
+    next event is beyond [until]; then advances the clock to [until]. *)
+
+val run_until_idle : t -> ?limit:int -> unit -> unit
+(** Executes events until none remain. [limit] (default 100 million)
+    bounds the number of events as a runaway guard; exceeding it raises
+    [Failure]. *)
+
+val step : t -> bool
+(** Executes the single next event; [false] when the queue is empty. *)

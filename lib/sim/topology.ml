@@ -1,0 +1,133 @@
+type addr = { g : int; n : int }
+
+let addr_to_string a = Printf.sprintf "g%d/n%d" a.g a.n
+let addr_equal a b = a.g = b.g && a.n = b.n
+
+type spec = {
+  group_sizes : int array;
+  wan_bps : float;
+  lan_bps : float;
+  rtt : int -> int -> float;
+  lan_rtt : float;
+  cores : int;
+}
+
+type node_state = {
+  wan_up : Nic.t;
+  wan_down : Nic.t;
+  lan_up : Nic.t;
+  lan_down : Nic.t;
+  cpu : Cpu.t;
+  mutable up : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  spec : spec;
+  nodes : node_state array array;
+  mutable wan_baseline : int;
+  mutable lan_baseline : int;
+}
+
+let create sim spec =
+  if Array.length spec.group_sizes = 0 then
+    invalid_arg "Topology.create: need at least one group";
+  Array.iter
+    (fun s ->
+      if s < 1 then invalid_arg "Topology.create: empty group")
+    spec.group_sizes;
+  if spec.lan_rtt < 0.0 then invalid_arg "Topology.create: negative lan_rtt";
+  let mk_node () =
+    {
+      wan_up = Nic.create sim ~bandwidth_bps:spec.wan_bps;
+      wan_down = Nic.create sim ~bandwidth_bps:spec.wan_bps;
+      lan_up = Nic.create sim ~bandwidth_bps:spec.lan_bps;
+      lan_down = Nic.create sim ~bandwidth_bps:spec.lan_bps;
+      cpu = Cpu.create sim ~cores:spec.cores;
+      up = true;
+    }
+  in
+  let nodes =
+    Array.map (fun size -> Array.init size (fun _ -> mk_node ())) spec.group_sizes
+  in
+  { sim; spec; nodes; wan_baseline = 0; lan_baseline = 0 }
+
+let sim t = t.sim
+let n_groups t = Array.length t.nodes
+
+let group_size t g =
+  if g < 0 || g >= n_groups t then invalid_arg "Topology.group_size: bad group";
+  Array.length t.nodes.(g)
+
+let valid_addr t a =
+  a.g >= 0 && a.g < n_groups t && a.n >= 0 && a.n < Array.length t.nodes.(a.g)
+
+let state t a =
+  if not (valid_addr t a) then
+    invalid_arg (Printf.sprintf "Topology: invalid address %s" (addr_to_string a));
+  t.nodes.(a.g).(a.n)
+
+let group_nodes t g =
+  List.init (group_size t g) (fun n -> { g; n })
+
+let nodes t =
+  List.concat (List.init (n_groups t) (fun g -> group_nodes t g))
+
+let alive t a = (state t a).up
+let crash t a = (state t a).up <- false
+let recover t a = (state t a).up <- true
+let crash_group t g = List.iter (crash t) (group_nodes t g)
+let recover_group t g = List.iter (recover t) (group_nodes t g)
+let cpu t a = (state t a).cpu
+let cores t = t.spec.cores
+
+let set_wan_bandwidth t a bps =
+  let s = state t a in
+  Nic.set_bandwidth s.wan_up bps;
+  Nic.set_bandwidth s.wan_down bps
+
+(* Local processing latency for a loopback delivery: one event-loop hop,
+   effectively immediate but strictly causal. *)
+let loopback_latency = 1e-6
+
+let send ?(bulk = false) t ~src ~dst ~bytes k =
+  let src_state = state t src and dst_state = state t dst in
+  if bytes < 0 then invalid_arg "Topology.send: negative size";
+  if not src_state.up then ()
+  else if addr_equal src dst then
+    ignore
+      (Sim.after t.sim loopback_latency (fun () -> if dst_state.up then k ()))
+  else begin
+    let up, down, one_way =
+      if src.g = dst.g then
+        (src_state.lan_up, dst_state.lan_down, t.spec.lan_rtt /. 2.0)
+      else begin
+        let rtt = t.spec.rtt src.g dst.g in
+        if rtt < 0.0 then invalid_arg "Topology.send: negative WAN rtt";
+        (src_state.wan_up, dst_state.wan_down, rtt /. 2.0)
+      end
+    in
+    (* Store-and-forward: uplink serialization, propagation, downlink
+       serialization, then delivery (if the receiver is still up). *)
+    Nic.transmit ~bulk up ~bytes (fun () ->
+        ignore
+          (Sim.after t.sim one_way (fun () ->
+               Nic.transmit ~bulk down ~bytes (fun () ->
+                   if dst_state.up then k ()))))
+  end
+
+let sum_over t f =
+  Array.fold_left
+    (fun acc group -> Array.fold_left (fun acc n -> acc + f n) acc group)
+    0 t.nodes
+
+let wan_bytes_sent t = sum_over t (fun n -> Nic.bytes_sent n.wan_up) - t.wan_baseline
+let wan_bytes_sent_of t a = Nic.bytes_sent (state t a).wan_up
+let lan_bytes_sent t = sum_over t (fun n -> Nic.bytes_sent n.lan_up) - t.lan_baseline
+
+let wan_uplink_backlog_s t a =
+  Float.max 0.0 (Nic.busy_until (state t a).wan_up -. Sim.now t.sim)
+
+let reset_traffic_baseline t =
+  t.wan_baseline <- sum_over t (fun n -> Nic.bytes_sent n.wan_up);
+  t.lan_baseline <- sum_over t (fun n -> Nic.bytes_sent n.lan_up)

@@ -1,0 +1,77 @@
+(** The geo-distributed cluster fabric (paper §III-A): groups of nodes,
+    one per data center, with fast LAN inside a group and per-node
+    bandwidth-limited WAN between groups.
+
+    [send] is the single transport primitive used by every protocol in
+    this repository. A message crossing groups serializes through the
+    sender's WAN uplink, propagates for half the inter-group RTT, then
+    serializes through the receiver's WAN downlink; intra-group messages
+    use the LAN interfaces. Crashed endpoints silently drop traffic
+    (Byzantine behaviours are modeled in the protocol layer — equivocation
+    and tampering are content decisions, not transport ones). *)
+
+type addr = { g : int; n : int }
+(** Node [n] of group [g]; both zero-based. [N_{i,j}] in the paper is
+    [{ g = i; n = j }]. *)
+
+val addr_to_string : addr -> string
+val addr_equal : addr -> addr -> bool
+
+type spec = {
+  group_sizes : int array;  (** nodes per group; length = number of groups *)
+  wan_bps : float;  (** default per-node WAN bandwidth, bits/s *)
+  lan_bps : float;  (** per-node LAN bandwidth, bits/s *)
+  rtt : int -> int -> float;
+      (** [rtt g1 g2] in seconds, for [g1 <> g2]; must be symmetric *)
+  lan_rtt : float;  (** intra-group round-trip, seconds *)
+  cores : int;  (** CPU cores per node *)
+}
+
+type t
+
+val create : Sim.t -> spec -> t
+val sim : t -> Sim.t
+val n_groups : t -> int
+val group_size : t -> int -> int
+val nodes : t -> addr list
+val group_nodes : t -> int -> addr list
+
+val valid_addr : t -> addr -> bool
+
+val send :
+  ?bulk:bool -> t -> src:addr -> dst:addr -> bytes:int -> (unit -> unit) -> unit
+(** [send t ~src ~dst ~bytes k] moves a [bytes]-sized message and runs
+    [k] on delivery. The message is dropped (and [k] never runs) if
+    [src] is crashed now or [dst] is crashed at delivery time. Sending
+    to self delivers after the local processing latency with no NIC
+    cost. [bulk] selects the NIC service class (see {!Nic.transmit}):
+    entry payloads are bulk, consensus control traffic is not. *)
+
+val crash : t -> addr -> unit
+val recover : t -> addr -> unit
+val crash_group : t -> int -> unit
+val recover_group : t -> int -> unit
+val alive : t -> addr -> bool
+
+val cpu : t -> addr -> Cpu.t
+(** The node's compute queue, for the protocol's cost model. *)
+
+val cores : t -> int
+(** CPU cores per node (uniform across the cluster). *)
+
+val set_wan_bandwidth : t -> addr -> float -> unit
+(** Reconfigures one node's WAN up and down links (Figure 14). *)
+
+val wan_bytes_sent : t -> int
+(** Total bytes accepted by all WAN uplinks since creation. *)
+
+val wan_bytes_sent_of : t -> addr -> int
+val lan_bytes_sent : t -> int
+
+val reset_traffic_baseline : t -> unit
+(** Zeroes the traffic counters' logical origin so a measurement window
+    can exclude warm-up traffic. *)
+
+val wan_uplink_backlog_s : t -> addr -> float
+(** Seconds of queued transmission on the node's WAN uplink (0 when
+    idle) — the congestion diagnostic. *)

@@ -1,0 +1,27 @@
+(** A mutable binary min-heap. The simulator's event queue sits on this,
+    so operations are allocation-light and amortized O(log n). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** The minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively lists the contents in ascending order; O(n log n),
+    intended for tests and debugging. *)

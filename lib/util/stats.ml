@@ -1,0 +1,130 @@
+module Summary = struct
+  type t = {
+    mutable samples : float array;
+    mutable size : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable lo : float;
+    mutable hi : float;
+    mutable sorted : bool;
+  }
+
+  let create () =
+    {
+      samples = [||];
+      size = 0;
+      sum = 0.0;
+      sumsq = 0.0;
+      lo = infinity;
+      hi = neg_infinity;
+      sorted = true;
+    }
+
+  let add t x =
+    let cap = Array.length t.samples in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then 64 else cap * 2 in
+      let ndata = Array.make ncap 0.0 in
+      Array.blit t.samples 0 ndata 0 t.size;
+      t.samples <- ndata
+    end;
+    t.samples.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sum <- t.sum +. x;
+    t.sumsq <- t.sumsq +. (x *. x);
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x;
+    t.sorted <- false
+
+  let count t = t.size
+  let mean t = if t.size = 0 then 0.0 else t.sum /. float_of_int t.size
+  let min t = if t.size = 0 then 0.0 else t.lo
+  let max t = if t.size = 0 then 0.0 else t.hi
+
+  let stddev t =
+    if t.size < 2 then 0.0
+    else
+      let n = float_of_int t.size in
+      let var = (t.sumsq /. n) -. ((t.sum /. n) ** 2.0) in
+      if var < 0.0 then 0.0 else sqrt var
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.samples 0 t.size in
+      Array.sort compare live;
+      Array.blit live 0 t.samples 0 t.size;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.size = 0 then 0.0
+    else begin
+      if p < 0.0 || p > 100.0 then
+        invalid_arg "Stats.Summary.percentile: p outside [0, 100]";
+      ensure_sorted t;
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) - 1
+      in
+      let rank = Stdlib.max 0 (Stdlib.min (t.size - 1) rank) in
+      t.samples.(rank)
+    end
+
+  let clear t =
+    t.samples <- [||];
+    t.size <- 0;
+    t.sum <- 0.0;
+    t.sumsq <- 0.0;
+    t.lo <- infinity;
+    t.hi <- neg_infinity;
+    t.sorted <- true
+end
+
+module Timeseries = struct
+  type t = {
+    bucket : float;
+    sums : (int, float) Hashtbl.t;
+    counts : (int, int) Hashtbl.t;
+  }
+
+  let create ~bucket =
+    if bucket <= 0.0 then
+      invalid_arg "Stats.Timeseries.create: bucket must be positive";
+    { bucket; sums = Hashtbl.create 64; counts = Hashtbl.create 64 }
+
+  let add t ~time v =
+    let idx = int_of_float (floor (time /. t.bucket)) in
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.sums idx) in
+    Hashtbl.replace t.sums idx (prev +. v);
+    let prevc = Option.value ~default:0 (Hashtbl.find_opt t.counts idx) in
+    Hashtbl.replace t.counts idx (prevc + 1)
+
+  let buckets t =
+    Hashtbl.fold (fun idx _ acc -> idx :: acc) t.sums []
+    |> List.sort compare
+
+  let rate_series t =
+    buckets t
+    |> List.map (fun idx ->
+           let sum = Hashtbl.find t.sums idx in
+           (float_of_int idx *. t.bucket, sum /. t.bucket))
+
+  let mean_series t =
+    buckets t
+    |> List.map (fun idx ->
+           let sum = Hashtbl.find t.sums idx in
+           let n = Hashtbl.find t.counts idx in
+           (float_of_int idx *. t.bucket, sum /. float_of_int n))
+end
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+
+  let add t n =
+    if n < 0 then invalid_arg "Stats.Counter.add: negative increment";
+    t.v <- t.v + n
+
+  let get t = t.v
+  let reset t = t.v <- 0
+end

@@ -1,0 +1,23 @@
+(** Zipfian key-popularity generator, matching the YCSB reference
+    implementation (Gray et al., "Quickly generating billion-record
+    synthetic databases"). The paper's YCSB runs use a skew factor of
+    0.99 over 1,000,000 rows. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a generator over item ids [0, n) with
+    skew [theta] (0 gives uniform-like behaviour; YCSB default 0.99).
+    Raises [Invalid_argument] if [n <= 0] or [theta < 0. || theta >= 1.]. *)
+
+val next : t -> Rng.t -> int
+(** [next t rng] draws an item id in [0, n); id 0 is the most popular. *)
+
+val scrambled : t -> Rng.t -> hash_seed:int64 -> int
+(** [scrambled t rng ~hash_seed] draws a Zipf rank and scatters it over
+    the key space with a multiplicative hash, as YCSB's scrambled
+    Zipfian does, so hot keys are spread rather than clustered at the
+    low ids. The result is still in [0, n). *)
+
+val n : t -> int
+(** The size of the item space. *)

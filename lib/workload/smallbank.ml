@@ -1,0 +1,103 @@
+module Rng = Massbft_util.Rng
+
+type config = {
+  accounts : int;
+  initial_balance : int;
+  hotspot_fraction : float;
+}
+
+let default =
+  { accounts = 1_000_000; initial_balance = 10_000; hotspot_fraction = 0.0 }
+
+type t = { cfg : config; rng : Rng.t; mutable next_id : int }
+
+let create cfg ~seed =
+  if cfg.accounts < 2 then invalid_arg "Smallbank.create: need >= 2 accounts";
+  { cfg; rng = Rng.create seed; next_id = 0 }
+
+let checking_key a = Printf.sprintf "sb/c/%d" a
+let savings_key a = Printf.sprintf "sb/s/%d" a
+
+let preload cfg key =
+  let prefix_c = "sb/c/" and prefix_s = "sb/s/" in
+  if
+    String.length key > 5
+    && (String.sub key 0 5 = prefix_c || String.sub key 0 5 = prefix_s)
+  then Some (Txn.of_int cfg.initial_balance)
+  else None
+
+let pick_account t =
+  if
+    t.cfg.hotspot_fraction > 0.0
+    && Rng.float t.rng 1.0 < t.cfg.hotspot_fraction
+  then Rng.int t.rng (min 100 t.cfg.accounts)
+  else Rng.int t.rng t.cfg.accounts
+
+let pick_two t =
+  let a = pick_account t in
+  let rec other () =
+    let b = pick_account t in
+    if b = a then other () else b
+  in
+  (a, other ())
+
+let wire = 108
+
+let read_int ctx k = Txn.int_value (Option.value ~default:"0" (ctx.Txn.read k))
+
+let next t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match Rng.int t.rng 6 with
+  | 0 ->
+      (* Balance: read both rows of one account. *)
+      let a = pick_account t in
+      Txn.make ~id ~label:"sb.balance" ~wire_size:wire (fun ctx ->
+          ignore (read_int ctx (checking_key a));
+          ignore (read_int ctx (savings_key a)))
+  | 1 ->
+      (* DepositChecking: checking += v. *)
+      let a = pick_account t and v = 1 + Rng.int t.rng 100 in
+      Txn.make ~id ~label:"sb.deposit" ~wire_size:wire (fun ctx ->
+          let c = read_int ctx (checking_key a) in
+          ctx.Txn.write (checking_key a) (Txn.of_int (c + v)))
+  | 2 ->
+      (* TransactSavings: savings += v, aborting on overdraft. *)
+      let a = pick_account t and v = Rng.int t.rng 200 - 100 in
+      Txn.make ~id ~label:"sb.transact" ~wire_size:wire (fun ctx ->
+          let s = read_int ctx (savings_key a) in
+          if s + v < 0 then ctx.Txn.abort ()
+          else ctx.Txn.write (savings_key a) (Txn.of_int (s + v)))
+  | 3 ->
+      (* Amalgamate: move everything from a's savings+checking to b's
+         checking. *)
+      let a, b = pick_two t in
+      Txn.make ~id ~label:"sb.amalgamate" ~wire_size:wire (fun ctx ->
+          let sa = read_int ctx (savings_key a) in
+          let ca = read_int ctx (checking_key a) in
+          let cb = read_int ctx (checking_key b) in
+          ctx.Txn.write (savings_key a) (Txn.of_int 0);
+          ctx.Txn.write (checking_key a) (Txn.of_int 0);
+          ctx.Txn.write (checking_key b) (Txn.of_int (cb + sa + ca)))
+  | 4 ->
+      (* WriteCheck: checking -= v, with a penalty when overdrawn. *)
+      let a = pick_account t and v = 1 + Rng.int t.rng 100 in
+      Txn.make ~id ~label:"sb.writecheck" ~wire_size:wire (fun ctx ->
+          let s = read_int ctx (savings_key a) in
+          let c = read_int ctx (checking_key a) in
+          let total = s + c in
+          let penalty = if total < v then 1 else 0 in
+          ctx.Txn.write (checking_key a) (Txn.of_int (c - v - penalty)))
+  | _ ->
+      (* SendPayment: transfer between checking accounts, abort on
+         insufficient funds. *)
+      let a, b = pick_two t in
+      let v = 1 + Rng.int t.rng 100 in
+      Txn.make ~id ~label:"sb.sendpayment" ~wire_size:wire (fun ctx ->
+          let ca = read_int ctx (checking_key a) in
+          if ca < v then ctx.Txn.abort ()
+          else begin
+            let cb = read_int ctx (checking_key b) in
+            ctx.Txn.write (checking_key a) (Txn.of_int (ca - v));
+            ctx.Txn.write (checking_key b) (Txn.of_int (cb + v))
+          end)

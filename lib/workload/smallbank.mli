@@ -1,0 +1,30 @@
+(** SmallBank banking workload (Cahill et al.), as configured in the
+    paper: 1,000,000 accounts with uniform access. Each account has a
+    checking and a savings row; the six standard transaction profiles
+    are implemented. *)
+
+type config = {
+  accounts : int;  (** 1,000,000 in the paper *)
+  initial_balance : int;  (** starting checking and savings balance *)
+  hotspot_fraction : float;
+      (** fraction of accesses directed at the first 100 accounts; 0 for
+          the paper's uniform setting *)
+}
+
+val default : config
+
+type t
+
+val create : config -> seed:int64 -> t
+
+val next : t -> Txn.t
+(** Uniform mix over the six profiles: Balance, DepositChecking,
+    TransactSavings, Amalgamate, WriteCheck, SendPayment. Wire size is
+    the paper's 108 B average. *)
+
+val checking_key : int -> string
+val savings_key : int -> string
+
+val preload : config -> (string -> string option)
+(** An initializer for {!Massbft_exec.Kvstore}: lazily materializes
+    account rows at [initial_balance]. *)

@@ -1,0 +1,168 @@
+module Rng = Massbft_util.Rng
+
+type config = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  remote_payment_pct : int;
+  invalid_item_pct : int;
+}
+
+let default =
+  {
+    warehouses = 128;
+    districts_per_warehouse = 10;
+    customers_per_district = 3000;
+    items = 100_000;
+    remote_payment_pct = 15;
+    invalid_item_pct = 1;
+  }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  c_customer : int;  (* NURand constants, fixed per generator run *)
+  c_item : int;
+  mutable next_id : int;
+  mutable flip : bool;  (* alternate NewOrder / Payment for an exact 50/50 *)
+}
+
+let create cfg ~seed =
+  if cfg.warehouses < 1 then invalid_arg "Tpcc.create: need >= 1 warehouse";
+  let rng = Rng.create seed in
+  {
+    cfg;
+    rng;
+    c_customer = Rng.int rng 1024;
+    c_item = Rng.int rng 8192;
+    next_id = 0;
+    flip = false;
+  }
+
+(* TPC-C non-uniform random: hot values spread by a per-run constant. *)
+let nurand rng ~a ~c ~lo ~hi =
+  let x = Rng.int_in rng ~lo:0 ~hi:a in
+  let y = Rng.int_in rng ~lo ~hi in
+  (((x lor y) + c) mod (hi - lo + 1)) + lo
+
+let warehouse_ytd_key w = Printf.sprintf "tpcc/w/%d/ytd" w
+let warehouse_tax_key w = Printf.sprintf "tpcc/w/%d/tax" w
+let district_next_oid_key ~w ~d = Printf.sprintf "tpcc/d/%d/%d/next_oid" w d
+let district_ytd_key ~w ~d = Printf.sprintf "tpcc/d/%d/%d/ytd" w d
+let district_tax_key ~w ~d = Printf.sprintf "tpcc/d/%d/%d/tax" w d
+
+let customer_balance_key ~w ~d ~c = Printf.sprintf "tpcc/c/%d/%d/%d/bal" w d c
+
+let customer_ytd_key ~w ~d ~c = Printf.sprintf "tpcc/c/%d/%d/%d/ytd" w d c
+
+let customer_cnt_key ~w ~d ~c = Printf.sprintf "tpcc/c/%d/%d/%d/cnt" w d c
+let stock_qty_key ~w ~i = Printf.sprintf "tpcc/s/%d/%d/qty" w i
+let stock_ytd_key ~w ~i = Printf.sprintf "tpcc/s/%d/%d/ytd" w i
+let order_key ~w ~d ~o = Printf.sprintf "tpcc/o/%d/%d/%d" w d o
+let order_line_key ~w ~d ~o ~n = Printf.sprintf "tpcc/ol/%d/%d/%d/%d" w d o n
+
+let preload _cfg key =
+  (* Lazily materialized initial rows; only prefixes that exist in the
+     schema get defaults. *)
+  let has_prefix p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
+  if has_prefix "tpcc/d/" && Filename.check_suffix key "next_oid" then Some "1"
+  else if has_prefix "tpcc/s/" && Filename.check_suffix key "qty" then Some "100"
+  else if Filename.check_suffix key "tax" then Some "10"
+  else if has_prefix "tpcc/" then Some "0"
+  else None
+
+let read_int ctx k = Txn.int_value (Option.value ~default:"0" (ctx.Txn.read k))
+let wire = 232
+
+let new_order t ~id =
+  let cfg = t.cfg in
+  let w = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
+  let d = Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse in
+  let c =
+    nurand t.rng ~a:1023 ~c:t.c_customer ~lo:1 ~hi:cfg.customers_per_district
+  in
+  let ol_cnt = Rng.int_in t.rng ~lo:5 ~hi:15 in
+  let invalid = Rng.int t.rng 100 < cfg.invalid_item_pct in
+  let lines =
+    List.init ol_cnt (fun n ->
+        let i = nurand t.rng ~a:8191 ~c:t.c_item ~lo:1 ~hi:cfg.items in
+        (* 1 % of lines come from a remote warehouse. *)
+        let supply_w =
+          if cfg.warehouses > 1 && Rng.int t.rng 100 = 0 then begin
+            let rec pick () =
+              let x = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
+              if x = w then pick () else x
+            in
+            pick ()
+          end
+          else w
+        in
+        let qty = Rng.int_in t.rng ~lo:1 ~hi:10 in
+        (n, i, supply_w, qty))
+  in
+  Txn.make ~id ~label:"tpcc.neworder" ~wire_size:wire (fun ctx ->
+      ignore (read_int ctx (warehouse_tax_key w));
+      ignore (read_int ctx (district_tax_key ~w ~d));
+      ignore (read_int ctx (customer_balance_key ~w ~d ~c));
+      (* The district's next order id is the per-district serialization
+         point. *)
+      let o = read_int ctx (district_next_oid_key ~w ~d) in
+      ctx.Txn.write (district_next_oid_key ~w ~d) (Txn.of_int (o + 1));
+      ctx.Txn.write (order_key ~w ~d ~o)
+        (Printf.sprintf "c=%d;lines=%d" c (List.length lines));
+      List.iter
+        (fun (n, i, supply_w, qty) ->
+          let sq = read_int ctx (stock_qty_key ~w:supply_w ~i) in
+          let sq' = if sq - qty >= 10 then sq - qty else sq - qty + 91 in
+          ctx.Txn.write (stock_qty_key ~w:supply_w ~i) (Txn.of_int sq');
+          let ytd = read_int ctx (stock_ytd_key ~w:supply_w ~i) in
+          ctx.Txn.write (stock_ytd_key ~w:supply_w ~i) (Txn.of_int (ytd + qty));
+          ctx.Txn.write (order_line_key ~w ~d ~o ~n)
+            (Printf.sprintf "i=%d;w=%d;q=%d" i supply_w qty))
+        lines;
+      (* Per spec, 1 % of NewOrders hit an unused item id and roll
+         back. *)
+      if invalid then ctx.Txn.abort ())
+
+let payment t ~id =
+  let cfg = t.cfg in
+  let w = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
+  let d = Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse in
+  (* 15 % of payments are made by a customer of a remote warehouse. *)
+  let cw, cd =
+    if cfg.warehouses > 1 && Rng.int t.rng 100 < cfg.remote_payment_pct then begin
+      let rec pick () =
+        let x = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
+        if x = w then pick () else x
+      in
+      (pick (), Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse)
+    end
+    else (w, d)
+  in
+  let c =
+    nurand t.rng ~a:1023 ~c:t.c_customer ~lo:1 ~hi:cfg.customers_per_district
+  in
+  let amount = Rng.int_in t.rng ~lo:1 ~hi:5000 in
+  Txn.make ~id ~label:"tpcc.payment" ~wire_size:wire (fun ctx ->
+      (* Warehouse and district YTD rows: the hotspots. *)
+      let wy = read_int ctx (warehouse_ytd_key w) in
+      ctx.Txn.write (warehouse_ytd_key w) (Txn.of_int (wy + amount));
+      let dy = read_int ctx (district_ytd_key ~w ~d) in
+      ctx.Txn.write (district_ytd_key ~w ~d) (Txn.of_int (dy + amount));
+      let bal = read_int ctx (customer_balance_key ~w:cw ~d:cd ~c) in
+      ctx.Txn.write (customer_balance_key ~w:cw ~d:cd ~c)
+        (Txn.of_int (bal - amount));
+      let ytd = read_int ctx (customer_ytd_key ~w:cw ~d:cd ~c) in
+      ctx.Txn.write (customer_ytd_key ~w:cw ~d:cd ~c) (Txn.of_int (ytd + amount));
+      let cnt = read_int ctx (customer_cnt_key ~w:cw ~d:cd ~c) in
+      ctx.Txn.write (customer_cnt_key ~w:cw ~d:cd ~c) (Txn.of_int (cnt + 1)))
+
+let next_of t profile =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match profile with `New_order -> new_order t ~id | `Payment -> payment t ~id
+
+let next t =
+  t.flip <- not t.flip;
+  next_of t (if t.flip then `New_order else `Payment)

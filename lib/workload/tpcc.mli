@@ -1,0 +1,39 @@
+(** TPC-C order-processing workload — the subset the paper evaluates:
+    50 % NewOrder and 50 % Payment over 128 warehouses. Payment updates
+    the warehouse and district year-to-date totals, which are hotspot
+    rows; under Aria this is what drives the elevated abort rate the
+    paper discusses for Figure 8d. *)
+
+type config = {
+  warehouses : int;  (** 128 in the paper *)
+  districts_per_warehouse : int;  (** 10 per spec *)
+  customers_per_district : int;  (** 3000 per spec *)
+  items : int;  (** 100,000 per spec *)
+  remote_payment_pct : int;  (** 15 per spec *)
+  invalid_item_pct : int;  (** 1: NewOrder's rollback rate per spec *)
+}
+
+val default : config
+
+type t
+
+val create : config -> seed:int64 -> t
+
+val next : t -> Txn.t
+(** Alternating draw of NewOrder / Payment (50/50), wire size 232 B as
+    reported by the paper. *)
+
+val next_of : t -> [ `New_order | `Payment ] -> Txn.t
+(** Draw a transaction of a specific profile (for targeted tests). *)
+
+val preload : config -> (string -> string option)
+(** Store initializer: district next-order-ids start at 1, stock at 100,
+    balances at 0, warehouse/district tax rates fixed. *)
+
+(** Key encodings, exposed for tests and examples. *)
+
+val warehouse_ytd_key : int -> string
+val district_next_oid_key : w:int -> d:int -> string
+val customer_balance_key : w:int -> d:int -> c:int -> string
+val stock_qty_key : w:int -> i:int -> string
+val order_key : w:int -> d:int -> o:int -> string

@@ -1,0 +1,742 @@
+(* Tests for the MassBFT core modules: Algorithm 1 (transfer plans),
+   vector timestamps and Prec, Algorithm 2 (deterministic ordering,
+   including agreement over randomized stream interleavings), the
+   chunker, and the optimistic rebuild with DoS blacklisting. *)
+
+open Massbft
+module Rng = Massbft_util.Rng
+module Merkle = Massbft_crypto.Merkle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Transfer plan (Algorithm 1)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_paper_case_study () =
+  (* §IV-B: 4-node group sends to 7-node group. *)
+  let p = Transfer_plan.generate ~n1:4 ~n2:7 in
+  check_int "n_total = lcm(4,7)" 28 p.Transfer_plan.n_total;
+  check_int "each sender ships 7" 7 p.Transfer_plan.nc_send;
+  check_int "each receiver takes 4" 4 p.Transfer_plan.nc_recv;
+  check_int "n_parity = 7*1 + 4*2" 15 p.Transfer_plan.n_parity;
+  check_int "n_data = 13" 13 p.Transfer_plan.n_data;
+  Alcotest.(check (float 0.01)) "2.15 entry copies" 2.15 (Transfer_plan.redundancy p)
+
+let test_plan_equal_groups () =
+  let p = Transfer_plan.generate ~n1:7 ~n2:7 in
+  check_int "n_total" 7 p.Transfer_plan.n_total;
+  check_int "nc_send" 1 p.Transfer_plan.nc_send;
+  check_int "parity = 2 + 2" 4 p.Transfer_plan.n_parity;
+  check_int "data = 3" 3 p.Transfer_plan.n_data
+
+let test_plan_bijectivity () =
+  (* Every chunk is sent exactly once and received exactly once. *)
+  List.iter
+    (fun (n1, n2) ->
+      let p = Transfer_plan.generate ~n1 ~n2 in
+      let sent = Array.make p.Transfer_plan.n_total 0 in
+      let received = Array.make p.Transfer_plan.n_total 0 in
+      for s = 0 to n1 - 1 do
+        List.iter
+          (fun (c, r) ->
+            sent.(c) <- sent.(c) + 1;
+            check_bool "receiver in range" true (r >= 0 && r < n2))
+          (Transfer_plan.sends_of p ~sender:s)
+      done;
+      for r = 0 to n2 - 1 do
+        List.iter
+          (fun (c, s) ->
+            received.(c) <- received.(c) + 1;
+            check_bool "sender in range" true (s >= 0 && s < n1))
+          (Transfer_plan.receives_of p ~receiver:r)
+      done;
+      Array.iter (fun k -> check_int "sent once" 1 k) sent;
+      Array.iter (fun k -> check_int "received once" 1 k) received)
+    [ (4, 7); (7, 4); (7, 7); (3, 5); (10, 10); (4, 40); (13, 9) ]
+
+let test_plan_views_agree () =
+  (* The sender-side and receiver-side plan constructions (lines 7-10 vs
+     11-14 of Algorithm 1) describe the same set of tuples. *)
+  let p = Transfer_plan.generate ~n1:5 ~n2:8 in
+  let from_senders =
+    List.concat
+      (List.init 5 (fun s ->
+           List.map (fun (c, r) -> (c, s, r)) (Transfer_plan.sends_of p ~sender:s)))
+    |> List.sort compare
+  in
+  let from_receivers =
+    List.concat
+      (List.init 8 (fun r ->
+           List.map
+             (fun (c, s) -> (c, s, r))
+             (Transfer_plan.receives_of p ~receiver:r)))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (triple int int int)))
+    "same plan" from_senders from_receivers
+
+let test_plan_worst_case_recoverable () =
+  (* Even when the f1 faulty senders' and f2 faulty receivers' chunks
+     are disjoint, at least n_data correct chunks survive. *)
+  List.iter
+    (fun (n1, n2) ->
+      let p = Transfer_plan.generate ~n1 ~n2 in
+      let f1 = (n1 - 1) / 3 and f2 = (n2 - 1) / 3 in
+      (* Lose the chunks of the last f1 senders and, disjointly, the
+         first f2 receivers' chunks. *)
+      let lost = Hashtbl.create 16 in
+      for s = n1 - f1 to n1 - 1 do
+        List.iter (fun (c, _) -> Hashtbl.replace lost c ()) (Transfer_plan.sends_of p ~sender:s)
+      done;
+      for r = 0 to f2 - 1 do
+        List.iter (fun (c, _) -> Hashtbl.replace lost c ()) (Transfer_plan.receives_of p ~receiver:r)
+      done;
+      let surviving = p.Transfer_plan.n_total - Hashtbl.length lost in
+      check_bool
+        (Printf.sprintf "(%d,%d): %d survive >= %d" n1 n2 surviving p.Transfer_plan.n_data)
+        true
+        (surviving >= p.Transfer_plan.n_data))
+    [ (4, 7); (7, 7); (10, 13); (4, 4); (19, 19); (16, 12) ]
+
+let test_plan_invalid () =
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Transfer_plan.generate: empty group") (fun () ->
+      ignore (Transfer_plan.generate ~n1:0 ~n2:4))
+
+let prop_plan_balance =
+  QCheck.Test.make ~name:"plan load is perfectly balanced" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 1 40))
+    (fun (n1, n2) ->
+      let p = Transfer_plan.generate ~n1 ~n2 in
+      List.for_all
+        (fun s ->
+          List.length (Transfer_plan.sends_of p ~sender:s)
+          = p.Transfer_plan.nc_send)
+        (List.init n1 Fun.id)
+      && List.for_all
+           (fun r ->
+             List.length (Transfer_plan.receives_of p ~receiver:r)
+             = p.Transfer_plan.nc_recv)
+           (List.init n2 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Bijective (non-coded) sending plan — §IV-A                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bijective_equal_groups_matches_paper () =
+  (* §IV-A's Figure 5a: 4-node sender, 7-node receiver, f1+f2+1 = 4
+     full copies (vs 28/13 ~ 2.15 for the encoded plan). *)
+  let p = Bijective_plan.generate ~n1:4 ~n2:7 in
+  check_int "4 transfers" 4 (Bijective_plan.transfer_count p);
+  let p44 = Bijective_plan.generate ~n1:4 ~n2:4 in
+  check_int "f1+f2+1 = 3 for 4/4" 3 (Bijective_plan.transfer_count p44);
+  let p77 = Bijective_plan.generate ~n1:7 ~n2:7 in
+  check_int "f1+f2+1 = 5 for 7/7" 5 (Bijective_plan.transfer_count p77)
+
+let test_bijective_survives_all_fault_patterns () =
+  (* Exhaustive adversary over every f1-subset of senders and f2-subset
+     of receivers: some transfer must survive. *)
+  let rec subsets k lst =
+    if k = 0 then [ [] ]
+    else
+      match lst with
+      | [] -> []
+      | x :: rest ->
+          List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+  in
+  List.iter
+    (fun (n1, n2) ->
+      let p = Bijective_plan.generate ~n1 ~n2 in
+      let f1 = (n1 - 1) / 3 and f2 = (n2 - 1) / 3 in
+      List.iter
+        (fun fs ->
+          List.iter
+            (fun fr ->
+              check_bool
+                (Printf.sprintf "(%d,%d) survives" n1 n2)
+                true
+                (Bijective_plan.survives p ~faulty_senders:fs
+                   ~faulty_receivers:fr))
+            (subsets f2 (List.init n2 Fun.id)))
+        (subsets f1 (List.init n1 Fun.id)))
+    [ (4, 4); (4, 7); (7, 4); (7, 7); (2, 10); (1, 7) ]
+
+let test_bijective_loads_balanced () =
+  let p = Bijective_plan.generate ~n1:3 ~n2:13 in
+  let loads = List.init 3 (fun s -> List.length (Bijective_plan.sends_of p ~sender:s)) in
+  let mx = List.fold_left max 0 loads and mn = List.fold_left min 99 loads in
+  check_bool "sender loads within 1" true (mx - mn <= 1)
+
+let prop_bijective_guarantee =
+  (* Randomized adversaries over a wide range of group-size pairs. *)
+  QCheck.Test.make ~name:"bijective plan survives random adversaries" ~count:200
+    QCheck.(triple (int_range 1 20) (int_range 1 20) (int_range 0 1000))
+    (fun (n1, n2, seed) ->
+      let p = Bijective_plan.generate ~n1 ~n2 in
+      let rng = Rng.create (Int64.of_int seed) in
+      let f1 = (n1 - 1) / 3 and f2 = (n2 - 1) / 3 in
+      let pick n k =
+        let arr = Array.init n Fun.id in
+        Rng.shuffle rng arr;
+        Array.to_list (Array.sub arr 0 k)
+      in
+      Bijective_plan.survives p ~faulty_senders:(pick n1 f1)
+        ~faulty_receivers:(pick n2 f2))
+
+(* ------------------------------------------------------------------ *)
+(* Vts                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vts_create () =
+  let e = Vts.create ~ng:3 ~gid:1 ~seq:5 in
+  check_int "own element is seq" 5 e.Vts.vts.(1);
+  check_bool "own element set" true e.Vts.set.(1);
+  check_bool "others inferred" false (e.Vts.set.(0) || e.Vts.set.(2))
+
+let test_vts_set_and_infer () =
+  let e = Vts.create ~ng:3 ~gid:0 ~seq:1 in
+  Vts.infer_element e 1 4;
+  check_int "inferred bound" 4 e.Vts.vts.(1);
+  Vts.infer_element e 1 2;
+  check_int "inference only raises" 4 e.Vts.vts.(1);
+  Vts.set_element e 1 7;
+  check_bool "now set" true e.Vts.set.(1);
+  Vts.infer_element e 1 100;
+  check_int "set element immune to inference" 7 e.Vts.vts.(1);
+  (* Idempotent equal re-set; conflicting re-set raises. *)
+  Vts.set_element e 1 7;
+  check_bool "conflicting set raises" true
+    (try
+       Vts.set_element e 1 8;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "set below inferred bound raises" true
+    (try
+       let e2 = Vts.create ~ng:3 ~gid:0 ~seq:1 in
+       Vts.infer_element e2 1 9;
+       Vts.set_element e2 1 3;
+       false
+     with Invalid_argument _ -> true)
+
+let mk_vts ~ng ~gid ~seq assignments =
+  let e = Vts.create ~ng ~gid ~seq in
+  List.iter (fun (j, v) -> Vts.set_element e j v) assignments;
+  e
+
+let test_vts_paper_example () =
+  (* Figure 6: e_{2,6} with VTS <6,6,4> precedes e_{3,5} with <6,6,5>
+     (groups are 1-indexed in the paper; 0-indexed here). *)
+  let e26 = mk_vts ~ng:3 ~gid:1 ~seq:6 [ (0, 6); (2, 4) ] in
+  let e35 = mk_vts ~ng:3 ~gid:2 ~seq:5 [ (0, 6); (1, 6) ] in
+  (* e26: <6,6,4>, e35: <6,6,5> *)
+  check_bool "e26 precedes e35" true (Vts.prec e26 e35);
+  check_bool "e35 does not precede e26" false (Vts.prec e35 e26)
+
+let test_vts_tie_break () =
+  (* Identical complete VTSs order by seq then gid (Lemma V.4). *)
+  let a = mk_vts ~ng:2 ~gid:0 ~seq:3 [ (1, 3) ] in
+  let b = mk_vts ~ng:2 ~gid:1 ~seq:3 [ (0, 3) ] in
+  (* Both <3,3>: a.seq = b.seq = 3, tie to gid. *)
+  check_bool "gid breaks tie" true (Vts.prec a b);
+  check_bool "reverse false" false (Vts.prec b a);
+  check_int "compare_complete consistent" (-1) (Vts.compare_complete a b)
+
+let test_vts_inferred_blocks_decision () =
+  (* An inferred element on e1 means e1 cannot be proven first; an
+     inferred element on e2 at an equal value blocks too. *)
+  let e1 = Vts.create ~ng:2 ~gid:0 ~seq:1 in
+  (* e1 = <1, 0?>, e2 = <0?, 1> *)
+  let e2 = Vts.create ~ng:2 ~gid:1 ~seq:1 in
+  check_bool "cannot order yet (e1 first elem vs inferred equal)" false
+    (Vts.prec e1 e2 && Vts.prec e2 e1);
+  (* Set e2's element 0 above e1's: decision becomes possible. *)
+  Vts.set_element e2 0 5;
+  check_bool "now e1 provably first" true (Vts.prec e1 e2)
+
+let test_vts_strictly_less_beats_inferred () =
+  (* e1.vts[j] set and strictly below e2's inferred bound: e2's true
+     value can only grow, so the decision is safe. *)
+  let e1 = mk_vts ~ng:2 ~gid:0 ~seq:2 [ (1, 3) ] in
+  let e2 = Vts.create ~ng:2 ~gid:1 ~seq:9 in
+  Vts.infer_element e2 0 7;
+  (* e1 = <2,3> complete; e2 = <7?,9>. 2 < 7 at element 0. *)
+  check_bool "set-less-than-inferred decides" true (Vts.prec e1 e2)
+
+let prop_vts_total_order =
+  (* Over complete VTSs, prec must agree with compare_complete. *)
+  QCheck.Test.make ~name:"prec = compare over complete VTSs" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 0 2) (int_range 1 20))
+        (pair (int_range 0 2) (int_range 1 20)))
+    (fun ((g1, s1), (g2, s2)) ->
+      QCheck.assume (g1 <> g2 || s1 <> s2);
+      let rng = Rng.create (Int64.of_int ((g1 * 100) + s1 + (g2 * 10) + s2)) in
+      let fill e =
+        for j = 0 to 2 do
+          if not e.Vts.set.(j) then Vts.set_element e j (Rng.int rng 20)
+        done;
+        e
+      in
+      let e1 = fill (Vts.create ~ng:3 ~gid:g1 ~seq:s1) in
+      let e2 = fill (Vts.create ~ng:3 ~gid:g2 ~seq:s2) in
+      let c = Vts.compare_complete e1 e2 in
+      Vts.prec e1 e2 = (c < 0) && Vts.prec e2 e1 = (c > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Orderer (Algorithm 2)                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A reference world: ng groups, each proposing a fixed number of
+   entries; group j assigns its clock to every foreign entry in a global
+   "assignment schedule". We then feed the per-group timestamp streams
+   to orderers in different interleavings and demand identical
+   execution sequences. *)
+
+type world = {
+  ng : int;
+  streams : (Types.entry_id * int) list array;
+      (* per source group: (entry, ts) in stream order *)
+  total_entries : int;
+}
+
+(* Build a world from a random permutation: entries become globally
+   visible in some order; when entry e appears, every group j <> e.gid
+   assigns clk_j = number of group j's own entries already visible. *)
+let make_world rng ~ng ~per_group =
+  let eids =
+    Array.of_list
+      (List.concat
+         (List.init ng (fun g ->
+              List.init per_group (fun k -> { Types.gid = g; seq = k + 1 }))))
+  in
+  (* Visibility order must respect per-group seq order: shuffle then
+     stable-sort lightly by seq within groups. *)
+  Rng.shuffle rng eids;
+  let seen = Array.make ng 0 in
+  let order = ref [] in
+  (* Greedily emit entries whose predecessor has been emitted. *)
+  let remaining = Array.to_list eids in
+  let rec emit remaining =
+    match remaining with
+    | [] -> ()
+    | _ ->
+        let ready, blocked =
+          List.partition
+            (fun (e : Types.entry_id) -> e.Types.seq = seen.(e.Types.gid) + 1)
+            remaining
+        in
+        (match ready with
+        | [] -> failwith "world construction stuck"
+        | e :: rest ->
+            seen.(e.Types.gid) <- e.Types.seq;
+            order := e :: !order;
+            emit (rest @ blocked))
+  in
+  emit remaining;
+  let visible = List.rev !order in
+  let clocks = Array.make ng 0 in
+  let streams = Array.make ng [] in
+  List.iter
+    (fun (e : Types.entry_id) ->
+      clocks.(e.Types.gid) <- e.Types.seq;
+      for j = 0 to ng - 1 do
+        if j <> e.Types.gid then streams.(j) <- (e, clocks.(j)) :: streams.(j)
+      done)
+    visible;
+  {
+    ng;
+    streams = Array.map List.rev streams;
+    total_entries = ng * per_group;
+  }
+
+(* Feed the world's streams to an orderer, interleaving them according
+   to [rng]; returns the execution sequence. *)
+let run_orderer world rng =
+  let executed = ref [] in
+  let o =
+    Orderer.create ~ng:world.ng ~on_execute:(fun eid -> executed := eid :: !executed)
+  in
+  let cursors = Array.map (fun l -> ref l) world.streams in
+  let pending () =
+    List.filter (fun j -> !(cursors.(j)) <> []) (List.init world.ng Fun.id)
+  in
+  let rec loop () =
+    match pending () with
+    | [] -> ()
+    | js ->
+        let j = List.nth js (Rng.int rng (List.length js)) in
+        (match !(cursors.(j)) with
+        | [] -> ()
+        | (eid, ts) :: rest ->
+            cursors.(j) := rest;
+            Orderer.on_timestamp o ~from_gid:j ~eid ~ts);
+        loop ()
+  in
+  loop ();
+  (List.rev !executed, o)
+
+let test_orderer_single_group () =
+  let executed = ref [] in
+  let o = Orderer.create ~ng:1 ~on_execute:(fun e -> executed := e :: !executed) in
+  (* With one group there are no foreign timestamps; nothing can ever be
+     fed, and nothing executes through on_timestamp — the engine orders
+     single-group worlds trivially elsewhere. Heads exist though. *)
+  check_bool "head is (0,1)" true
+    (Types.entry_id_equal (Orderer.head_of o 0) { Types.gid = 0; seq = 1 })
+
+let test_orderer_executes_all () =
+  let rng = Rng.create 31L in
+  let world = make_world rng ~ng:3 ~per_group:10 in
+  let executed, o = run_orderer world (Rng.create 32L) in
+  (* All but possibly the final tail (whose successors never get
+     timestamps) execute; at least 80% must flow. *)
+  check_bool
+    (Printf.sprintf "most entries executed (%d/%d)" (List.length executed)
+       world.total_entries)
+    true
+    (List.length executed >= world.total_entries * 8 / 10);
+  check_int "count matches" (List.length executed) (Orderer.executed_count o)
+
+let test_orderer_per_group_fifo () =
+  (* Entries of the same group execute in seq order (Lemma V.5). *)
+  let rng = Rng.create 33L in
+  let world = make_world rng ~ng:3 ~per_group:12 in
+  let executed, _ = run_orderer world (Rng.create 34L) in
+  let last = Array.make 3 0 in
+  List.iter
+    (fun (e : Types.entry_id) ->
+      check_int
+        (Printf.sprintf "group %d FIFO" e.Types.gid)
+        (last.(e.Types.gid) + 1)
+        e.Types.seq;
+      last.(e.Types.gid) <- e.Types.seq)
+    executed
+
+let test_orderer_agreement_across_interleavings () =
+  (* The heart of Theorem V.6: different nodes receive the same per-
+     group streams in different interleavings and must execute the same
+     prefix in the same order. *)
+  for trial = 1 to 10 do
+    let rng = Rng.create (Int64.of_int (100 + trial)) in
+    let world = make_world rng ~ng:3 ~per_group:8 in
+    let runs =
+      List.init 6 (fun k ->
+          fst (run_orderer world (Rng.create (Int64.of_int ((trial * 31) + k)))))
+    in
+    match runs with
+    | first :: rest ->
+        List.iteri
+          (fun k other ->
+            let common = min (List.length first) (List.length other) in
+            let take n l = List.filteri (fun i _ -> i < n) l in
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "trial %d run %d agrees" trial k)
+              (List.map (fun (e : Types.entry_id) -> (e.Types.gid, e.Types.seq)) (take common first))
+              (List.map (fun (e : Types.entry_id) -> (e.Types.gid, e.Types.seq)) (take common other)))
+          rest
+    | [] -> ()
+  done
+
+let test_orderer_fast_group_not_blocked () =
+  (* A fast group's entries must not wait for a slow group's future
+     entries: with group 1 far ahead, its entries flow as soon as the
+     slow groups' clocks pass them. *)
+  let executed = ref [] in
+  let o = Orderer.create ~ng:2 ~on_execute:(fun e -> executed := e :: !executed) in
+  (* Group 0 proposes e(0,1), e(0,2)...; group 1 assigns clocks 0,0,..
+     since it proposed nothing. Group 1's stream: ts=0 for each of group
+     0's entries. *)
+  Orderer.on_timestamp o ~from_gid:1 ~eid:{ Types.gid = 0; seq = 1 } ~ts:0;
+  (* e(0,1) = <1, 0>; head(1) = (1,1) = <bound 1?, 1>. element 0: e01 has
+     1 vs inferred 1: cannot decide yet... group 0's stream must bound
+     it: when group 0 assigns ts >= 1 to something, or here: group 1's
+     head has vts[0] inferred at 1 (stream bound). Feed one more. *)
+  Orderer.on_timestamp o ~from_gid:1 ~eid:{ Types.gid = 0; seq = 2 } ~ts:0;
+  check_bool "needs group-0 stream movement" true (List.length !executed <= 2);
+  (* Group 0 assigns its clock (= 2, it proposed twice) to a phantom
+     group-1 entry... in reality to group 1's first entry when it
+     arrives. *)
+  Orderer.on_timestamp o ~from_gid:0 ~eid:{ Types.gid = 1; seq = 1 } ~ts:2;
+  (* Now head(1)=(1,1) has vts <2, 1>; e(0,1)=<1,0...> executes first,
+     then e(0,2)=<2,0?>.. element 0: 2 = 2 blocked? e(1,1) vts[0]=2 set;
+     e(0,2).vts[0]=2 set; equal -> compare element 1: e02 has inferred
+     0 -> blocked until group 1 stream moves past. *)
+  check_bool "first fast entry executed" true
+    (List.exists
+       (fun (e : Types.entry_id) -> e.Types.gid = 0 && e.Types.seq = 1)
+       !executed)
+
+let test_orderer_stream_monotonicity_enforced () =
+  let o = Orderer.create ~ng:2 ~on_execute:(fun _ -> ()) in
+  Orderer.on_timestamp o ~from_gid:1 ~eid:{ Types.gid = 0; seq = 1 } ~ts:5;
+  check_bool "backwards stream rejected" true
+    (try
+       Orderer.on_timestamp o ~from_gid:1 ~eid:{ Types.gid = 0; seq = 2 } ~ts:3;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "self timestamp rejected" true
+    (try
+       Orderer.on_timestamp o ~from_gid:0 ~eid:{ Types.gid = 0; seq = 3 } ~ts:1;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_orderer_agreement_random_worlds =
+  (* Randomized worlds x randomized interleavings: all replays of the
+     same streams must agree on the executed prefix — Theorem V.6 as a
+     property test. *)
+  QCheck.Test.make ~name:"orderer agreement over random worlds" ~count:30
+    QCheck.(pair (int_range 1 500) (int_range 2 4))
+    (fun (seed, ng) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let world = make_world rng ~ng ~per_group:6 in
+      let runs =
+        List.init 4 (fun k ->
+            fst (run_orderer world (Rng.create (Int64.of_int ((seed * 7) + k)))))
+      in
+      match runs with
+      | first :: rest ->
+          List.for_all
+            (fun other ->
+              let common = min (List.length first) (List.length other) in
+              let take n l = List.filteri (fun i _ -> i < n) l in
+              take common first = take common other)
+            rest
+      | [] -> true)
+
+let test_orderer_crashed_group_tail () =
+  (* Group 2 stops proposing (crash); a takeover keeps assigning its
+     frozen clock to others' entries, and ordering keeps flowing. *)
+  let executed = ref [] in
+  let o = Orderer.create ~ng:3 ~on_execute:(fun e -> executed := e :: !executed) in
+  (* Group 2 proposed nothing: its clock is frozen at 0. Groups 0,1
+     propose; each foreign group assigns. Feed entries e(0,1..3),
+     e(1,1..3) with all three streams (instance 2's stream carries the
+     frozen 0s, proposed by the takeover leader). *)
+  let clock0 = ref 0 and clock1 = ref 0 in
+  for s = 1 to 3 do
+    clock0 := s;
+    (* e(0,s): group 1 assigns clk1, group 2 assigns frozen 0 *)
+    Orderer.on_timestamp o ~from_gid:1 ~eid:{ Types.gid = 0; seq = s } ~ts:!clock1;
+    Orderer.on_timestamp o ~from_gid:2 ~eid:{ Types.gid = 0; seq = s } ~ts:0;
+    clock1 := s;
+    Orderer.on_timestamp o ~from_gid:0 ~eid:{ Types.gid = 1; seq = s } ~ts:!clock0;
+    Orderer.on_timestamp o ~from_gid:2 ~eid:{ Types.gid = 1; seq = s } ~ts:0
+  done;
+  check_bool
+    (Printf.sprintf "progress despite dead group (%d executed)"
+       (List.length !executed))
+    true
+    (List.length !executed >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Chunker + Rebuild (real bytes end-to-end)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunker_roundtrip_via_rebuild () =
+  let plan = Transfer_plan.generate ~n1:4 ~n2:7 in
+  let entry = String.init 5000 (fun i -> Char.chr ((i * 7) mod 256)) in
+  let chunks = Chunker.encode ~plan ~entry in
+  check_int "28 chunks" 28 (Array.length chunks);
+  Array.iter (fun c -> check_bool "chunk verifies" true (Chunker.verify_chunk c)) chunks;
+  let rb = Rebuild.create ~plan ~validate:(fun e -> String.equal e entry) () in
+  (* Feed only the first n_data chunks. *)
+  let rebuilt = ref None in
+  Array.iteri
+    (fun i c ->
+      if i < plan.Transfer_plan.n_data then
+        match Rebuild.add rb c with
+        | Rebuild.Rebuilt e -> rebuilt := Some e
+        | Rebuild.Accepted -> ()
+        | v ->
+            Alcotest.failf "unexpected verdict at %d: %s" i
+              (match v with
+              | Rebuild.Rejected_proof -> "proof"
+              | Rejected_blacklisted -> "blacklisted"
+              | Rejected_duplicate -> "dup"
+              | Rejected_fake_bucket _ -> "fake"
+              | Already_done -> "done"
+              | _ -> "?"))
+    chunks;
+  check_bool "rebuilt" true (!rebuilt = Some entry);
+  check_bool "result stored" true (Rebuild.result rb = Some entry)
+
+let test_chunker_deterministic () =
+  let plan = Transfer_plan.generate ~n1:7 ~n2:7 in
+  let entry = String.make 999 'q' in
+  let a = Chunker.encode ~plan ~entry and b = Chunker.encode ~plan ~entry in
+  Array.iteri
+    (fun i c ->
+      check_bool "same payloads" true (String.equal c.Chunker.payload b.(i).Chunker.payload);
+      check_bool "same root" true (String.equal c.Chunker.root b.(i).Chunker.root))
+    a
+
+let test_chunk_wire_size_consistent () =
+  let plan = Transfer_plan.generate ~n1:4 ~n2:7 in
+  let entry = String.make 4096 'x' in
+  let chunks = Chunker.encode ~plan ~entry in
+  let declared = Chunker.chunk_wire_size ~plan ~entry_len:(String.length entry) in
+  Array.iter
+    (fun c ->
+      let actual =
+        String.length c.Chunker.payload
+        + Types.digest_bytes
+        + Merkle.proof_size c.Chunker.proof
+        + Types.header_bytes
+        - 4 (* proof_size already counts its index field *)
+      in
+      check_bool
+        (Printf.sprintf "declared %d >= actual %d" declared actual)
+        true (declared >= actual && declared - actual < 64))
+    chunks
+
+let test_rebuild_rejects_bad_proof () =
+  let plan = Transfer_plan.generate ~n1:4 ~n2:4 in
+  let entry = "payload-payload-payload" in
+  let chunks = Chunker.encode ~plan ~entry in
+  let rb = Rebuild.create ~plan ~validate:(fun e -> String.equal e entry) () in
+  let evil = { chunks.(0) with Chunker.payload = "evil" ^ chunks.(0).Chunker.payload } in
+  check_bool "bad proof rejected" true (Rebuild.add rb evil = Rebuild.Rejected_proof);
+  check_bool "duplicate detected" true
+    (Rebuild.add rb chunks.(1) = Rebuild.Accepted
+    && Rebuild.add rb chunks.(1) = Rebuild.Rejected_duplicate)
+
+let test_rebuild_fake_bucket_blacklists () =
+  (* A colluding sender set produces a consistent but wrong entry: the
+     whole fake bucket must be burned, and the true chunks must still
+     rebuild. *)
+  let plan = Transfer_plan.generate ~n1:4 ~n2:7 in
+  let entry = String.init 2000 (fun i -> Char.chr (i mod 251)) in
+  let fake_entry = String.init 2000 (fun i -> Char.chr ((i + 1) mod 251)) in
+  let good = Chunker.encode ~plan ~entry in
+  let fake = Chunker.encode ~plan ~entry:fake_entry in
+  let rb = Rebuild.create ~plan ~validate:(fun e -> String.equal e entry) () in
+  (* Feed n_data fake chunks: a full fake bucket. *)
+  let fake_ids = ref [] in
+  for i = 0 to plan.Transfer_plan.n_data - 1 do
+    match Rebuild.add rb fake.(i) with
+    | Rebuild.Accepted -> ()
+    | Rebuild.Rejected_fake_bucket ids -> fake_ids := ids
+    | _ -> Alcotest.fail "unexpected verdict while feeding fakes"
+  done;
+  check_int "fake bucket burned n_data ids" plan.Transfer_plan.n_data
+    (List.length !fake_ids);
+  Alcotest.(check (list int)) "blacklist recorded" !fake_ids (Rebuild.blacklisted rb);
+  (* Burned ids are refused even with valid proofs from the good set. *)
+  check_bool "burned id refused" true
+    (Rebuild.add rb good.(0) = Rebuild.Rejected_blacklisted);
+  (* The surviving ids (beyond the burned prefix) still rebuild. *)
+  let rebuilt = ref false in
+  for i = plan.Transfer_plan.n_data to plan.Transfer_plan.n_total - 1 do
+    match Rebuild.add rb good.(i) with
+    | Rebuild.Rebuilt e ->
+        rebuilt := true;
+        Alcotest.(check string) "correct entry" entry e
+    | Rebuild.Accepted | Rebuild.Already_done -> ()
+    | _ -> Alcotest.fail "unexpected verdict while recovering"
+  done;
+  check_bool "recovered despite a full fake bucket" true !rebuilt
+
+let test_chunker_gf16_path () =
+  (* lcm(16,17) = 272 chunks: beyond GF(2^8), exercising the GF(2^16)
+     fallback end-to-end through the chunker (the paper's reason for
+     abandoning liberasurecode). *)
+  let plan = Transfer_plan.generate ~n1:16 ~n2:17 in
+  check_bool "past the 255-shard limit" true (plan.Transfer_plan.n_total > 255);
+  let entry = String.init 3000 (fun i -> Char.chr ((i * 13) mod 256)) in
+  let chunks = Chunker.encode ~plan ~entry in
+  check_int "272 chunks" 272 (Array.length chunks);
+  let rb = Rebuild.create ~plan ~validate:(fun e -> String.equal e entry) () in
+  let rebuilt = ref false in
+  (try
+     Array.iter
+       (fun c ->
+         match Rebuild.add rb c with
+         | Rebuild.Rebuilt e ->
+             rebuilt := true;
+             Alcotest.(check string) "gf16 roundtrip" entry e;
+             raise Exit
+         | _ -> ())
+       chunks
+   with Exit -> ());
+  check_bool "rebuilt through gf16" true !rebuilt
+
+let test_rebuild_mixed_interleaving () =
+  (* Fake and good chunks interleaved arbitrarily: the good bucket wins
+     as soon as it holds n_data chunks. *)
+  let plan = Transfer_plan.generate ~n1:7 ~n2:7 in
+  let entry = String.make 700 'g' in
+  let fake_entry = String.make 700 'b' in
+  let good = Chunker.encode ~plan ~entry in
+  let fake = Chunker.encode ~plan ~entry:fake_entry in
+  let rb = Rebuild.create ~plan ~validate:(fun e -> String.equal e entry) () in
+  let rng = Rng.create 55L in
+  let feed = ref [] in
+  Array.iteri (fun i c -> if i < 2 then feed := `F fake.(i) :: !feed else feed := `G c :: !feed) good |> ignore;
+  Array.iteri (fun i c -> if i < 2 then feed := `F c :: !feed) fake |> ignore;
+  let items = Array.of_list !feed in
+  Rng.shuffle rng items;
+  let rebuilt = ref false in
+  Array.iter
+    (fun item ->
+      let c = match item with `F c | `G c -> c in
+      match Rebuild.add rb c with
+      | Rebuild.Rebuilt e ->
+          rebuilt := true;
+          Alcotest.(check string) "good entry" entry e
+      | _ -> ())
+    items;
+  check_bool "rebuilt through the noise" true !rebuilt
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "massbft_core"
+    [
+      ( "transfer_plan",
+        [
+          Alcotest.test_case "paper case study" `Quick test_plan_paper_case_study;
+          Alcotest.test_case "equal groups" `Quick test_plan_equal_groups;
+          Alcotest.test_case "bijectivity" `Quick test_plan_bijectivity;
+          Alcotest.test_case "sender/receiver views agree" `Quick test_plan_views_agree;
+          Alcotest.test_case "worst-case recoverable" `Quick test_plan_worst_case_recoverable;
+          Alcotest.test_case "invalid input" `Quick test_plan_invalid;
+          qt prop_plan_balance;
+          Alcotest.test_case "bijective: paper counts" `Quick test_bijective_equal_groups_matches_paper;
+          Alcotest.test_case "bijective: exhaustive adversary" `Quick test_bijective_survives_all_fault_patterns;
+          Alcotest.test_case "bijective: balanced loads" `Quick test_bijective_loads_balanced;
+          qt prop_bijective_guarantee;
+        ] );
+      ( "vts",
+        [
+          Alcotest.test_case "create" `Quick test_vts_create;
+          Alcotest.test_case "set and infer" `Quick test_vts_set_and_infer;
+          Alcotest.test_case "paper Figure 6 example" `Quick test_vts_paper_example;
+          Alcotest.test_case "tie break" `Quick test_vts_tie_break;
+          Alcotest.test_case "inferred blocks decision" `Quick test_vts_inferred_blocks_decision;
+          Alcotest.test_case "strict-less beats inferred" `Quick test_vts_strictly_less_beats_inferred;
+          qt prop_vts_total_order;
+        ] );
+      ( "orderer",
+        [
+          Alcotest.test_case "single group" `Quick test_orderer_single_group;
+          Alcotest.test_case "executes all" `Quick test_orderer_executes_all;
+          Alcotest.test_case "per-group FIFO" `Quick test_orderer_per_group_fifo;
+          Alcotest.test_case "agreement across interleavings" `Quick test_orderer_agreement_across_interleavings;
+          Alcotest.test_case "fast group not blocked" `Quick test_orderer_fast_group_not_blocked;
+          Alcotest.test_case "stream monotonicity" `Quick test_orderer_stream_monotonicity_enforced;
+          Alcotest.test_case "crashed group tail" `Quick test_orderer_crashed_group_tail;
+          QCheck_alcotest.to_alcotest prop_orderer_agreement_random_worlds;
+        ] );
+      ( "chunker_rebuild",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_chunker_roundtrip_via_rebuild;
+          Alcotest.test_case "deterministic encoding" `Quick test_chunker_deterministic;
+          Alcotest.test_case "wire size consistent" `Quick test_chunk_wire_size_consistent;
+          Alcotest.test_case "bad proof rejected" `Quick test_rebuild_rejects_bad_proof;
+          Alcotest.test_case "fake bucket blacklists" `Quick test_rebuild_fake_bucket_blacklists;
+          Alcotest.test_case "mixed interleaving" `Quick test_rebuild_mixed_interleaving;
+          Alcotest.test_case "gf16 chunk path (272 chunks)" `Quick test_chunker_gf16_path;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* Integration tests: full protocol deployments over the simulated
+   cluster. These check system-level properties — progress for every
+   system, agreement on execution order and ledgers across groups,
+   state convergence with independent stores, Byzantine chunk tampering
+   tolerance, and group-crash takeover with VTS continuation. *)
+
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Config = Massbft.Config
+module Engine = Massbft.Engine
+module Metrics = Massbft.Metrics
+module Types = Massbft.Types
+module Ledger = Massbft_exec.Ledger
+module Stats = Massbft_util.Stats
+module Clusters = Massbft_harness.Clusters
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Small, fast cluster: 3 groups x 4 nodes, tiny batches. *)
+let small_cfg ?(system = Config.Massbft) () =
+  {
+    (Config.default ~system ()) with
+    Config.max_batch = 40;
+    pipeline = 4;
+    workload_scale = 0.001;
+  }
+
+let small_spec ?group_sizes () =
+  Clusters.nationwide ?group_sizes ~nodes_per_group:4 ()
+
+let run_engine ?(until = 6.0) ?(cfg = small_cfg ()) ?(spec = small_spec ())
+    ?(before_run = fun _ _ _ -> ()) () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim spec in
+  let eng = Engine.create sim topo cfg in
+  Engine.start eng;
+  before_run eng sim topo;
+  Sim.run sim ~until;
+  (eng, sim, topo)
+
+let committed eng =
+  Stats.Counter.get (Engine.metrics eng).Metrics.committed_txns
+
+(* ------------------------------------------------------------------ *)
+(* Progress for every system                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_systems_make_progress () =
+  List.iter
+    (fun system ->
+      let eng, _, _ = run_engine ~cfg:(small_cfg ~system ()) () in
+      let n = committed eng in
+      check_bool
+        (Printf.sprintf "%s commits transactions (%d)" (Config.system_name system) n)
+        true (n > 200);
+      check_bool
+        (Printf.sprintf "%s executed entries" (Config.system_name system))
+        true
+        (Engine.entries_executed_total eng > 0))
+    Config.all_systems
+
+let test_all_groups_propose () =
+  (* Multi-master: every group's entries appear in the executed order. *)
+  let eng, _, _ = run_engine () in
+  let ids = Engine.executed_ids eng ~gid:0 in
+  List.iter
+    (fun g ->
+      check_bool
+        (Printf.sprintf "group %d proposed and executed" g)
+        true
+        (List.exists (fun (e : Types.entry_id) -> e.Types.gid = g) ids))
+    [ 0; 1; 2 ]
+
+let test_steward_single_proposer_order () =
+  (* Steward executes in the single Raft instance's commit order —
+     identical at every leader. *)
+  let eng, _, _ = run_engine ~cfg:(small_cfg ~system:Config.Steward ()) () in
+  let a = Engine.executed_ids eng ~gid:0 in
+  check_bool "some execution" true (List.length a > 5)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prefix_agree name a b =
+  let common = min (List.length a) (List.length b) in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  Alcotest.(check (list (pair int int)))
+    name
+    (List.map (fun (e : Types.entry_id) -> (e.Types.gid, e.Types.seq)) (take common a))
+    (List.map (fun (e : Types.entry_id) -> (e.Types.gid, e.Types.seq)) (take common b))
+
+let test_execution_agreement () =
+  List.iter
+    (fun system ->
+      let eng, _, _ = run_engine ~cfg:(small_cfg ~system ()) () in
+      let l0 = Engine.executed_ids eng ~gid:0 in
+      let l1 = Engine.executed_ids eng ~gid:1 in
+      let l2 = Engine.executed_ids eng ~gid:2 in
+      check_bool "nonempty" true (List.length l0 > 5);
+      prefix_agree (Config.system_name system ^ " 0~1") l0 l1;
+      prefix_agree (Config.system_name system ^ " 0~2") l0 l2)
+    [ Config.Massbft; Config.Baseline; Config.Geobft; Config.Steward; Config.Iss ]
+
+let test_ledger_agreement () =
+  let eng, _, _ = run_engine () in
+  let la = Engine.ledger_of eng ~gid:0 in
+  let lb = Engine.ledger_of eng ~gid:1 in
+  check_bool "ledgers verify" true (Ledger.verify la && Ledger.verify lb);
+  let common = min (Ledger.height la) (Ledger.height lb) in
+  check_bool "nonempty ledgers" true (common > 5);
+  check_int "hash-linked prefix identical" common (Ledger.equal_prefix la lb)
+
+let test_store_convergence_independent () =
+  (* With independent stores, leaders that executed the same number of
+     entries hold byte-identical databases. *)
+  let cfg = { (small_cfg ()) with Config.independent_stores = true } in
+  let eng, _, _ = run_engine ~cfg () in
+  let counts =
+    List.map (fun g -> List.length (Engine.executed_ids eng ~gid:g)) [ 0; 1; 2 ]
+  in
+  check_bool "executed something" true (List.for_all (fun c -> c > 5) counts);
+  (match counts with
+  | [ a; b; c ] when a = b && b = c ->
+      let f0 = Engine.leader_store_fingerprint eng ~gid:0 in
+      let f1 = Engine.leader_store_fingerprint eng ~gid:1 in
+      let f2 = Engine.leader_store_fingerprint eng ~gid:2 in
+      Alcotest.(check string) "stores 0~1 converge" f0 f1;
+      Alcotest.(check string) "stores 0~2 converge" f0 f2
+  | _ ->
+      (* Progress differed; agreement on the common prefix was already
+         checked above. *)
+      ());
+  ignore (Engine.store_fingerprint eng)
+
+let test_determinism_across_runs () =
+  (* Same seed, same cluster: identical executed order and identical
+     committed counts. *)
+  let run () =
+    let eng, _, _ = run_engine () in
+    (Engine.executed_ids eng ~gid:0, committed eng)
+  in
+  let ids1, n1 = run () in
+  let ids2, n2 = run () in
+  check_int "same committed count" n1 n2;
+  prefix_agree "same executed order" ids1 ids2;
+  check_int "same length" (List.length ids1) (List.length ids2)
+
+(* ------------------------------------------------------------------ *)
+(* Per-group FIFO and pipeline sanity                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_per_group_fifo_execution () =
+  let eng, _, _ = run_engine () in
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Types.entry_id) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt last e.Types.gid) in
+      check_int
+        (Printf.sprintf "group %d in seq order" e.Types.gid)
+        (prev + 1) e.Types.seq;
+      Hashtbl.replace last e.Types.gid e.Types.seq)
+    (Engine.executed_ids eng ~gid:0)
+
+let test_throughput_ranking () =
+  (* The headline result in miniature: MassBFT beats Baseline beats
+     Steward on the same cluster. Full-size batches so that WAN
+     bandwidth (not the batch timer) is the binding resource. *)
+  let tput system =
+    let cfg = { (small_cfg ~system ()) with Config.max_batch = 500 } in
+    let eng, _, _ =
+      run_engine ~until:10.0 ~cfg
+        ~spec:(Clusters.nationwide ~nodes_per_group:7 ()) ()
+    in
+    committed eng
+  in
+  let m = tput Config.Massbft in
+  let b = tput Config.Baseline in
+  let s = tput Config.Steward in
+  check_bool (Printf.sprintf "massbft %d > baseline %d" m b) true (m > b);
+  check_bool (Printf.sprintf "baseline %d > steward %d" b s) true (b > s)
+
+let test_wan_traffic_advantage () =
+  (* Encoded bijective replication moves fewer WAN bytes per executed
+     entry than Baseline's f+1 full copies (Figure 10's phenomenon).
+     Needs 7-node groups: at n = 4, f + 1 = 2 copies matches the
+     erasure redundancy and the advantage vanishes. *)
+  let per_entry system =
+    let cfg = { (small_cfg ~system ()) with Config.max_batch = 200 } in
+    let eng, _, _ =
+      run_engine ~until:8.0 ~cfg ~spec:(Clusters.nationwide ~nodes_per_group:7 ()) ()
+    in
+    float_of_int (Engine.wan_bytes eng)
+    /. float_of_int (max 1 (Engine.entries_executed_total eng))
+  in
+  let m = per_entry Config.Massbft in
+  let b = per_entry Config.Baseline in
+  check_bool (Printf.sprintf "massbft %.0f B/entry < baseline %.0f" m b) true (m < b)
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_byzantine_chunk_tampering_tolerated () =
+  (* One colluding Byzantine node per 4-node group (f = 1) tampers with
+     every chunk it sends or forwards; throughput must survive. *)
+  let clean_cfg = small_cfg () in
+  let byz_cfg =
+    { clean_cfg with Config.byzantine_per_group = 1; byzantine_from_s = 0.0 }
+  in
+  let clean, _, _ = run_engine ~until:8.0 ~cfg:clean_cfg () in
+  let byz, _, _ = run_engine ~until:8.0 ~cfg:byz_cfg () in
+  let c = committed clean and b = committed byz in
+  check_bool (Printf.sprintf "byzantine run commits (%d vs clean %d)" b c) true
+    (b > (c * 6 / 10));
+  (* Execution order still agrees across groups. *)
+  prefix_agree "agreement under tampering"
+    (Engine.executed_ids byz ~gid:0)
+    (Engine.executed_ids byz ~gid:1)
+
+let test_byzantine_activation_mid_run () =
+  (* Tampering that begins mid-run (the Figure 15 scenario) must not
+     stop progress after the activation point. *)
+  let cfg =
+    { (small_cfg ()) with Config.byzantine_per_group = 1; byzantine_from_s = 3.0 }
+  in
+  let eng, _, _ = run_engine ~until:8.0 ~cfg () in
+  let m = Engine.metrics eng in
+  let late =
+    List.filter (fun (t, r) -> t >= 4.0 && r > 0.0)
+      (Stats.Timeseries.rate_series m.Metrics.txn_rate)
+  in
+  check_bool "throughput continues after tampering starts" true
+    (List.length late >= 3)
+
+let test_group_crash_massbft_recovers_via_takeover () =
+  (* Crash group 0 mid-run: ordering stalls until another group takes
+     over instance 0 and assigns frozen timestamps; then throughput from
+     groups 1 and 2 resumes (Figure 15). *)
+  let cfg =
+    {
+      (small_cfg ()) with
+      Config.crash_group_at = Some (0, 4.0);
+      election_timeout_s = 0.8;
+    }
+  in
+  let eng, _, _ = run_engine ~until:14.0 ~cfg () in
+  let m = Engine.metrics eng in
+  let series = Stats.Timeseries.rate_series m.Metrics.txn_rate in
+  let before = List.filter (fun (t, _) -> t < 4.0) series in
+  let after = List.filter (fun (t, r) -> t >= 8.0 && r > 0.0) series in
+  check_bool "throughput before crash" true
+    (List.exists (fun (_, r) -> r > 0.0) before);
+  check_bool
+    (Printf.sprintf "throughput resumes after takeover (%d live buckets)"
+       (List.length after))
+    true
+    (List.length after >= 3);
+  (* The survivors still agree. *)
+  prefix_agree "agreement across survivors"
+    (Engine.executed_ids eng ~gid:1)
+    (Engine.executed_ids eng ~gid:2)
+
+let test_group_crash_geobft_stalls () =
+  (* GeoBFT has no group fault tolerance: a crashed group halts the
+     round-based ordering (Table I's "Group failure: No"). *)
+  let cfg =
+    { (small_cfg ~system:Config.Geobft ()) with Config.crash_group_at = Some (0, 3.0) }
+  in
+  let eng, _, _ = run_engine ~until:10.0 ~cfg () in
+  let m = Engine.metrics eng in
+  let late =
+    List.filter (fun (t, r) -> t >= 6.0 && r > 1.0)
+      (Stats.Timeseries.rate_series m.Metrics.txn_rate)
+  in
+  check_int "ordering halts for good" 0 (List.length late)
+
+let test_recovery_transfer_back () =
+  (* Crash group 0, recover it later: the cluster keeps making progress
+     after recovery and group 0 eventually proposes again. *)
+  let cfg =
+    {
+      (small_cfg ()) with
+      Config.crash_group_at = Some (0, 3.0);
+      election_timeout_s = 0.6;
+    }
+  in
+  let eng, _, _ =
+    run_engine ~until:18.0 ~cfg
+      ~before_run:(fun eng sim _ ->
+        ignore (Sim.at sim 7.0 (fun () -> Engine.recover_group eng 0)))
+      ()
+  in
+  let m = Engine.metrics eng in
+  let late =
+    List.filter (fun (t, r) -> t >= 12.0 && r > 0.0)
+      (Stats.Timeseries.rate_series m.Metrics.txn_rate)
+  in
+  check_bool "progress after recovery" true (List.length late >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Heterogeneous configurations                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_unequal_group_sizes () =
+  (* Figure 12's setting: a 4-node group among 7-node groups. Async
+     ordering must let the big groups outrun the small one. *)
+  let spec = small_spec ~group_sizes:[| 4; 7; 7 |] () in
+  let eng, _, _ = run_engine ~until:8.0 ~spec () in
+  check_bool "progress with mixed sizes" true (committed eng > 500);
+  prefix_agree "agreement with mixed sizes"
+    (Engine.executed_ids eng ~gid:0)
+    (Engine.executed_ids eng ~gid:2)
+
+let test_bandwidth_degradation () =
+  (* Figure 14: degrading some nodes' WAN must reduce but not kill
+     throughput. Full batches so that bandwidth binds. *)
+  let slow eng_count =
+    let cfg = { (small_cfg ()) with Config.max_batch = 500 } in
+    let eng, _, _ =
+      run_engine ~until:10.0 ~cfg
+        ~before_run:(fun _ _ topo ->
+          for g = 0 to 2 do
+            for n = 0 to eng_count - 1 do
+              Topology.set_wan_bandwidth topo { Topology.g; n = 3 - n } 2e6
+            done
+          done)
+        ()
+    in
+    committed eng
+  in
+  let fast = slow 0 in
+  (* Degrading 2 of 4 nodes costs nothing by design: slow senders ship
+     their chunks to slow receivers and the n_data fast chunks suffice
+     (the paper's "best case", Figure 14). Degrade 3 of 4 so that slow
+     chunks are needed for every rebuild. *)
+  let degraded = slow 3 in
+  check_bool
+    (Printf.sprintf "degraded slower (%d < %d)" degraded fast)
+    true (degraded < fast);
+  check_bool "degraded still alive" true (degraded > 200)
+
+let test_more_groups () =
+  (* Figure 13b's direction: 5 groups still work. *)
+  let spec = Clusters.nationwide ~groups:5 ~nodes_per_group:4 () in
+  let eng, _, _ = run_engine ~until:6.0 ~spec () in
+  check_bool "5-group cluster commits" true (committed eng > 200);
+  prefix_agree "5-group agreement"
+    (Engine.executed_ids eng ~gid:0)
+    (Engine.executed_ids eng ~gid:4)
+
+let test_workloads_all_run () =
+  List.iter
+    (fun wl ->
+      let cfg = { (small_cfg ()) with Config.workload = wl } in
+      let eng, _, _ = run_engine ~until:5.0 ~cfg () in
+      check_bool
+        (Massbft_workload.Workload.kind_name wl ^ " commits")
+        true (committed eng > 100))
+    Massbft_workload.Workload.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Crash with in-flight entries: the unwedge path                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_with_lost_content_unwedges () =
+  (* Regression for the head-of-line wedge: the crashed leader's final
+     in-flight entries may have no content anywhere (their chunks never
+     finished dissemination). The takeover leader must no-op them after
+     fetches fail, or every instance wedges behind them. Byzantine
+     colluders are enabled too, matching the paper's Figure 15 setup. *)
+  let cfg =
+    {
+      (small_cfg ()) with
+      Config.max_batch = 200;
+      byzantine_per_group = 1;
+      byzantine_from_s = 1.0;
+      crash_group_at = Some (0, 4.0);
+      election_timeout_s = 0.8;
+    }
+  in
+  let eng, _, _ = run_engine ~until:16.0 ~cfg () in
+  let m = Engine.metrics eng in
+  let late =
+    List.filter (fun (t, r) -> t >= 12.0 && r > 0.0)
+      (Stats.Timeseries.rate_series m.Metrics.txn_rate)
+  in
+  check_bool
+    (Printf.sprintf "survivors resume after unwedge (%d live buckets)"
+       (List.length late))
+    true
+    (List.length late >= 3);
+  prefix_agree "agreement preserved through the unwedge"
+    (Engine.executed_ids eng ~gid:1)
+    (Engine.executed_ids eng ~gid:2)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation flags                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_serial_vts_variant_works () =
+  (* Figure 7a's two-phase assignment: same agreement, more latency. *)
+  let cfg = { (small_cfg ()) with Config.overlapped_vts = false } in
+  let eng, _, _ = run_engine ~cfg () in
+  check_bool "serial variant commits" true (committed eng > 200);
+  prefix_agree "serial variant agrees"
+    (Engine.executed_ids eng ~gid:0)
+    (Engine.executed_ids eng ~gid:2)
+
+let test_serial_vts_slower_than_overlapped () =
+  let lat overlapped =
+    let cfg = { (small_cfg ()) with Config.overlapped_vts = overlapped } in
+    let eng, _, _ = run_engine ~until:8.0 ~cfg () in
+    Massbft.Metrics.mean_latency_ms (Engine.metrics eng)
+  in
+  let fast = lat true and slow = lat false in
+  check_bool
+    (Printf.sprintf "overlapped faster (%.1f < %.1f ms)" fast slow)
+    true (fast < slow)
+
+let test_no_reorder_variant_works () =
+  let cfg = { (small_cfg ()) with Config.reorder = false } in
+  let eng, _, _ = run_engine ~cfg () in
+  check_bool "plain Aria commits" true (committed eng > 200)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-workload agreement                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_agreement_on_every_workload () =
+  List.iter
+    (fun wl ->
+      let cfg = { (small_cfg ()) with Config.workload = wl } in
+      let eng, _, _ = run_engine ~until:5.0 ~cfg () in
+      prefix_agree
+        (Massbft_workload.Workload.kind_name wl ^ " agreement")
+        (Engine.executed_ids eng ~gid:0)
+        (Engine.executed_ids eng ~gid:1))
+    Massbft_workload.Workload.all_kinds
+
+let test_tpcc_commit_ratio_below_kv () =
+  (* Figure 8d's story: TPC-C's Payment hotspots produce more Aria
+     conflicts than the key-value workloads. *)
+  let ratio wl =
+    let cfg = { (small_cfg ()) with Config.workload = wl; Config.workload_scale = 0.01 } in
+    let eng, _, _ = run_engine ~until:6.0 ~cfg () in
+    Massbft.Metrics.commit_ratio (Engine.metrics eng)
+  in
+  let tpcc = ratio Massbft_workload.Workload.Tpcc in
+  let sb = ratio Massbft_workload.Workload.Smallbank in
+  check_bool
+    (Printf.sprintf "tpcc ratio %.3f < smallbank %.3f" tpcc sb)
+    true (tpcc < sb)
+
+(* ------------------------------------------------------------------ *)
+(* ISS epoch gating                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_iss_respects_epoch_barrier () =
+  (* An ISS group never executes an epoch-k entry before every round of
+     epoch k-1 has executed: examine the executed sequence. *)
+  let cfg = { (small_cfg ~system:Config.Iss ()) with Config.epoch_rounds = 5 } in
+  let eng, _, _ = run_engine ~cfg () in
+  let ids = Engine.executed_ids eng ~gid:0 in
+  check_bool "progress" true (List.length ids > 20);
+  (* Round r = seq; epochs are 5 rounds: by the time any entry of epoch
+     e appears, all 3*5 entries of epoch e-1 must have appeared. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Types.entry_id) ->
+      let epoch = (e.Types.seq - 1) / 5 in
+      if epoch > 0 then begin
+        for r = (epoch - 1) * 5 + 1 to epoch * 5 do
+          for g = 0 to 2 do
+            check_bool
+              (Printf.sprintf "epoch %d entry needs (%d,%d) first" epoch g r)
+              true
+              (Hashtbl.mem seen (g, r))
+          done
+        done
+      end;
+      Hashtbl.replace seen (e.Types.gid, e.Types.seq) ())
+    ids
+
+let () =
+  Alcotest.run "massbft_engine"
+    [
+      ( "progress",
+        [
+          Alcotest.test_case "all systems" `Slow test_all_systems_make_progress;
+          Alcotest.test_case "all groups propose" `Quick test_all_groups_propose;
+          Alcotest.test_case "steward order" `Quick test_steward_single_proposer_order;
+          Alcotest.test_case "all workloads" `Slow test_workloads_all_run;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "execution order across groups" `Slow test_execution_agreement;
+          Alcotest.test_case "ledger prefix" `Quick test_ledger_agreement;
+          Alcotest.test_case "store convergence" `Quick test_store_convergence_independent;
+          Alcotest.test_case "run determinism" `Quick test_determinism_across_runs;
+          Alcotest.test_case "per-group FIFO" `Quick test_per_group_fifo_execution;
+        ] );
+      ( "performance",
+        [
+          Alcotest.test_case "throughput ranking" `Slow test_throughput_ranking;
+          Alcotest.test_case "WAN advantage" `Slow test_wan_traffic_advantage;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "byzantine tampering" `Slow test_byzantine_chunk_tampering_tolerated;
+          Alcotest.test_case "mid-run activation" `Slow test_byzantine_activation_mid_run;
+          Alcotest.test_case "group crash takeover" `Slow test_group_crash_massbft_recovers_via_takeover;
+          Alcotest.test_case "geobft stalls on crash" `Slow test_group_crash_geobft_stalls;
+          Alcotest.test_case "recovery transfer-back" `Slow test_recovery_transfer_back;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "unwedge after lossy crash" `Slow test_crash_with_lost_content_unwedges;
+          Alcotest.test_case "serial VTS variant" `Quick test_serial_vts_variant_works;
+          Alcotest.test_case "overlapping saves latency" `Slow test_serial_vts_slower_than_overlapped;
+          Alcotest.test_case "no-reorder variant" `Quick test_no_reorder_variant_works;
+          Alcotest.test_case "agreement on all workloads" `Slow test_agreement_on_every_workload;
+          Alcotest.test_case "tpcc hotspot ratio" `Slow test_tpcc_commit_ratio_below_kv;
+          Alcotest.test_case "ISS epoch barrier" `Quick test_iss_respects_epoch_barrier;
+        ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "unequal group sizes" `Quick test_unequal_group_sizes;
+          Alcotest.test_case "bandwidth degradation" `Slow test_bandwidth_degradation;
+          Alcotest.test_case "five groups" `Quick test_more_groups;
+        ] );
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the execution substrate: the lazy KV store, Aria
+   deterministic concurrency control (conflict rules, determinism,
+   reordering), and the hash-chained ledger. *)
+
+module Kvstore = Massbft_exec.Kvstore
+module Aria = Massbft_exec.Aria
+module Ledger = Massbft_exec.Ledger
+module Txn = Massbft_workload.Txn
+module Workload = Massbft_workload.Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Txn builders for precise conflict scenarios. *)
+let mk_id = ref 0
+
+let mk ?(label = "t") body =
+  incr mk_id;
+  Txn.make ~id:!mk_id ~label ~wire_size:100 body
+
+let write_txn k v = mk (fun ctx -> ctx.Txn.write k v)
+let read_txn k = mk (fun ctx -> ignore (ctx.Txn.read k))
+
+let rmw_txn k delta =
+  mk (fun ctx ->
+      let v = Txn.int_value (Option.value ~default:"0" (ctx.Txn.read k)) in
+      ctx.Txn.write k (Txn.of_int (v + delta)))
+
+(* ------------------------------------------------------------------ *)
+(* Kvstore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_basics () =
+  let s = Kvstore.create () in
+  check_bool "absent" true (Kvstore.get s "a" = None);
+  Kvstore.put s "a" "1";
+  check_bool "present" true (Kvstore.get s "a" = Some "1");
+  Kvstore.put s "a" "2";
+  check_bool "overwrite" true (Kvstore.get s "a" = Some "2");
+  check_int "size" 1 (Kvstore.size s)
+
+let test_store_lazy_init () =
+  let s = Kvstore.create ~init:(fun k -> if k = "cold" then Some "42" else None) () in
+  check_bool "cold row faulted in" true (Kvstore.get s "cold" = Some "42");
+  check_bool "unknown still absent" true (Kvstore.get s "other" = None);
+  check_int "only cold materialized" 1 (Kvstore.size s);
+  Kvstore.put s "cold" "43";
+  check_bool "write wins over init" true (Kvstore.get s "cold" = Some "43")
+
+let test_store_fingerprint () =
+  let a = Kvstore.create () and b = Kvstore.create () in
+  Kvstore.put a "x" "1";
+  Kvstore.put a "y" "2";
+  (* Same contents, different insertion order. *)
+  Kvstore.put b "y" "2";
+  Kvstore.put b "x" "1";
+  Alcotest.(check string)
+    "order-insensitive" (Kvstore.fingerprint a) (Kvstore.fingerprint b);
+  Kvstore.put b "x" "999";
+  check_bool "content-sensitive" false
+    (String.equal (Kvstore.fingerprint a) (Kvstore.fingerprint b))
+
+(* ------------------------------------------------------------------ *)
+(* Aria                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_aria_no_conflicts_all_commit () =
+  let s = Kvstore.create () in
+  let batch = [ write_txn "a" "1"; write_txn "b" "2"; read_txn "c" ] in
+  let o = Aria.execute_batch s batch in
+  check_int "all commit" 3 (List.length o.Aria.committed);
+  check_int "none conflicted" 0 (List.length o.Aria.conflicted);
+  check_bool "writes applied" true (Kvstore.get s "a" = Some "1");
+  check_bool "writes applied" true (Kvstore.get s "b" = Some "2")
+
+let test_aria_waw_first_writer_wins () =
+  let s = Kvstore.create () in
+  let t1 = write_txn "k" "first" and t2 = write_txn "k" "second" in
+  let o = Aria.execute_batch s [ t1; t2 ] in
+  check_int "one commits" 1 (List.length o.Aria.committed);
+  check_int "one conflicted" 1 (List.length o.Aria.conflicted);
+  check_bool "first writer won" true (Kvstore.get s "k" = Some "first");
+  check_bool "loser is t2" true
+    ((List.hd o.Aria.conflicted).Txn.id = t2.Txn.id)
+
+let test_aria_snapshot_reads () =
+  (* Reads observe the pre-batch snapshot, not in-batch writes of other
+     txns. *)
+  let s = Kvstore.create () in
+  Kvstore.put s "k" "old";
+  let seen = ref None in
+  let t1 = write_txn "k" "new" in
+  let t2 = mk (fun ctx -> seen := ctx.Txn.read "k") in
+  (* t2 is ordered after t1 but with reordering commits as a
+     before-writer read. *)
+  let o = Aria.execute_batch ~reorder:true s [ t1; t2 ] in
+  check_int "both commit under reordering" 2 (List.length o.Aria.committed);
+  check_bool "t2 saw the snapshot value" true (!seen = Some "old");
+  check_bool "store has the new value" true (Kvstore.get s "k" = Some "new")
+
+let test_aria_standard_rule_aborts_raw () =
+  let s = Kvstore.create () in
+  Kvstore.put s "k" "old";
+  let t1 = write_txn "k" "new" in
+  let t2 = read_txn "k" in
+  let o = Aria.execute_batch ~reorder:false s [ t1; t2 ] in
+  check_int "reader aborted without reordering" 1
+    (List.length o.Aria.conflicted);
+  check_bool "aborted one is the reader" true
+    ((List.hd o.Aria.conflicted).Txn.id = t2.Txn.id)
+
+let test_aria_reordering_saves_raw_only () =
+  (* raw-only (read vs earlier write) commits under reordering; but a
+     txn with both raw and war still aborts. *)
+  let s = Kvstore.create () in
+  Kvstore.put s "x" "0";
+  Kvstore.put s "y" "0";
+  let t1 = mk (fun ctx ->
+      ignore (ctx.Txn.read "y");
+      ctx.Txn.write "x" "1")
+  in
+  let t2 = mk (fun ctx ->
+      ignore (ctx.Txn.read "x");
+      ctx.Txn.write "y" "2")
+  in
+  (* t2: raw on x (t1 writes x earlier), war on y (t1 reads y). Cannot be
+     serialized either way: abort. *)
+  let o = Aria.execute_batch ~reorder:true s [ t1; t2 ] in
+  check_int "cycle aborts t2" 1 (List.length o.Aria.conflicted);
+  check_bool "t2 is the victim" true
+    ((List.hd o.Aria.conflicted).Txn.id = t2.Txn.id)
+
+let test_aria_rmw_contention () =
+  (* Ten counter increments on one key in a single batch: exactly one
+     commits (the rest are WAW/RAW conflicts) — the Aria behaviour that
+     produces TPC-C hotspot aborts. *)
+  let s = Kvstore.create () in
+  let batch = List.init 10 (fun _ -> rmw_txn "counter" 1) in
+  let o = Aria.execute_batch s batch in
+  check_int "one increment commits" 1 (List.length o.Aria.committed);
+  check_int "nine retry" 9 (List.length o.Aria.conflicted);
+  check_bool "counter = 1" true (Kvstore.get s "counter" = Some "1");
+  (* Retrying the conflicted batch drains one more per round. *)
+  let o2 = Aria.execute_batch s o.Aria.conflicted in
+  check_int "second round commits one more" 1 (List.length o2.Aria.committed);
+  check_bool "counter = 2" true (Kvstore.get s "counter" = Some "2")
+
+let test_aria_logic_abort_discards_writes () =
+  let s = Kvstore.create () in
+  let t = mk (fun ctx ->
+      ctx.Txn.write "k" "poison";
+      ctx.Txn.abort ())
+  in
+  let o = Aria.execute_batch s [ t ] in
+  check_int "logic aborted" 1 (List.length o.Aria.logic_aborted);
+  check_int "not conflicted" 0 (List.length o.Aria.conflicted);
+  check_bool "write discarded" true (Kvstore.get s "k" = None)
+
+let test_aria_logic_abort_holds_no_reservation () =
+  let s = Kvstore.create () in
+  let t1 = mk (fun ctx ->
+      ctx.Txn.write "k" "poison";
+      ctx.Txn.abort ())
+  in
+  let t2 = write_txn "k" "good" in
+  let o = Aria.execute_batch s [ t1; t2 ] in
+  check_int "t2 commits despite t1's write" 1 (List.length o.Aria.committed);
+  check_bool "good value stored" true (Kvstore.get s "k" = Some "good")
+
+let test_aria_determinism () =
+  (* Same batch against same state on two stores -> identical outcomes
+     and states. *)
+  let mk_store () =
+    let s = Kvstore.create () in
+    Kvstore.put s "a" "5";
+    s
+  in
+  let mk_batch () =
+    [ rmw_txn "a" 1; rmw_txn "a" 10; write_txn "b" "x"; read_txn "a" ]
+  in
+  let s1 = mk_store () and s2 = mk_store () in
+  let o1 = Aria.execute_batch s1 (mk_batch ()) in
+  let o2 = Aria.execute_batch s2 (mk_batch ()) in
+  check_int "same commits"
+    (List.length o1.Aria.committed)
+    (List.length o2.Aria.committed);
+  Alcotest.(check string)
+    "same final state" (Kvstore.fingerprint s1) (Kvstore.fingerprint s2)
+
+let test_aria_commit_rate () =
+  let s = Kvstore.create () in
+  let o = Aria.execute_batch s (List.init 4 (fun _ -> rmw_txn "k" 1)) in
+  Alcotest.(check (float 1e-9)) "rate 0.25" 0.25 (Aria.commit_rate o);
+  let o_empty = Aria.execute_batch s [] in
+  Alcotest.(check (float 1e-9)) "empty rate 1.0" 1.0 (Aria.commit_rate o_empty)
+
+let test_aria_smallbank_convergence () =
+  (* End-to-end: two replicas executing the same entry stream of real
+     SmallBank txns converge to identical stores. *)
+  let scale = 0.0001 in
+  let run () =
+    let store =
+      Kvstore.create ~init:(Workload.preload ~scale Workload.Smallbank) ()
+    in
+    let w = Workload.create ~scale Workload.Smallbank ~seed:77L in
+    let pending = ref [] in
+    for _ = 1 to 20 do
+      let batch = !pending @ List.init 50 (fun _ -> Workload.next w) in
+      let o = Aria.execute_batch store batch in
+      pending := o.Aria.conflicted
+    done;
+    Kvstore.fingerprint store
+  in
+  Alcotest.(check string) "replicas converge" (run ()) (run ())
+
+let test_aria_tpcc_hotspot_aborts () =
+  (* A one-warehouse TPC-C batch is Payment-heavy on a single YTD row:
+     the conflict rate must be visibly non-zero. *)
+  let cfg = { Massbft_workload.Tpcc.default with Massbft_workload.Tpcc.warehouses = 1 } in
+  let g = Massbft_workload.Tpcc.create cfg ~seed:15L in
+  let store =
+    Kvstore.create ~init:(Massbft_workload.Tpcc.preload cfg) ()
+  in
+  let batch = List.init 60 (fun _ -> Massbft_workload.Tpcc.next g) in
+  let o = Aria.execute_batch store batch in
+  check_bool
+    (Printf.sprintf "hotspot causes conflicts (%d)" (List.length o.Aria.conflicted))
+    true
+    (List.length o.Aria.conflicted > 10)
+
+let prop_aria_deterministic_partition =
+  QCheck.Test.make ~name:"every txn lands in exactly one outcome bucket" ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_range 0 5) (int_range 0 3)))
+    (fun spec ->
+      let s = Kvstore.create () in
+      let batch =
+        List.mapi
+          (fun i (key, kind) ->
+            let k = "k" ^ string_of_int key in
+            match kind with
+            | 0 -> Txn.make ~id:i ~label:"w" ~wire_size:1 (fun ctx -> ctx.Txn.write k "v")
+            | 1 -> Txn.make ~id:i ~label:"r" ~wire_size:1 (fun ctx -> ignore (ctx.Txn.read k))
+            | 2 ->
+                Txn.make ~id:i ~label:"rmw" ~wire_size:1 (fun ctx ->
+                    let v = Txn.int_value (Option.value ~default:"0" (ctx.Txn.read k)) in
+                    ctx.Txn.write k (Txn.of_int (v + 1)))
+            | _ -> Txn.make ~id:i ~label:"a" ~wire_size:1 (fun ctx -> ctx.Txn.abort ()))
+          spec
+      in
+      let o = Aria.execute_batch s batch in
+      List.length o.Aria.committed
+      + List.length o.Aria.conflicted
+      + List.length o.Aria.logic_aborted
+      = List.length batch)
+
+(* ------------------------------------------------------------------ *)
+(* Aria fallback lane                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fallback_always_commits () =
+  (* Ten hot-key increments through the fallback lane all commit in one
+     round (unlike the parallel lane, where only one would). *)
+  let s = Kvstore.create () in
+  let batch = List.init 10 (fun _ -> rmw_txn "hot" 1) in
+  let o = Aria.execute_batch ~fallback:batch s [] in
+  check_int "all ten commit" 10 (List.length o.Aria.committed);
+  check_int "none conflicted" 0 (List.length o.Aria.conflicted);
+  check_bool "serial visibility: counter = 10" true
+    (Kvstore.get s "hot" = Some "10")
+
+let test_fallback_sees_parallel_writes () =
+  (* The fallback lane runs after the parallel lane and observes its
+     committed writes. *)
+  let s = Kvstore.create () in
+  let parallel = [ write_txn "k" "5" ] in
+  let fb = [ rmw_txn "k" 1 ] in
+  let o = Aria.execute_batch ~fallback:fb s parallel in
+  check_int "both commit" 2 (List.length o.Aria.committed);
+  check_bool "fallback read the parallel write" true
+    (Kvstore.get s "k" = Some "6")
+
+let test_fallback_logic_abort_final () =
+  let s = Kvstore.create () in
+  let fb = [ mk (fun ctx -> ctx.Txn.write "k" "x"; ctx.Txn.abort ()) ] in
+  let o = Aria.execute_batch ~fallback:fb s [] in
+  check_int "logic abort recorded" 1 (List.length o.Aria.logic_aborted);
+  check_bool "write discarded" true (Kvstore.get s "k" = None)
+
+let test_fallback_deterministic_order () =
+  (* Fallback effects depend only on list order. *)
+  let run () =
+    let s = Kvstore.create () in
+    let fb = [ write_txn "k" "first"; write_txn "k" "second" ] in
+    ignore (Aria.execute_batch ~fallback:fb s []);
+    Kvstore.get s "k"
+  in
+  check_bool "last writer wins, deterministically" true
+    (run () = Some "second" && run () = Some "second")
+
+(* ------------------------------------------------------------------ *)
+(* Ledger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_ledger_chain () =
+  let l = Ledger.create () in
+  check_int "empty" 0 (Ledger.height l);
+  Alcotest.(check string) "genesis head" Ledger.genesis_hash (Ledger.head_hash l);
+  let b1 = Ledger.append l ~gid:0 ~seq:1 ~txn_count:10 ~payload_digest:"d1" in
+  let b2 = Ledger.append l ~gid:1 ~seq:1 ~txn_count:20 ~payload_digest:"d2" in
+  check_int "height" 2 (Ledger.height l);
+  Alcotest.(check string) "linked" b1.Ledger.block_hash b2.Ledger.prev_hash;
+  Alcotest.(check string) "head" b2.Ledger.block_hash (Ledger.head_hash l);
+  check_bool "verifies" true (Ledger.verify l)
+
+let test_ledger_equal_prefix () =
+  let build upto =
+    let l = Ledger.create () in
+    for i = 1 to upto do
+      ignore (Ledger.append l ~gid:0 ~seq:i ~txn_count:1 ~payload_digest:"d")
+    done;
+    l
+  in
+  let a = build 5 and b = build 3 in
+  check_int "prefix of 3" 3 (Ledger.equal_prefix a b);
+  let c = Ledger.create () in
+  ignore (Ledger.append c ~gid:9 ~seq:1 ~txn_count:1 ~payload_digest:"other");
+  check_int "divergent chains share nothing" 0 (Ledger.equal_prefix a c)
+
+let test_ledger_determinism () =
+  let build () =
+    let l = Ledger.create () in
+    ignore (Ledger.append l ~gid:0 ~seq:1 ~txn_count:5 ~payload_digest:"p");
+    ignore (Ledger.append l ~gid:1 ~seq:1 ~txn_count:7 ~payload_digest:"q");
+    Ledger.head_hash l
+  in
+  Alcotest.(check string) "same blocks, same head" (build ()) (build ())
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "massbft_exec"
+    [
+      ( "kvstore",
+        [
+          Alcotest.test_case "basics" `Quick test_store_basics;
+          Alcotest.test_case "lazy init" `Quick test_store_lazy_init;
+          Alcotest.test_case "fingerprint" `Quick test_store_fingerprint;
+        ] );
+      ( "aria",
+        [
+          Alcotest.test_case "no conflicts" `Quick test_aria_no_conflicts_all_commit;
+          Alcotest.test_case "WAW first writer wins" `Quick test_aria_waw_first_writer_wins;
+          Alcotest.test_case "snapshot reads" `Quick test_aria_snapshot_reads;
+          Alcotest.test_case "standard rule aborts RAW" `Quick test_aria_standard_rule_aborts_raw;
+          Alcotest.test_case "reordering limits" `Quick test_aria_reordering_saves_raw_only;
+          Alcotest.test_case "RMW contention" `Quick test_aria_rmw_contention;
+          Alcotest.test_case "logic abort discards" `Quick test_aria_logic_abort_discards_writes;
+          Alcotest.test_case "logic abort unreserved" `Quick test_aria_logic_abort_holds_no_reservation;
+          Alcotest.test_case "determinism" `Quick test_aria_determinism;
+          Alcotest.test_case "commit rate" `Quick test_aria_commit_rate;
+          Alcotest.test_case "smallbank convergence" `Quick test_aria_smallbank_convergence;
+          Alcotest.test_case "tpcc hotspot aborts" `Quick test_aria_tpcc_hotspot_aborts;
+          qt prop_aria_deterministic_partition;
+          Alcotest.test_case "fallback always commits" `Quick test_fallback_always_commits;
+          Alcotest.test_case "fallback sees parallel writes" `Quick test_fallback_sees_parallel_writes;
+          Alcotest.test_case "fallback logic abort" `Quick test_fallback_logic_abort_final;
+          Alcotest.test_case "fallback deterministic" `Quick test_fallback_deterministic_order;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "chain" `Quick test_ledger_chain;
+          Alcotest.test_case "equal prefix" `Quick test_ledger_equal_prefix;
+          Alcotest.test_case "determinism" `Quick test_ledger_determinism;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the experiment harness: cluster topologies, the runner's
+   accounting, and the cheap figures (the expensive sweeps are covered
+   by bench/main.ml and spot-checked here in quick mode). *)
+
+module Clusters = Massbft_harness.Clusters
+module Runner = Massbft_harness.Runner
+module Figures = Massbft_harness.Figures
+module Config = Massbft.Config
+module W = Massbft_workload.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Clusters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_nationwide_defaults () =
+  let spec = Clusters.nationwide () in
+  check_int "3 groups" 3 (Array.length spec.Massbft_sim.Topology.group_sizes);
+  Array.iter (fun s -> check_int "7 nodes" 7 s) spec.Massbft_sim.Topology.group_sizes;
+  check_float "20 Mbps WAN" 20e6 spec.Massbft_sim.Topology.wan_bps;
+  check_float "2.5 Gbps LAN" 2.5e9 spec.Massbft_sim.Topology.lan_bps;
+  check_int "8 cores" 8 spec.Massbft_sim.Topology.cores
+
+let test_nationwide_rtts_in_paper_range () =
+  (* Paper: 26.7 - 43.4 ms between any two of the three primary sites. *)
+  for g1 = 0 to 2 do
+    for g2 = 0 to 2 do
+      if g1 <> g2 then begin
+        let rtt = Clusters.nationwide_rtt g1 g2 in
+        check_bool
+          (Printf.sprintf "rtt %d-%d in range (%.4f)" g1 g2 rtt)
+          true
+          (rtt >= 0.0267 -. 1e-9 && rtt <= 0.0434 +. 1e-9);
+        check_float "symmetric" rtt (Clusters.nationwide_rtt g2 g1)
+      end
+    done
+  done
+
+let test_worldwide_rtts () =
+  (* Paper: 156 - 206 ms. *)
+  for g1 = 0 to 2 do
+    for g2 = 0 to 2 do
+      if g1 <> g2 then begin
+        let rtt = Clusters.worldwide_rtt g1 g2 in
+        check_bool "range" true (rtt >= 0.156 -. 1e-9 && rtt <= 0.206 +. 1e-9)
+      end
+    done
+  done
+
+let test_cluster_overrides () =
+  let spec = Clusters.nationwide ~group_sizes:[| 4; 7; 7 |] () in
+  check_int "g0 override" 4 spec.Massbft_sim.Topology.group_sizes.(0);
+  let spec7 = Clusters.nationwide ~groups:7 () in
+  check_int "7 groups" 7 (Array.length spec7.Massbft_sim.Topology.group_sizes);
+  check_bool "bad group count rejected" true
+    (try
+       ignore (Clusters.nationwide ~groups:9 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "mismatched sizes rejected" true
+    (try
+       ignore (Clusters.nationwide ~group_sizes:[| 4 |] ~groups:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg system =
+  {
+    (Config.default ~system ()) with
+    Config.max_batch = 40;
+    pipeline = 4;
+    workload_scale = 0.001;
+  }
+
+let test_runner_result_sanity () =
+  let r =
+    Runner.run ~warmup:1.0 ~duration:3.0
+      ~spec:(Clusters.nationwide ~nodes_per_group:4 ())
+      ~cfg:(small_cfg Config.Massbft) ()
+  in
+  check_bool "positive throughput" true (r.Runner.throughput_ktps > 0.1);
+  check_bool "latency positive" true (r.Runner.mean_latency_ms > 10.0);
+  check_bool "p99 >= mean" true (r.Runner.p99_latency_ms >= r.Runner.mean_latency_ms);
+  check_bool "commit ratio in (0,1]" true
+    (r.Runner.commit_ratio > 0.0 && r.Runner.commit_ratio <= 1.0);
+  check_bool "wan accounted" true (r.Runner.wan_mb > 0.1);
+  check_int "3 per-group entries" 3 (List.length r.Runner.per_group_ktps);
+  let sum = List.fold_left ( +. ) 0.0 r.Runner.per_group_ktps in
+  check_bool
+    (Printf.sprintf "per-group sums to total (%.2f ~ %.2f)" sum r.Runner.throughput_ktps)
+    true
+    (Float.abs (sum -. r.Runner.throughput_ktps) < 0.01 *. Float.max 1.0 r.Runner.throughput_ktps);
+  check_int "6 phases" 6 (List.length r.Runner.phases_ms);
+  check_bool "rate series non-empty" true (r.Runner.rate_series <> [])
+
+let test_runner_probe_lighter_latency () =
+  let spec = Clusters.nationwide ~nodes_per_group:4 () in
+  let cfg = { (small_cfg Config.Massbft) with Config.max_batch = 500 } in
+  let sat = Runner.run ~warmup:2.0 ~duration:4.0 ~spec ~cfg () in
+  let probe = Runner.run_latency_probe ~warmup:2.0 ~duration:4.0 ~spec ~cfg () in
+  check_bool
+    (Printf.sprintf "probe latency below saturated (%.0f < %.0f ms)"
+       probe.Runner.mean_latency_ms sat.Runner.mean_latency_ms)
+    true
+    (probe.Runner.mean_latency_ms <= sat.Runner.mean_latency_ms)
+
+let test_runner_deterministic () =
+  let go () =
+    (Runner.run ~warmup:1.0 ~duration:2.0
+       ~spec:(Clusters.nationwide ~nodes_per_group:4 ())
+       ~cfg:(small_cfg Config.Baseline) ())
+      .Runner.throughput_ktps
+  in
+  check_float "same seed, same number" (go ()) (go ())
+
+(* ------------------------------------------------------------------ *)
+(* Figures (cheap ones; quick mode)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig10_shape () =
+  let fig = Figures.fig10 () in
+  check_int "5 batch sizes" 5 (List.length fig.Figures.rows);
+  List.iter
+    (fun row ->
+      match row.Figures.cells with
+      | [ m; b; ratio ] ->
+          check_bool "massbft cheaper" true (m.Figures.value < b.Figures.value);
+          check_bool
+            (Printf.sprintf "ratio near 3/2.33 (%.3f)" ratio.Figures.value)
+            true
+            (ratio.Figures.value > 1.1 && ratio.Figures.value < 1.35)
+      | _ -> Alcotest.fail "expected 3 cells")
+    fig.Figures.rows
+
+let test_tables_cover_all_systems () =
+  let fig = Figures.tables () in
+  check_int "7 systems" 7 (List.length fig.Figures.rows);
+  List.iter
+    (fun sys ->
+      check_bool
+        (Config.system_name sys ^ " present")
+        true
+        (List.exists
+           (fun r ->
+             (* labels start with the system name *)
+             String.length r.Figures.label >= String.length (Config.system_name sys)
+             && String.sub r.Figures.label 0 (String.length (Config.system_name sys))
+                = Config.system_name sys)
+           fig.Figures.rows))
+    Config.all_systems
+
+let test_fig1b_quick_decreasing () =
+  let fig = Figures.fig1b ~quick:true () in
+  let tputs =
+    List.map
+      (fun r -> (List.hd r.Figures.cells).Figures.value)
+      fig.Figures.rows
+  in
+  match tputs with
+  | a :: rest ->
+      check_bool "monotone decreasing" true
+        (fst
+           (List.fold_left
+              (fun (ok, prev) v -> (ok && v < prev, v))
+              (true, a +. 1.0) (a :: rest)))
+  | [] -> Alcotest.fail "no rows"
+
+let test_all_figures_registered () =
+  let ids = List.map (fun (id, _, _) -> id) Figures.all in
+  List.iter
+    (fun expected ->
+      check_bool (expected ^ " registered") true (List.mem expected ids))
+    [
+      "fig1b"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13a"; "fig13b";
+      "fig14"; "fig15"; "ablations"; "tables";
+    ]
+
+let () =
+  Alcotest.run "massbft_harness"
+    [
+      ( "clusters",
+        [
+          Alcotest.test_case "nationwide defaults" `Quick test_nationwide_defaults;
+          Alcotest.test_case "nationwide RTT range" `Quick test_nationwide_rtts_in_paper_range;
+          Alcotest.test_case "worldwide RTT range" `Quick test_worldwide_rtts;
+          Alcotest.test_case "overrides" `Quick test_cluster_overrides;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "result sanity" `Quick test_runner_result_sanity;
+          Alcotest.test_case "probe lighter" `Slow test_runner_probe_lighter_latency;
+          Alcotest.test_case "determinism" `Quick test_runner_deterministic;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig10 shape" `Quick test_fig10_shape;
+          Alcotest.test_case "tables coverage" `Quick test_tables_cover_all_systems;
+          Alcotest.test_case "fig1b decreasing" `Slow test_fig1b_quick_decreasing;
+          Alcotest.test_case "registry complete" `Quick test_all_figures_registered;
+        ] );
+    ]

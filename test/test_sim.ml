@@ -1,0 +1,407 @@
+(* Tests for the discrete-event simulator: event ordering, timers, NIC
+   serialization, CPU queueing, and the geo topology's latency and
+   bandwidth arithmetic. *)
+
+open Massbft_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Sim core                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.at sim 3.0 (fun () -> log := 3 :: !log));
+  ignore (Sim.at sim 1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.at sim 2.0 (fun () -> log := 2 :: !log));
+  Sim.run_until_idle sim ();
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_fifo_at_equal_times () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    ignore (Sim.at sim 1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.run_until_idle sim ();
+  Alcotest.(check (list int))
+    "insertion order at equal time"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref 0.0 in
+  ignore (Sim.after sim 2.5 (fun () -> seen := Sim.now sim));
+  Sim.run_until_idle sim ();
+  check_float "clock at event time" 2.5 !seen;
+  check_float "clock stays" 2.5 (Sim.now sim)
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.after sim 1.0 (fun () ->
+         log := "a" :: !log;
+         ignore (Sim.after sim 1.0 (fun () -> log := "c" :: !log))));
+  ignore (Sim.after sim 1.5 (fun () -> log := "b" :: !log));
+  Sim.run_until_idle sim ();
+  Alcotest.(check (list string)) "nested order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.after sim 1.0 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run_until_idle sim ();
+  check_bool "cancelled timer silent" false !fired;
+  (* Double-cancel is a no-op. *)
+  Sim.cancel h
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 5 do
+    ignore (Sim.at sim (float_of_int i) (fun () -> incr count))
+  done;
+  Sim.run sim ~until:3.0;
+  check_int "only events <= until" 3 !count;
+  check_float "clock moved to until" 3.0 (Sim.now sim);
+  Sim.run sim ~until:10.0;
+  check_int "remaining events" 5 !count
+
+let test_past_scheduling_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.after sim 5.0 (fun () -> ()));
+  Sim.run sim ~until:6.0;
+  check_bool "at in the past raises" true
+    (try
+       ignore (Sim.at sim 1.0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "negative delay raises" true
+    (try
+       ignore (Sim.after sim (-1.0) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pending () =
+  let sim = Sim.create () in
+  let a = Sim.after sim 1.0 (fun () -> ()) in
+  ignore (Sim.after sim 2.0 (fun () -> ()));
+  check_int "two pending" 2 (Sim.pending sim);
+  Sim.cancel a;
+  check_int "one after cancel" 1 (Sim.pending sim)
+
+(* ------------------------------------------------------------------ *)
+(* Nic                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_nic_serialization_time () =
+  let sim = Sim.create () in
+  (* 20 Mbps: 1 MB takes 0.4 s. *)
+  let nic = Nic.create sim ~bandwidth_bps:20e6 in
+  let done_at = ref 0.0 in
+  Nic.transmit nic ~bytes:1_000_000 (fun () -> done_at := Sim.now sim);
+  Sim.run_until_idle sim ();
+  check_float "1MB at 20Mbps" 0.4 !done_at
+
+let test_nic_fifo_queueing () =
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:8e6 in
+  (* 1 Mbit frames at 8 Mbps: 0.125 s each, queued back-to-back. *)
+  let times = ref [] in
+  for _ = 1 to 3 do
+    Nic.transmit nic ~bytes:125_000 (fun () -> times := Sim.now sim :: !times)
+  done;
+  Sim.run_until_idle sim ();
+  (match List.rev !times with
+  | [ t1; t2; t3 ] ->
+      check_float "first" 0.125 t1;
+      check_float "second queued" 0.25 t2;
+      check_float "third queued" 0.375 t3
+  | _ -> Alcotest.fail "expected three completions");
+  check_int "bytes accounted" 375_000 (Nic.bytes_sent nic)
+
+let test_nic_idle_gap () =
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:8e6 in
+  let t2 = ref 0.0 in
+  Nic.transmit nic ~bytes:125_000 (fun () -> ());
+  (* Second frame arrives after the queue drained: starts fresh. *)
+  ignore
+    (Sim.after sim 1.0 (fun () ->
+         Nic.transmit nic ~bytes:125_000 (fun () -> t2 := Sim.now sim)));
+  Sim.run_until_idle sim ();
+  check_float "starts at arrival" 1.125 !t2
+
+let test_nic_control_bypasses_bulk () =
+  (* Two-class queueing: a control frame must not wait behind a deep
+     bulk backlog (it models a separate TCP stream). *)
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:8e6 in
+  (* 10 x 1 Mbit bulk frames: 1.25 s of queue. *)
+  for _ = 1 to 10 do
+    Nic.transmit ~bulk:true nic ~bytes:125_000 (fun () -> ())
+  done;
+  let ctrl_done = ref 0.0 in
+  Nic.transmit nic ~bytes:125 (fun () -> ctrl_done := Sim.now sim);
+  Sim.run_until_idle sim ();
+  check_bool
+    (Printf.sprintf "control frame fast (%.4f s)" !ctrl_done)
+    true (!ctrl_done < 0.01);
+  check_int "all bytes accounted" (1_250_000 + 125) (Nic.bytes_sent nic)
+
+let test_nic_bulk_classes_independent () =
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:8e6 in
+  let bulk_done = ref 0.0 and ctrl_done = ref 0.0 in
+  Nic.transmit ~bulk:true nic ~bytes:125_000 (fun () -> bulk_done := Sim.now sim);
+  Nic.transmit nic ~bytes:125_000 (fun () -> ctrl_done := Sim.now sim);
+  Sim.run_until_idle sim ();
+  (* Each class serializes independently at the full rate. *)
+  check_float "bulk" 0.125 !bulk_done;
+  check_float "control" 0.125 !ctrl_done
+
+let test_nic_zero_bytes () =
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:1e6 in
+  let fired = ref false in
+  Nic.transmit nic ~bytes:0 (fun () -> fired := true);
+  Sim.run_until_idle sim ();
+  check_bool "zero-size completes immediately" true !fired
+
+(* ------------------------------------------------------------------ *)
+(* Cpu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_parallel_cores () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:2 in
+  let finishes = ref [] in
+  for _ = 1 to 4 do
+    Cpu.submit cpu ~seconds:1.0 (fun () -> finishes := Sim.now sim :: !finishes)
+  done;
+  Sim.run_until_idle sim ();
+  (* 4 one-second tasks on 2 cores: pairs at t=1 and t=2. *)
+  Alcotest.(check (list (float 1e-9)))
+    "two waves" [ 1.0; 1.0; 2.0; 2.0 ]
+    (List.sort compare !finishes)
+
+let test_cpu_single_core_fifo () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  let order = ref [] in
+  Cpu.submit cpu ~seconds:0.5 (fun () -> order := (1, Sim.now sim) :: !order);
+  Cpu.submit cpu ~seconds:0.25 (fun () -> order := (2, Sim.now sim) :: !order);
+  Sim.run_until_idle sim ();
+  (match List.rev !order with
+  | [ (1, t1); (2, t2) ] ->
+      check_float "first task" 0.5 t1;
+      check_float "second task serialized" 0.75 t2
+  | _ -> Alcotest.fail "unexpected order");
+  check_float "busy accounting" 0.75 (Cpu.busy_seconds cpu)
+
+let test_cpu_utilization () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  Cpu.submit cpu ~seconds:1.0 (fun () -> ());
+  Sim.run_until_idle sim ();
+  (* 1 core-second over 4 cores for 1 second = 25%. *)
+  check_float "utilization" 0.25 (Cpu.utilization cpu ~since:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let spec ?(wan_bps = 20e6) ?(groups = [| 3; 3 |]) () =
+  {
+    Topology.group_sizes = groups;
+    wan_bps;
+    lan_bps = 2.5e9;
+    rtt = (fun _ _ -> 0.030);
+    lan_rtt = 0.0005;
+    cores = 8;
+  }
+
+let test_topology_shape () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ~groups:[| 4; 7; 2 |] ()) in
+  check_int "groups" 3 (Topology.n_groups topo);
+  check_int "g0 size" 4 (Topology.group_size topo 0);
+  check_int "g1 size" 7 (Topology.group_size topo 1);
+  check_int "total nodes" 13 (List.length (Topology.nodes topo));
+  check_int "group nodes" 7 (List.length (Topology.group_nodes topo 1));
+  check_bool "valid addr" true (Topology.valid_addr topo { g = 1; n = 6 });
+  check_bool "invalid addr" false (Topology.valid_addr topo { g = 1; n = 7 })
+
+let test_wan_latency_and_bandwidth () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let arrived = ref 0.0 in
+  (* 100 KB over 20 Mbps uplink + 15 ms propagation + 20 Mbps downlink:
+     0.04 + 0.015 + 0.04 = 0.095 s. *)
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:100_000
+    (fun () -> arrived := Sim.now sim);
+  Sim.run_until_idle sim ();
+  check_float "store-and-forward WAN" 0.095 !arrived;
+  check_int "wan bytes counted" 100_000 (Topology.wan_bytes_sent topo)
+
+let test_lan_fast_path () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let arrived = ref 0.0 in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 0; n = 1 } ~bytes:100_000
+    (fun () -> arrived := Sim.now sim);
+  Sim.run_until_idle sim ();
+  (* 2 * (100KB at 2.5Gbps = 0.32ms) + 0.25ms = ~0.89 ms: well under WAN. *)
+  check_bool "LAN much faster than WAN" true (!arrived < 0.002);
+  check_int "no wan traffic" 0 (Topology.wan_bytes_sent topo);
+  check_bool "lan traffic counted" true (Topology.lan_bytes_sent topo = 100_000)
+
+let test_leader_uplink_bottleneck () =
+  (* The motivating experiment of the paper in miniature: one sender
+     fanning N copies out serializes on its single uplink, so total time
+     grows linearly with N. *)
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ~groups:[| 1; 8 |] ()) in
+  let last = ref 0.0 in
+  for n = 0 to 7 do
+    Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n } ~bytes:250_000
+      (fun () -> last := Float.max !last (Sim.now sim))
+  done;
+  Sim.run_until_idle sim ();
+  (* Each copy is 0.1 s of uplink; 8 copies ~ 0.8 s + prop + downlink. *)
+  check_bool
+    (Printf.sprintf "fan-out serializes (%.3f s)" !last)
+    true
+    (!last > 0.8 && !last < 1.1)
+
+let test_crash_drops_messages () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.crash topo { g = 1; n = 0 };
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:10
+    (fun () -> incr delivered);
+  (* Crash of the source also suppresses sends. *)
+  Topology.crash topo { g = 0; n = 1 };
+  Topology.send topo ~src:{ g = 0; n = 1 } ~dst:{ g = 1; n = 1 } ~bytes:10
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "both dropped" 0 !delivered;
+  Topology.recover topo { g = 1; n = 0 };
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:10
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "delivered after recovery" 1 !delivered
+
+let test_crash_mid_flight () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:100_000
+    (fun () -> incr delivered);
+  (* Receiver dies while the message is in flight. *)
+  ignore (Sim.after sim 0.01 (fun () -> Topology.crash topo { g = 1; n = 0 }));
+  Sim.run_until_idle sim ();
+  check_int "in-flight message dropped" 0 !delivered
+
+let test_crash_group () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  Topology.crash_group topo 1;
+  List.iter
+    (fun a -> check_bool "down" false (Topology.alive topo a))
+    (Topology.group_nodes topo 1);
+  check_bool "other group fine" true (Topology.alive topo { g = 0; n = 0 });
+  Topology.recover_group topo 1;
+  check_bool "recovered" true (Topology.alive topo { g = 1; n = 2 })
+
+let test_self_send () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref false in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 0; n = 0 } ~bytes:999
+    (fun () -> delivered := true);
+  Sim.run_until_idle sim ();
+  check_bool "loopback delivers" true !delivered;
+  check_int "loopback costs no bandwidth" 0
+    (Topology.lan_bytes_sent topo + Topology.wan_bytes_sent topo)
+
+let test_bandwidth_override () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  (* Degrade one node to 10 Mbps: its 100 KB send takes 0.08 s uplink. *)
+  Topology.set_wan_bandwidth topo { g = 0; n = 0 } 10e6;
+  let slow = ref 0.0 and fast = ref 0.0 in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:100_000
+    (fun () -> slow := Sim.now sim);
+  Topology.send topo ~src:{ g = 0; n = 1 } ~dst:{ g = 1; n = 1 } ~bytes:100_000
+    (fun () -> fast := Sim.now sim);
+  Sim.run_until_idle sim ();
+  check_bool
+    (Printf.sprintf "slow node slower (%.3f vs %.3f)" !slow !fast)
+    true (!slow > !fast)
+
+let test_traffic_baseline_reset () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:5_000
+    (fun () -> ());
+  Sim.run_until_idle sim ();
+  check_int "warmup counted" 5_000 (Topology.wan_bytes_sent topo);
+  Topology.reset_traffic_baseline topo;
+  check_int "baseline zeroed" 0 (Topology.wan_bytes_sent topo);
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:7_000
+    (fun () -> ());
+  Sim.run_until_idle sim ();
+  check_int "only post-reset traffic" 7_000 (Topology.wan_bytes_sent topo)
+
+let () =
+  Alcotest.run "massbft_sim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "FIFO at equal times" `Quick test_fifo_at_equal_times;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
+          Alcotest.test_case "pending count" `Quick test_pending;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "serialization time" `Quick test_nic_serialization_time;
+          Alcotest.test_case "FIFO queueing" `Quick test_nic_fifo_queueing;
+          Alcotest.test_case "idle gap" `Quick test_nic_idle_gap;
+          Alcotest.test_case "control bypasses bulk" `Quick test_nic_control_bypasses_bulk;
+          Alcotest.test_case "classes independent" `Quick test_nic_bulk_classes_independent;
+          Alcotest.test_case "zero bytes" `Quick test_nic_zero_bytes;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "parallel cores" `Quick test_cpu_parallel_cores;
+          Alcotest.test_case "single core FIFO" `Quick test_cpu_single_core_fifo;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "shape" `Quick test_topology_shape;
+          Alcotest.test_case "WAN latency+bandwidth" `Quick test_wan_latency_and_bandwidth;
+          Alcotest.test_case "LAN fast path" `Quick test_lan_fast_path;
+          Alcotest.test_case "leader uplink bottleneck" `Quick test_leader_uplink_bottleneck;
+          Alcotest.test_case "crash drops messages" `Quick test_crash_drops_messages;
+          Alcotest.test_case "crash mid-flight" `Quick test_crash_mid_flight;
+          Alcotest.test_case "crash group" `Quick test_crash_group;
+          Alcotest.test_case "self send" `Quick test_self_send;
+          Alcotest.test_case "bandwidth override" `Quick test_bandwidth_override;
+          Alcotest.test_case "traffic baseline reset" `Quick test_traffic_baseline_reset;
+        ] );
+    ]

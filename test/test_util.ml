@@ -1,0 +1,409 @@
+(* Unit and property tests for the massbft_util substrate. *)
+
+open Massbft_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Intmath                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_gcd_lcm () =
+  check_int "gcd 12 18" 6 (Intmath.gcd 12 18);
+  check_int "gcd 7 13" 1 (Intmath.gcd 7 13);
+  check_int "gcd 0 5" 5 (Intmath.gcd 0 5);
+  check_int "gcd 5 0" 5 (Intmath.gcd 5 0);
+  check_int "gcd 0 0" 0 (Intmath.gcd 0 0);
+  check_int "lcm 4 7 (paper case study)" 28 (Intmath.lcm 4 7);
+  check_int "lcm 4 6" 12 (Intmath.lcm 4 6);
+  check_int "lcm 7 7" 7 (Intmath.lcm 7 7);
+  check_int "lcm 0 9" 0 (Intmath.lcm 0 9)
+
+let test_cdiv () =
+  check_int "cdiv exact" 3 (Intmath.cdiv 9 3);
+  check_int "cdiv round up" 4 (Intmath.cdiv 10 3);
+  check_int "cdiv zero" 0 (Intmath.cdiv 0 5);
+  Alcotest.check_raises "cdiv by zero" (Invalid_argument "Intmath.cdiv: non-positive divisor")
+    (fun () -> ignore (Intmath.cdiv 1 0))
+
+let test_quorums () =
+  (* n >= 3f + 1: the PBFT bound from the paper's threat model. *)
+  check_int "f(4)" 1 (Intmath.pbft_f 4);
+  check_int "f(7)" 2 (Intmath.pbft_f 7);
+  check_int "f(40)" 13 (Intmath.pbft_f 40);
+  check_int "quorum(4)" 3 (Intmath.pbft_quorum 4);
+  check_int "quorum(7)" 5 (Intmath.pbft_quorum 7);
+  (* n_g >= 2f_g + 1: the group-level crash bound. *)
+  check_int "fg(3)" 1 (Intmath.raft_f 3);
+  check_int "fg(7)" 3 (Intmath.raft_f 7);
+  check_int "raft quorum(3)" 2 (Intmath.raft_quorum 3)
+
+let test_pow_log2 () =
+  check_int "pow 2 10" 1024 (Intmath.pow 2 10);
+  check_int "pow 3 0" 1 (Intmath.pow 3 0);
+  check_int "log2_ceil 1" 0 (Intmath.log2_ceil 1);
+  check_int "log2_ceil 2" 1 (Intmath.log2_ceil 2);
+  check_int "log2_ceil 3" 2 (Intmath.log2_ceil 3);
+  check_int "log2_ceil 1024" 10 (Intmath.log2_ceil 1024);
+  check_bool "pot 64" true (Intmath.is_power_of_two 64);
+  check_bool "pot 0" false (Intmath.is_power_of_two 0);
+  check_bool "pot 12" false (Intmath.is_power_of_two 12);
+  check_int "clamp below" 3 (Intmath.clamp ~lo:3 ~hi:9 1);
+  check_int "clamp inside" 5 (Intmath.clamp ~lo:3 ~hi:9 5);
+  check_int "clamp above" 9 (Intmath.clamp ~lo:3 ~hi:9 42)
+
+let prop_lcm_divisible =
+  QCheck.Test.make ~name:"lcm is a common multiple"
+    QCheck.(pair (int_range 1 500) (int_range 1 500))
+    (fun (a, b) ->
+      let l = Intmath.lcm a b in
+      l mod a = 0 && l mod b = 0 && l <= a * b)
+
+let prop_gcd_lcm_product =
+  QCheck.Test.make ~name:"gcd * lcm = a * b"
+    QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+    (fun (a, b) -> Intmath.gcd a b * Intmath.lcm a b = a * b)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create 7L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7L in
+  let child = Rng.split parent in
+  (* The child stream should not equal the parent's continuation. *)
+  let same = ref true in
+  for _ = 1 to 8 do
+    if Rng.next_int64 parent <> Rng.next_int64 child then same := false
+  done;
+  check_bool "split streams diverge" false !same
+
+let test_rng_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    check_bool "int in bounds" true (v >= 0 && v < 10);
+    let f = Rng.float rng 2.5 in
+    check_bool "float in bounds" true (f >= 0.0 && f < 2.5);
+    let r = Rng.int_in rng ~lo:5 ~hi:7 in
+    check_bool "int_in in bounds" true (r >= 5 && r <= 7)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: all 10 cells populated within 3x of mean. *)
+  let rng = Rng.create 99L in
+  let cells = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    cells.(v) <- cells.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "cell %d populated sanely (%d)" i c)
+        true
+        (c > n / 30 && c < n / 3))
+    cells
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool
+    (Printf.sprintf "exponential mean ~4 (got %f)" mean)
+    true
+    (mean > 3.8 && mean < 4.2)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle permutes" (Array.init 50 Fun.id) sorted
+
+let test_rng_bytes () =
+  let rng = Rng.create 13L in
+  let b = Rng.bytes rng 100 in
+  check_int "length" 100 (Bytes.length b);
+  let b2 = Rng.bytes rng 100 in
+  check_bool "two draws differ" false (Bytes.equal b b2)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let rng = Rng.create 21L in
+  for _ = 1 to 10_000 do
+    let v = Zipf.next z rng in
+    check_bool "zipf in range" true (v >= 0 && v < 1000)
+  done
+
+let test_zipf_skew () =
+  (* With theta = 0.99, item 0 must be drawn far more than the median
+     item. *)
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let rng = Rng.create 22L in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 100_000 do
+    let v = Zipf.next z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool
+    (Printf.sprintf "head is hot (%d draws)" counts.(0))
+    true
+    (counts.(0) > 5_000);
+  check_bool "tail is cold" true (counts.(900) < counts.(0) / 10)
+
+let test_zipf_scrambled_spread () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let rng = Rng.create 23L in
+  let seen_high = ref false in
+  for _ = 1 to 1000 do
+    let v = Zipf.scrambled z rng ~hash_seed:77L in
+    check_bool "scrambled in range" true (v >= 0 && v < 1000);
+    if v > 500 then seen_high := true
+  done;
+  check_bool "scrambling spreads hot keys" true !seen_high
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "theta = 1"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  check_int "length" 7 (Heap.length h);
+  Alcotest.(check (list int))
+    "drain sorted"
+    [ 1; 2; 3; 5; 7; 8; 9 ]
+    (List.init 7 (fun _ -> Heap.pop_exn h))
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "pop empty" true (Heap.pop h = None);
+  check_bool "peek empty" true (Heap.peek h = None);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_peek_stable () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 4; 2; 6 ];
+  check_bool "peek min" true (Heap.peek h = Some 2);
+  check_int "peek does not remove" 3 (Heap.length h)
+
+let test_heap_to_sorted_list () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "sorted view" [ 1; 2; 3 ] (Heap.to_sorted_list h);
+  check_int "non-destructive" 3 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list in sorted order"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Heap.pop_exn h) in
+      drained = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop maintains heap property"
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Heap.push h v;
+            model := List.sort compare (v :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+                model := rest;
+                x = m
+            | _ -> false)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count" 5 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.Summary.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.Summary.percentile s 100.0)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 0.0)) "p99 of empty" 0.0 (Stats.Summary.percentile s 99.0)
+
+let test_summary_percentile_after_add () =
+  (* percentile sorts lazily; adding after a percentile call must not
+     corrupt the ordering. *)
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 10.0;
+  Stats.Summary.add s 20.0;
+  ignore (Stats.Summary.percentile s 50.0);
+  Stats.Summary.add s 1.0;
+  Alcotest.(check (float 1e-9)) "new min seen" 1.0 (Stats.Summary.percentile s 1.0)
+
+let test_summary_stddev () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "known stddev" 2.0 (Stats.Summary.stddev s)
+
+let test_timeseries () =
+  let ts = Stats.Timeseries.create ~bucket:1.0 in
+  Stats.Timeseries.add ts ~time:0.1 1.0;
+  Stats.Timeseries.add ts ~time:0.9 1.0;
+  Stats.Timeseries.add ts ~time:1.5 1.0;
+  (match Stats.Timeseries.rate_series ts with
+  | [ (t0, r0); (t1, r1) ] ->
+      Alcotest.(check (float 1e-9)) "bucket 0 start" 0.0 t0;
+      Alcotest.(check (float 1e-9)) "bucket 0 rate" 2.0 r0;
+      Alcotest.(check (float 1e-9)) "bucket 1 start" 1.0 t1;
+      Alcotest.(check (float 1e-9)) "bucket 1 rate" 1.0 r1
+  | other -> Alcotest.failf "expected 2 buckets, got %d" (List.length other));
+  match Stats.Timeseries.mean_series ts with
+  | [ (_, m0); (_, m1) ] ->
+      Alcotest.(check (float 1e-9)) "bucket 0 mean" 1.0 m0;
+      Alcotest.(check (float 1e-9)) "bucket 1 mean" 1.0 m1
+  | _ -> Alcotest.fail "expected 2 buckets"
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.add c 10;
+  Stats.Counter.add c 32;
+  check_int "sum" 42 (Stats.Counter.get c);
+  Stats.Counter.reset c;
+  check_int "reset" 0 (Stats.Counter.get c)
+
+(* ------------------------------------------------------------------ *)
+(* Hexdump                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hex_roundtrip () =
+  Alcotest.(check string) "encode" "00ff10" (Hexdump.encode "\x00\xff\x10");
+  Alcotest.(check string) "decode" "\x00\xff\x10" (Hexdump.decode "00ff10");
+  Alcotest.(check string) "decode uppercase" "\xab" (Hexdump.decode "AB");
+  Alcotest.(check string) "short" "0102" (Hexdump.short ~len:4 "\x01\x02\x03")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length"
+    (Invalid_argument "Hexdump.decode: odd-length input") (fun () ->
+      ignore (Hexdump.decode "abc"));
+  Alcotest.check_raises "non-hex"
+    (Invalid_argument "Hexdump.decode: non-hex character") (fun () ->
+      ignore (Hexdump.decode "zz"))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex decode inverts encode" QCheck.string (fun s ->
+      Hexdump.decode (Hexdump.encode s) = s)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "massbft_util"
+    [
+      ( "intmath",
+        [
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "cdiv" `Quick test_cdiv;
+          Alcotest.test_case "quorums" `Quick test_quorums;
+          Alcotest.test_case "pow/log2/clamp" `Quick test_pow_log2;
+          qt prop_lcm_divisible;
+          qt prop_gcd_lcm_product;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "bytes" `Quick test_rng_bytes;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "scrambled spread" `Quick test_zipf_scrambled_spread;
+          Alcotest.test_case "invalid params" `Quick test_zipf_invalid;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "drain order" `Quick test_heap_order;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
+          Alcotest.test_case "to_sorted_list" `Quick test_heap_to_sorted_list;
+          qt prop_heap_sorts;
+          qt prop_heap_interleaved;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary basics" `Quick test_summary_basic;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "percentile then add" `Quick test_summary_percentile_after_add;
+          Alcotest.test_case "stddev" `Quick test_summary_stddev;
+          Alcotest.test_case "timeseries buckets" `Quick test_timeseries;
+          Alcotest.test_case "counter" `Quick test_counter;
+        ] );
+      ( "hexdump",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "invalid input" `Quick test_hex_invalid;
+          qt prop_hex_roundtrip;
+        ] );
+    ]

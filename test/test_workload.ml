@@ -1,0 +1,345 @@
+(* Tests for the workload generators: determinism, mixes, wire sizes,
+   key-space bounds, and the semantic content of the transaction
+   bodies (exercised against a scratch store). *)
+
+open Massbft_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Minimal executor for a single txn body: reads/writes go straight to a
+   hash table; logic aborts discard writes. *)
+let run_body store (txn : Txn.t) =
+  let buf = Hashtbl.create 8 in
+  let reads = ref [] and aborted = ref false in
+  let ctx =
+    {
+      Txn.read =
+        (fun k ->
+          reads := k :: !reads;
+          match Hashtbl.find_opt buf k with
+          | Some v -> Some v
+          | None -> Hashtbl.find_opt store k);
+      write = (fun k v -> Hashtbl.replace buf k v);
+      abort = (fun () -> raise Txn.Logic_abort);
+    }
+  in
+  (try txn.Txn.body ctx with Txn.Logic_abort -> aborted := true);
+  if not !aborted then Hashtbl.iter (fun k v -> Hashtbl.replace store k v) buf;
+  (List.rev !reads, buf, !aborted)
+
+(* ------------------------------------------------------------------ *)
+(* Generic generator properties                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  List.iter
+    (fun kind ->
+      let a = Workload.create ~scale:0.001 kind ~seed:9L in
+      let b = Workload.create ~scale:0.001 kind ~seed:9L in
+      for _ = 1 to 50 do
+        let ta = Workload.next a and tb = Workload.next b in
+        Alcotest.(check string)
+          (Workload.kind_name kind ^ " labels equal")
+          ta.Txn.label tb.Txn.label;
+        check_int "ids equal" ta.Txn.id tb.Txn.id;
+        check_int "sizes equal" ta.Txn.wire_size tb.Txn.wire_size
+      done)
+    Workload.all_kinds
+
+let test_ids_unique_and_increasing () =
+  let w = Workload.create ~scale:0.01 Workload.Smallbank ~seed:3L in
+  for i = 0 to 99 do
+    check_int "sequential ids" i (Workload.next w).Txn.id
+  done
+
+let test_avg_wire_sizes_match_paper () =
+  check_int "YCSB-A 201B" 201 (Workload.avg_wire_size Workload.Ycsb_a);
+  check_int "YCSB-B 150B" 150 (Workload.avg_wire_size Workload.Ycsb_b);
+  check_int "SmallBank 108B" 108 (Workload.avg_wire_size Workload.Smallbank);
+  check_int "TPC-C 232B" 232 (Workload.avg_wire_size Workload.Tpcc)
+
+let test_generated_sizes_track_averages () =
+  (* Empirical average wire size of generated YCSB-A txns should be near
+     the declared 201 B (50 % at 100 B reads, 50 % at 200 B updates). *)
+  let w = Workload.create ~scale:0.001 Workload.Ycsb_a ~seed:4L in
+  let n = 4000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + (Workload.next w).Txn.wire_size
+  done;
+  let avg = float_of_int !total /. float_of_int n in
+  check_bool (Printf.sprintf "avg %.1f close to 150..200" avg) true
+    (avg > 140.0 && avg < 170.0)
+
+(* ------------------------------------------------------------------ *)
+(* YCSB                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ycsb_mix_fractions () =
+  let count_writes kind n =
+    let w = Workload.create ~scale:0.001 kind ~seed:5L in
+    let writes = ref 0 in
+    for _ = 1 to n do
+      if (Workload.next w).Txn.label = "ycsb.update" then incr writes
+    done;
+    !writes
+  in
+  let wa = count_writes Workload.Ycsb_a 2000 in
+  check_bool (Printf.sprintf "YCSB-A ~50%% writes (%d/2000)" wa) true
+    (wa > 850 && wa < 1150);
+  let wb = count_writes Workload.Ycsb_b 2000 in
+  check_bool (Printf.sprintf "YCSB-B ~5%% writes (%d/2000)" wb) true
+    (wb > 40 && wb < 180)
+
+let test_ycsb_zipf_hotspot () =
+  (* With theta 0.99 the most popular row must dominate; track write
+     keys. *)
+  let w = Workload.create ~scale:0.001 Workload.Ycsb_a ~seed:6L in
+  let store = Hashtbl.create 64 in
+  let key_counts = Hashtbl.create 64 in
+  for _ = 1 to 3000 do
+    let t = Workload.next w in
+    let reads, writes, _ = run_body store t in
+    List.iter
+      (fun k ->
+        Hashtbl.replace key_counts k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt key_counts k)))
+      reads;
+    Hashtbl.iter
+      (fun k _ ->
+        Hashtbl.replace key_counts k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt key_counts k)))
+      writes
+  done;
+  let max_count = Hashtbl.fold (fun _ c acc -> max c acc) key_counts 0 in
+  check_bool
+    (Printf.sprintf "hottest key touched often (%d)" max_count)
+    true (max_count > 20)
+
+let test_ycsb_update_writes_100b () =
+  let w = Workload.create ~scale:0.001 Workload.Ycsb_a ~seed:7L in
+  let store = Hashtbl.create 16 in
+  let rec find_update () =
+    let t = Workload.next w in
+    if t.Txn.label = "ycsb.update" then t else find_update ()
+  in
+  let t = find_update () in
+  let _, writes, _ = run_body store t in
+  check_int "one write" 1 (Hashtbl.length writes);
+  Hashtbl.iter
+    (fun _ v -> check_int "100-byte value" 100 (String.length v))
+    writes
+
+(* ------------------------------------------------------------------ *)
+(* SmallBank                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_smallbank_conservation () =
+  (* Total money is conserved by transfers (deposits add, writechecks
+     subtract; run only sendpayment/amalgamate/balance by filtering). *)
+  let sb = Smallbank.create { Smallbank.default with Smallbank.accounts = 10 } ~seed:8L in
+  let store = Hashtbl.create 64 in
+  (* Preload all 10 accounts with 1000 in each row. *)
+  for a = 0 to 9 do
+    Hashtbl.replace store (Smallbank.checking_key a) "1000";
+    Hashtbl.replace store (Smallbank.savings_key a) "1000"
+  done;
+  let total () =
+    Hashtbl.fold (fun _ v acc -> acc + Txn.int_value v) store 0
+  in
+  let before = total () in
+  let moved = ref 0 in
+  for _ = 1 to 500 do
+    let t = Smallbank.next sb in
+    match t.Txn.label with
+    | "sb.sendpayment" | "sb.amalgamate" | "sb.balance" ->
+        ignore (run_body store t);
+        incr moved
+    | _ -> ()
+  done;
+  check_bool "exercised transfers" true (!moved > 50);
+  check_int "money conserved" before (total ())
+
+let test_smallbank_overdraft_aborts () =
+  (* SendPayment from an empty account must logic-abort, leaving state
+     untouched. *)
+  let sb = Smallbank.create { Smallbank.default with Smallbank.accounts = 2 } ~seed:9L in
+  let store = Hashtbl.create 8 in
+  Hashtbl.replace store (Smallbank.checking_key 0) "0";
+  Hashtbl.replace store (Smallbank.checking_key 1) "0";
+  let aborts = ref 0 and runs = ref 0 in
+  for _ = 1 to 400 do
+    let t = Smallbank.next sb in
+    if t.Txn.label = "sb.sendpayment" then begin
+      incr runs;
+      let _, _, aborted = run_body store t in
+      if aborted then incr aborts
+    end
+  done;
+  check_bool "saw sendpayments" true (!runs > 20);
+  check_int "all overdrafts aborted" !runs !aborts
+
+let test_smallbank_deposit_effect () =
+  let sb = Smallbank.create { Smallbank.default with Smallbank.accounts = 2 } ~seed:10L in
+  let store = Hashtbl.create 8 in
+  let rec find_deposit () =
+    let t = Smallbank.next sb in
+    if t.Txn.label = "sb.deposit" then t else find_deposit ()
+  in
+  let t = find_deposit () in
+  ignore (run_body store t);
+  let sum =
+    Txn.int_value (Option.value ~default:"0" (Hashtbl.find_opt store (Smallbank.checking_key 0)))
+    + Txn.int_value (Option.value ~default:"0" (Hashtbl.find_opt store (Smallbank.checking_key 1)))
+  in
+  check_bool "deposit credited some account" true (sum > 0)
+
+let test_smallbank_preload () =
+  let init = Smallbank.preload Smallbank.default in
+  check_bool "checking row initialized" true
+    (init (Smallbank.checking_key 42) = Some "10000");
+  check_bool "savings row initialized" true
+    (init (Smallbank.savings_key 0) = Some "10000");
+  check_bool "foreign key untouched" true (init "ycsb/u1/f1" = None)
+
+(* ------------------------------------------------------------------ *)
+(* TPC-C                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_tpcc =
+  {
+    Tpcc.default with
+    Tpcc.warehouses = 4;
+    customers_per_district = 30;
+    items = 100;
+  }
+
+let preloaded_store () =
+  let store = Hashtbl.create 256 in
+  (store, fun k ->
+    match Hashtbl.find_opt store k with
+    | Some v -> Some v
+    | None -> Tpcc.preload small_tpcc k)
+
+let run_tpcc store_pair t =
+  let store, lookup = store_pair in
+  let buf = Hashtbl.create 8 in
+  let aborted = ref false in
+  let ctx =
+    {
+      Txn.read =
+        (fun k ->
+          match Hashtbl.find_opt buf k with Some v -> Some v | None -> lookup k);
+      write = (fun k v -> Hashtbl.replace buf k v);
+      abort = (fun () -> raise Txn.Logic_abort);
+    }
+  in
+  (try t.Txn.body ctx with Txn.Logic_abort -> aborted := true);
+  if not !aborted then Hashtbl.iter (fun k v -> Hashtbl.replace store k v) buf;
+  !aborted
+
+let test_tpcc_neworder_advances_oid () =
+  let g = Tpcc.create small_tpcc ~seed:11L in
+  let sp = preloaded_store () in
+  let store, lookup = sp in
+  ignore store;
+  (* Run 40 NewOrders; the sum of district next_oids must have advanced
+     by the number of *committed* orders. *)
+  let committed = ref 0 in
+  for _ = 1 to 40 do
+    let t = Tpcc.next_of g `New_order in
+    if not (run_tpcc sp t) then incr committed
+  done;
+  let advanced = ref 0 in
+  for w = 1 to small_tpcc.Tpcc.warehouses do
+    for d = 1 to small_tpcc.Tpcc.districts_per_warehouse do
+      let v = Txn.int_value (Option.get (lookup (Tpcc.district_next_oid_key ~w ~d))) in
+      advanced := !advanced + (v - 1)
+    done
+  done;
+  check_int "next_oid advanced once per committed order" !committed !advanced
+
+let test_tpcc_payment_updates_ytd () =
+  let g = Tpcc.create small_tpcc ~seed:12L in
+  let sp = preloaded_store () in
+  let _, lookup = sp in
+  for _ = 1 to 30 do
+    ignore (run_tpcc sp (Tpcc.next_of g `Payment))
+  done;
+  let total_ytd = ref 0 in
+  for w = 1 to small_tpcc.Tpcc.warehouses do
+    total_ytd :=
+      !total_ytd + Txn.int_value (Option.get (lookup (Tpcc.warehouse_ytd_key w)))
+  done;
+  check_bool "warehouse YTD accumulated" true (!total_ytd > 0)
+
+let test_tpcc_mix_is_half_half () =
+  let g = Tpcc.create small_tpcc ~seed:13L in
+  let no = ref 0 and pay = ref 0 in
+  for _ = 1 to 100 do
+    match (Tpcc.next g).Txn.label with
+    | "tpcc.neworder" -> incr no
+    | "tpcc.payment" -> incr pay
+    | other -> Alcotest.failf "unexpected label %s" other
+  done;
+  check_int "exact 50/50" 50 !no;
+  check_int "exact 50/50" 50 !pay
+
+let test_tpcc_rollback_rate () =
+  (* ~1% of NewOrders roll back by spec. *)
+  let g =
+    Tpcc.create { small_tpcc with Tpcc.invalid_item_pct = 20 } ~seed:14L
+  in
+  let sp = preloaded_store () in
+  let aborts = ref 0 in
+  for _ = 1 to 300 do
+    if run_tpcc sp (Tpcc.next_of g `New_order) then incr aborts
+  done;
+  check_bool
+    (Printf.sprintf "rollbacks near 20%% (%d/300)" !aborts)
+    true
+    (!aborts > 30 && !aborts < 90)
+
+let test_tpcc_preload_defaults () =
+  let init k = Tpcc.preload Tpcc.default k in
+  check_bool "district oid starts at 1" true
+    (init (Tpcc.district_next_oid_key ~w:1 ~d:1) = Some "1");
+  check_bool "stock starts at 100" true
+    (init (Tpcc.stock_qty_key ~w:1 ~i:5) = Some "100");
+  check_bool "warehouse ytd starts at 0" true
+    (init (Tpcc.warehouse_ytd_key 1) = Some "0");
+  check_bool "non-tpcc key absent" true (init "sb/c/1" = None)
+
+let () =
+  Alcotest.run "massbft_workload"
+    [
+      ( "generic",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "sequential ids" `Quick test_ids_unique_and_increasing;
+          Alcotest.test_case "paper wire sizes" `Quick test_avg_wire_sizes_match_paper;
+          Alcotest.test_case "generated sizes sane" `Quick test_generated_sizes_track_averages;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "mix fractions" `Quick test_ycsb_mix_fractions;
+          Alcotest.test_case "zipf hotspot" `Quick test_ycsb_zipf_hotspot;
+          Alcotest.test_case "update payload" `Quick test_ycsb_update_writes_100b;
+        ] );
+      ( "smallbank",
+        [
+          Alcotest.test_case "money conservation" `Quick test_smallbank_conservation;
+          Alcotest.test_case "overdraft aborts" `Quick test_smallbank_overdraft_aborts;
+          Alcotest.test_case "deposit effect" `Quick test_smallbank_deposit_effect;
+          Alcotest.test_case "preload" `Quick test_smallbank_preload;
+        ] );
+      ( "tpcc",
+        [
+          Alcotest.test_case "neworder advances oid" `Quick test_tpcc_neworder_advances_oid;
+          Alcotest.test_case "payment updates ytd" `Quick test_tpcc_payment_updates_ytd;
+          Alcotest.test_case "50/50 mix" `Quick test_tpcc_mix_is_half_half;
+          Alcotest.test_case "rollback rate" `Quick test_tpcc_rollback_rate;
+          Alcotest.test_case "preload defaults" `Quick test_tpcc_preload_defaults;
+        ] );
+    ]
