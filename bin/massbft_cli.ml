@@ -7,6 +7,8 @@ module W = Massbft_workload.Workload
 module Runner = Massbft_harness.Runner
 module Clusters = Massbft_harness.Clusters
 module Figures = Massbft_harness.Figures
+module Trace = Massbft_trace.Trace
+module Trace_export = Massbft_trace.Trace_export
 
 let system_conv =
   let parse s =
@@ -33,60 +35,76 @@ let workload_conv =
   in
   Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt (W.kind_name w))
 
+(* ---- shared experiment options (run + trace) ---- *)
+
+let system_arg =
+  Arg.(value & opt system_conv Config.Massbft & info [ "system"; "s" ]
+         ~doc:"System under test: massbft|baseline|geobft|steward|iss|br|ebr.")
+
+let workload_arg =
+  Arg.(value & opt workload_conv W.Ycsb_a & info [ "workload"; "w" ]
+         ~doc:"Workload: ycsb-a|ycsb-b|smallbank|tpcc.")
+
+let nodes_arg =
+  Arg.(value & opt int 7 & info [ "nodes"; "n" ] ~doc:"Nodes per group.")
+
+let groups_arg =
+  Arg.(value & opt int 3 & info [ "groups"; "g" ]
+         ~doc:"Number of groups (data centers).")
+
+let worldwide_arg =
+  Arg.(value & flag & info [ "worldwide" ]
+         ~doc:"Use the worldwide RTT matrix (HK/London/SV) instead of nationwide.")
+
+let warmup_arg =
+  Arg.(value & opt float 4.0 & info [ "warmup" ] ~doc:"Warm-up, simulated seconds.")
+
+let scale_arg =
+  Arg.(value & opt float 0.1 & info [ "scale" ]
+         ~doc:"Workload keyspace scale in (0,1]; 1.0 is the paper's full size.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed =
+  let cfg =
+    {
+      (Config.default ~system ~workload ()) with
+      Config.workload_scale = scale;
+      seed = Int64.of_int seed;
+    }
+  in
+  let spec =
+    if worldwide then Clusters.worldwide ~nodes_per_group:nodes ()
+    else Clusters.nationwide ~nodes_per_group:nodes ~groups ()
+  in
+  (cfg, spec)
+
 (* ---- run ---- *)
 
 let run_cmd =
-  let system =
-    Arg.(value & opt system_conv Config.Massbft & info [ "system"; "s" ]
-           ~doc:"System under test: massbft|baseline|geobft|steward|iss|br|ebr.")
-  in
-  let workload =
-    Arg.(value & opt workload_conv W.Ycsb_a & info [ "workload"; "w" ]
-           ~doc:"Workload: ycsb-a|ycsb-b|smallbank|tpcc.")
-  in
-  let nodes =
-    Arg.(value & opt int 7 & info [ "nodes"; "n" ] ~doc:"Nodes per group.")
-  in
-  let groups =
-    Arg.(value & opt int 3 & info [ "groups"; "g" ] ~doc:"Number of groups (data centers).")
-  in
-  let worldwide =
-    Arg.(value & flag & info [ "worldwide" ]
-           ~doc:"Use the worldwide RTT matrix (HK/London/SV) instead of nationwide.")
-  in
   let duration =
     Arg.(value & opt float 12.0 & info [ "duration"; "d" ]
            ~doc:"Measurement window, simulated seconds.")
   in
-  let warmup =
-    Arg.(value & opt float 4.0 & info [ "warmup" ] ~doc:"Warm-up, simulated seconds.")
-  in
-  let scale =
-    Arg.(value & opt float 0.1 & info [ "scale" ]
-           ~doc:"Workload keyspace scale in (0,1]; 1.0 is the paper's full size.")
-  in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
   let latency_probe =
     Arg.(value & flag & info [ "latency-probe" ]
            ~doc:"Light-load run (small batches) for latency measurement.")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Also record a structured trace and write it to $(docv) as \
+                 Chrome trace_event JSON (open in Perfetto).")
+  in
   let action system workload nodes groups worldwide duration warmup scale seed
-      latency_probe =
-    let cfg =
-      {
-        (Config.default ~system ~workload ()) with
-        Config.workload_scale = scale;
-        seed = Int64.of_int seed;
-      }
+      latency_probe trace_file =
+    let cfg, spec =
+      experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
     in
-    let spec =
-      if worldwide then Clusters.worldwide ~nodes_per_group:nodes ()
-      else Clusters.nationwide ~nodes_per_group:nodes ~groups ()
-    in
+    let sink = Option.map (fun _ -> Trace.create ()) trace_file in
     let r =
       if latency_probe then
-        Runner.run_latency_probe ~duration ~warmup ~spec ~cfg ()
-      else Runner.run ~duration ~warmup ~spec ~cfg ()
+        Runner.run_latency_probe ~duration ~warmup ?trace:sink ~spec ~cfg ()
+      else Runner.run ~duration ~warmup ?trace:sink ~spec ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
     List.iter
@@ -94,13 +112,74 @@ let run_cmd =
       r.Runner.phases_ms;
     List.iteri
       (fun g t -> Format.printf "  group %d: %.2f ktps@." g t)
-      r.Runner.per_group_ktps
+      r.Runner.per_group_ktps;
+    match (trace_file, sink) with
+    | Some file, Some tr ->
+        Trace_export.write_chrome_json tr file;
+        Format.printf "trace: wrote %s (%d events retained, %d dropped)@." file
+          (Trace.length tr) (Trace.dropped tr)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment on the simulated geo-cluster.")
     Term.(
-      const action $ system $ workload $ nodes $ groups $ worldwide $ duration
-      $ warmup $ scale $ seed $ latency_probe)
+      const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
+      $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
+      $ latency_probe $ trace_file)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration"; "d" ]
+           ~doc:"Measurement window, simulated seconds (short by default: \
+                 traces grow with simulated time).")
+  in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let capacity =
+    Arg.(value & opt int 262144 & info [ "capacity" ]
+           ~doc:"Ring-buffer capacity in events; beyond it the oldest events \
+                 are dropped (and counted).")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Also print the per-entry critical-path report.")
+  in
+  let action system workload nodes groups worldwide duration warmup scale seed
+      out capacity report =
+    if capacity <= 0 then begin
+      prerr_endline "massbft: option '--capacity': must be positive";
+      exit 124 (* cmdliner's CLI-error exit status *)
+    end;
+    (* Fail on an unwritable destination now, not after the run. *)
+    (match open_out out with
+    | oc -> close_out oc
+    | exception Sys_error e ->
+        prerr_endline ("massbft: cannot write trace: " ^ e);
+        exit 1);
+    let cfg, spec =
+      experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
+    in
+    let tr = Trace.create ~capacity () in
+    let r = Runner.run ~duration ~warmup ~trace:tr ~spec ~cfg () in
+    Trace_export.write_chrome_json tr out;
+    Format.printf "%a@." Runner.pp_result r;
+    Format.printf "trace: wrote %s (%d events retained, %d emitted, %d dropped)@."
+      out (Trace.length tr) (Trace.emitted tr) (Trace.dropped tr);
+    if report then print_string (Trace_export.critical_path_report tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one experiment with event tracing on and export a \
+          Perfetto-loadable trace plus an optional critical-path report.")
+    Term.(
+      const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
+      $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg $ out
+      $ capacity $ report)
 
 (* ---- figures ---- *)
 
@@ -173,6 +252,6 @@ let main =
        ~doc:
          "MassBFT: fast and scalable geo-distributed BFT consensus \
           (reproduction of the ICDE 2025 paper).")
-    [ run_cmd; figures_cmd; list_cmd; plan_cmd ]
+    [ run_cmd; trace_cmd; figures_cmd; list_cmd; plan_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -47,15 +47,20 @@ let () =
   Sim.run sim ~until;
 
   let m = Engine.metrics engine in
+  (* Annotate rows by bucket index, not by float equality on the bucket
+     start: the series reports txn_rate's 1 s buckets, and an injection
+     time belongs to the bucket containing it. *)
+  let bucket = 1.0 in
+  let bucket_of tm = int_of_float (floor (tm /. bucket)) in
   print_endline "time    throughput   event";
   List.iter
     (fun (t, rate) ->
+      let idx = bucket_of t in
       let event =
-        if t = Float.of_int (int_of_float byz_at) then
+        if idx = bucket_of byz_at then
           "<- 2 Byzantine nodes/group start tampering with chunks"
-        else if t = Float.of_int (int_of_float crash_at) then
-          "<- data center 0 loses power"
-        else if t = Float.of_int (int_of_float recover_at) then
+        else if idx = bucket_of crash_at then "<- data center 0 loses power"
+        else if idx = bucket_of recover_at then
           "<- data center 0 restored; leadership transfers back"
         else ""
       in

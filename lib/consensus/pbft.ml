@@ -1,5 +1,6 @@
 module ISet = Set.Make (Int)
 module SMap = Map.Make (String)
+module Trace = Massbft_trace.Trace
 
 type msg =
   | Pre_prepare of { view : int; seq : int; digest : string }
@@ -43,6 +44,8 @@ type t = {
   slots : (int, slot) Hashtbl.t;
   vc : (int, vc_state) Hashtbl.t;  (* keyed by target view *)
   mutable proposed : ISet.t;  (* seqs this leader proposed in cur_view *)
+  mutable trace : Trace.t;
+  mutable tr_gid : int;
 }
 
 let leader_of_view ~n ~view = view mod n
@@ -61,7 +64,13 @@ let create cfg cb =
     slots = Hashtbl.create 64;
     vc = Hashtbl.create 4;
     proposed = ISet.empty;
+    trace = Trace.null;
+    tr_gid = -1;
   }
+
+let set_trace t tr ~gid =
+  t.trace <- tr;
+  t.tr_gid <- gid
 
 let view t = t.cur_view
 let is_leader t = leader_of_view ~n:t.cfg.n ~view:t.cur_view = t.cfg.me
@@ -189,7 +198,10 @@ let vc_state t nv =
 let enter_view t nv =
   t.cur_view <- nv;
   t.in_view_change <- false;
-  t.proposed <- ISet.empty
+  t.proposed <- ISet.empty;
+  Trace.instant t.trace ~cat:"pbft" ~gid:t.tr_gid ~node:t.cfg.me
+    ~args:[ ("view", Trace.Int nv) ]
+    "new_view"
 
 let record_vc_vote t ~nv ~from ~prepared =
   let st = vc_state t nv in
@@ -201,6 +213,9 @@ let record_vc_vote t ~nv ~from ~prepared =
   st
 
 let broadcast_view_change t nv =
+  Trace.instant t.trace ~cat:"pbft" ~gid:t.tr_gid ~node:t.cfg.me
+    ~args:[ ("new_view", Trace.Int nv) ]
+    "view_change";
   let prepared = prepared_undecided t in
   ignore (record_vc_vote t ~nv ~from:t.cfg.me ~prepared);
   broadcast t (View_change { new_view = nv; prepared })

@@ -55,6 +55,12 @@ type t
 
 val create : config -> callbacks -> t
 
+val set_trace : t -> Massbft_trace.Trace.t -> gid:int -> unit
+(** Attaches a trace sink plus the group id this replica lives in; the
+    state machine then emits ["pbft"]-category instants on view-change
+    broadcast and on entering a new view. Defaults to the disabled
+    sink. *)
+
 val leader_of_view : n:int -> view:int -> int
 (** Round-robin: [view mod n]. *)
 

@@ -1,6 +1,12 @@
 module ISet = Set.Make (Int)
+module Trace = Massbft_trace.Trace
 
 type role = Leader | Follower | Candidate
+
+let role_name = function
+  | Leader -> "leader"
+  | Follower -> "follower"
+  | Candidate -> "candidate"
 
 type 'p msg =
   | Append of { term : int; index : int; entry : 'p }
@@ -38,6 +44,8 @@ type 'p t = {
   acks : (int, ISet.t) Hashtbl.t;  (* leader: per-index accept voters *)
   mutable acked_to_leader : ISet.t;  (* follower: indices already acked *)
   mutable commit_note_max : int;  (* leader-advertised commit watermark *)
+  mutable trace : Trace.t;
+  mutable tr_inst : int;  (* which global instance this replica is part of *)
 }
 
 let majority t = Massbft_util.Intmath.raft_quorum t.ng
@@ -65,6 +73,8 @@ let create ?initial_leader ~ng ~me cb =
     acks = Hashtbl.create 64;
     acked_to_leader = ISet.empty;
     commit_note_max = 0;
+    trace = Trace.null;
+    tr_inst = -1;
   }
   in
   (* The initial leadership assignment is a deployment-wide convention
@@ -77,6 +87,10 @@ let create ?initial_leader ~ng ~me cb =
       if l = me then t.cur_role <- Leader
   | None -> ());
   t
+
+let set_trace t tr ~inst =
+  t.trace <- tr;
+  t.tr_inst <- inst
 
 let acks_for t i =
   ISet.elements (Option.value ~default:ISet.empty (Hashtbl.find_opt t.acks i))
@@ -95,6 +109,12 @@ let broadcast t msg =
 let set_role t role =
   if t.cur_role <> role then begin
     t.cur_role <- role;
+    Trace.instant t.trace ~cat:"raft" ~gid:t.me
+      ~args:
+        [ ("inst", Trace.Int t.tr_inst);
+          ("role", Trace.Str (role_name role));
+          ("term", Trace.Int t.cur_term) ]
+      "role_change";
     t.cb.on_role role ~term:t.cur_term
   end
 
@@ -192,6 +212,9 @@ let heartbeat t =
 
 let start_election t =
   t.cur_term <- t.cur_term + 1;
+  Trace.instant t.trace ~cat:"raft" ~gid:t.me
+    ~args:[ ("inst", Trace.Int t.tr_inst); ("term", Trace.Int t.cur_term) ]
+    "election";
   t.voted_for <- Some t.me;
   t.votes <- ISet.singleton t.me;
   set_role t Candidate;

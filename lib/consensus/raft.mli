@@ -65,6 +65,11 @@ val create : ?initial_leader:int -> ng:int -> me:int -> 'p callbacks -> 'p t
     vote already cast for that group (leadership without an election
     round). *)
 
+val set_trace : 'p t -> Massbft_trace.Trace.t -> inst:int -> unit
+(** Attaches a trace sink plus the global-instance id this replica
+    belongs to; the state machine then emits ["raft"]-category instants
+    on elections and role changes. Defaults to the disabled sink. *)
+
 val acks_for : 'p t -> int -> int list
 (** Accept voters recorded for a log index (leader-side diagnostic). *)
 

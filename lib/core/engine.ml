@@ -11,6 +11,7 @@ module Ledger = Massbft_exec.Ledger
 module Sha256 = Massbft_crypto.Sha256
 module Stats = Massbft_util.Stats
 module Intmath = Massbft_util.Intmath
+module Trace = Massbft_trace.Trace
 module Entry_tbl = Types.Entry_tbl
 module ISet = Set.Make (Int)
 
@@ -130,6 +131,7 @@ type t = {
   metrics : Metrics.t;
   shared_store : Kvstore.t;
   mutable started : bool;
+  mutable trace : Trace.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -226,6 +228,59 @@ let charge_cpu_parallel t (a : Topology.addr) seconds k =
 
 let measuring t created_at = created_at >= t.metrics.Metrics.measure_from
 
+let trace_entry t ?(gid = -1) ?(node = -1) ?args (eid : Types.entry_id) name =
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~cat:"entry"
+      ~gid:(if gid >= 0 then gid else eid.Types.gid)
+      ~node ?args
+      ~eid:(eid.Types.gid, eid.Types.seq)
+      name
+
+(* The entry's lifecycle as (summary, name, begin, duration) spans.
+   Both the Metrics phase summaries (Figure 11) and the exported trace
+   derive from this one list, so figure output and a trace of the same
+   run always agree. *)
+let phase_spans t e ~tnow =
+  let m = t.metrics in
+  let batch_wait = t.cfg.batch_timeout_s /. 2.0 in
+  let coding =
+    match t.repl with
+    | Config.Encoded_bijective ->
+        float_of_int e.size
+        *. (t.cfg.cost.Config.encode_per_byte_s
+           +. t.cfg.cost.Config.decode_per_byte_s)
+    | _ -> 0.0
+  in
+  let always =
+    [
+      (m.Metrics.phase_batch_s, "batch", e.created_at -. batch_wait, batch_wait);
+      ( m.Metrics.phase_local_s,
+        "local",
+        e.created_at,
+        e.decided_at -. e.created_at );
+      (m.Metrics.phase_coding_s, "coding", e.decided_at, coding);
+    ]
+  in
+  let tail =
+    if e.committed_at > 0.0 then
+      ( m.Metrics.phase_global_s,
+        "global",
+        e.decided_at,
+        e.committed_at -. e.decided_at )
+      ::
+      (if e.ordered_at > 0.0 then
+         [
+           ( m.Metrics.phase_order_s,
+             "order",
+             e.committed_at,
+             e.ordered_at -. e.committed_at );
+           (m.Metrics.phase_exec_s, "exec", e.ordered_at, tnow -. e.ordered_at);
+         ]
+       else [])
+    else []
+  in
+  always @ tail
+
 (* ------------------------------------------------------------------ *)
 (* Content tracking                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -312,7 +367,8 @@ and try_rounds t (l : leader) =
 and enqueue_exec t (l : leader) eid =
   (match Entry_tbl.find_opt t.entries eid with
   | Some e when eid.Types.gid = l.l_gid && e.ordered_at = 0.0 ->
-      e.ordered_at <- now t
+      e.ordered_at <- now t;
+      trace_entry t eid "ordered" ~node:0
   | _ -> ());
   Queue.push eid l.l_exec_q;
   pump_exec t l
@@ -385,9 +441,12 @@ and fetch_issue t (l : leader) eid =
       (* Ask the proposer first, then rotate through the groups. *)
       let target = (eid.Types.gid + !attempts) mod t.ng in
       incr attempts;
-      if target <> l.l_gid then
+      if target <> l.l_gid then begin
+        trace_entry t eid "fetch_req" ~gid:l.l_gid ~node:0
+          ~args:[ ("target", Trace.Int target) ];
         send t ~src:l.l_addr ~dst:(leader_addr target) ~bytes:Types.vote_bytes
-          (Fetch_req { eid });
+          (Fetch_req { eid })
+      end;
       ignore
         (Sim.after t.sim (2.0 *. t.cfg.fetch_timeout_s) (fun () ->
              if Entry_tbl.mem l.l_fetching eid then fetch_issue t l eid))
@@ -419,6 +478,8 @@ and do_execute t (l : leader) e =
     e.outcome <- None
   end;
   if e.eid.Types.gid = l.l_gid then begin
+    trace_entry t e.eid "executed" ~node:0
+      ~args:[ ("committed", Trace.Int (List.length outcome.Aria.committed)) ];
     (* The proposer re-queues its conflict-aborted transactions. *)
     l.l_retry <- l.l_retry @ outcome.Aria.conflicted;
     if measuring t e.created_at then record_metrics t e outcome
@@ -448,24 +509,19 @@ and record_metrics t e outcome =
   let latency = tnow -. e.created_at +. batch_wait in
   Stats.Summary.add m.Metrics.latency_s latency;
   Stats.Timeseries.add m.Metrics.latency_ts ~time:tnow latency;
-  Stats.Summary.add m.Metrics.phase_batch_s batch_wait;
-  Stats.Summary.add m.Metrics.phase_local_s (e.decided_at -. e.created_at);
-  let coding =
-    match t.repl with
-    | Config.Encoded_bijective ->
-        float_of_int e.size
-        *. (t.cfg.cost.Config.encode_per_byte_s
-           +. t.cfg.cost.Config.decode_per_byte_s)
-    | _ -> 0.0
-  in
-  Stats.Summary.add m.Metrics.phase_coding_s coding;
-  if e.committed_at > 0.0 then begin
-    Stats.Summary.add m.Metrics.phase_global_s (e.committed_at -. e.decided_at);
-    if e.ordered_at > 0.0 then begin
-      Stats.Summary.add m.Metrics.phase_order_s (e.ordered_at -. e.committed_at);
-      Stats.Summary.add m.Metrics.phase_exec_s (tnow -. e.ordered_at)
-    end
-  end
+  (* Phase breakdown: the span list is the single source; each span's
+     duration feeds its summary and, when tracing, the span itself is
+     exported with the entry's correlation id. *)
+  List.iter
+    (fun (summary, name, b, dur) ->
+      Stats.Summary.add summary dur;
+      if Trace.enabled t.trace then begin
+        let b = Float.max 0.0 b in
+        Trace.span t.trace ~cat:"entry.phase" ~gid:e.eid.Types.gid ~node:0
+          ~eid:(e.eid.Types.gid, e.eid.Types.seq)
+          ~b ~e:(b +. dur) name
+      end)
+    (phase_spans t e ~tnow)
 
 (* ------------------------------------------------------------------ *)
 (* Batching                                                            *)
@@ -543,6 +599,8 @@ and form_batch t (l : leader) =
   in
   Entry_tbl.replace t.entries eid e;
   Hashtbl.replace t.by_digest digest e;
+  trace_entry t eid "batch_formed" ~node:0
+    ~args:[ ("txns", Trace.Int e.txn_count); ("bytes", Trace.Int size) ];
   content_event t (node_of t l.l_addr) eid;
   (* The leader verifies the batch's client signatures, then starts
      local PBFT consensus. *)
@@ -566,7 +624,10 @@ and on_local_decide t (node : node) (cert : Pbft.certificate) =
       let addr = node.n_addr in
       content_event t node e.eid;
       if is_leader_node addr && e.eid.Types.gid = addr.Topology.g then
-        if e.decided_at = 0.0 then e.decided_at <- now t;
+        if e.decided_at = 0.0 then begin
+          e.decided_at <- now t;
+          trace_entry t e.eid "decided" ~node:0
+        end;
       (* Encoded bijective: every node ships its chunks. *)
       (match t.repl with
       | Config.Encoded_bijective -> send_chunks t node e
@@ -577,6 +638,8 @@ and on_local_decide t (node : node) (cert : Pbft.certificate) =
 
 and send_chunks t (node : node) e =
   let g = node.n_addr.Topology.g in
+  if node.n_addr.Topology.n = 0 then
+    trace_entry t e.eid "chunks_sent" ~gid:g ~node:node.n_addr.Topology.n;
   let encode_cost = float_of_int e.size *. t.cfg.cost.Config.encode_per_byte_s in
   charge_cpu t node.n_addr encode_cost (fun () ->
       for j = 0 to t.ng - 1 do
@@ -639,7 +702,10 @@ and start_global t (l : leader) e =
       send_oneway_copies t l e ~skip:[];
       (* No global consensus: the entry is ready for ordering here. *)
       mark_round_ready t l e.eid;
-      if e.committed_at = 0.0 then e.committed_at <- now t
+      if e.committed_at = 0.0 then begin
+        e.committed_at <- now t;
+        trace_entry t e.eid "committed" ~node:0
+      end
   | Config.Single_raft ->
       if l.l_gid = 0 then steward_propose t l e
       else
@@ -689,6 +755,12 @@ and on_chunk_received t (node : node) ~eid ~root_tag ~index =
         if String.equal root_tag e.digest then begin
           r.rb_done <- true;
           let cost = float_of_int e.size *. t.cfg.cost.Config.decode_per_byte_s in
+          if Trace.enabled t.trace then begin
+            let tnow = now t in
+            Trace.span t.trace ~cat:"entry" ~gid:g ~node:node.n_addr.Topology.n
+              ~eid:(eid.Types.gid, eid.Types.seq) ~b:tnow ~e:(tnow +. cost)
+              "rebuild"
+          end;
           charge_cpu t node.n_addr cost (fun () ->
               if alive t node.n_addr then content_event t node eid)
         end
@@ -800,6 +872,7 @@ and on_raft_commit t (l : leader) inst payload =
            fact committed twice; account it once. *)
         if e.committed_at = 0.0 then begin
           e.committed_at <- now t;
+          trace_entry t e.eid "committed" ~node:0;
           l.l_in_flight <- l.l_in_flight - 1;
           try_batch t l
         end
@@ -890,6 +963,8 @@ and unwedge_check t (l : leader) inst raft =
         if !ticks = 1 then want_fetch t l eid
         else if !ticks >= 4 then begin
           Hashtbl.remove l.l_stuck key;
+          trace_entry t eid "unwedge_noop" ~gid:l.l_gid ~node:0
+            ~args:[ ("inst", Trace.Int inst); ("index", Trace.Int idx) ];
           Raft.replace_uncommitted raft ~index:idx Noop
         end
   end
@@ -1003,7 +1078,10 @@ and handle t ~(src : Topology.addr) ~(dst : Topology.addr) m =
           incr notes;
           if !notes >= t.ng - 1 then begin
             let e = entry_of t eid in
-            if e.committed_at = 0.0 then e.committed_at <- now t;
+            if e.committed_at = 0.0 then begin
+              e.committed_at <- now t;
+              trace_entry t eid "committed" ~node:0
+            end;
             l.l_in_flight <- l.l_in_flight - 1;
             Entry_tbl.remove l.l_recv_notes eid;
             try_batch t l
@@ -1111,6 +1189,7 @@ let create sim topo cfg =
       metrics = Metrics.create ();
       shared_store;
       started = false;
+      trace = Trace.null;
     }
   in
   (* Local PBFT replicas. *)
@@ -1160,6 +1239,24 @@ let create sim topo cfg =
           Some (Orderer.create ~ng ~on_execute:(fun eid -> enqueue_exec t l eid)))
     leaders;
   t
+
+let set_trace t tr =
+  t.trace <- tr;
+  Trace.set_clock tr (fun () -> Sim.now t.sim);
+  Sim.set_trace t.sim tr;
+  Topology.set_trace t.topo tr;
+  Array.iter
+    (fun group ->
+      Array.iter
+        (fun node ->
+          match node.n_pbft with
+          | Some p -> Pbft.set_trace p tr ~gid:node.n_addr.Topology.g
+          | None -> ())
+        group)
+    t.nodes;
+  Array.iter
+    (fun l -> Array.iteri (fun inst r -> Raft.set_trace r tr ~inst) l.l_rafts)
+    t.leaders
 
 (* ------------------------------------------------------------------ *)
 (* Start / fault injection                                             *)

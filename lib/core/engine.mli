@@ -33,6 +33,18 @@ type t
 val create : Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> Config.t -> t
 (** Wires a deployment over [topology]; nothing runs until {!start}. *)
 
+val set_trace : t -> Massbft_trace.Trace.t -> unit
+(** Attaches a trace sink to the whole deployment — the simulator core,
+    every NIC and CPU in the topology, every local PBFT replica, every
+    global Raft instance, and the engine's own entry-lifecycle
+    instrumentation (batch → local decide → encode/transfer → rebuild →
+    commit → order → execute, emitted as ["entry"]/["entry.phase"]
+    events correlated by entry id). Also installs the simulator clock
+    into the sink so event timestamps carry virtual time. Call before
+    {!start}; tracing defaults to the disabled sink ({!
+    Massbft_trace.Trace.null}), in which case every emission site is a
+    single branch. *)
+
 val start : t -> unit
 (** Arms the batch timers, heartbeats and fault injectors. Run the
     simulation with {!Massbft_sim.Sim.run}. *)

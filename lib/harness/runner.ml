@@ -22,13 +22,14 @@ type result = {
   per_group_ktps : float list;
 }
 
-let run ?(duration = 12.0) ?(warmup = 4.0) ?on_engine ~spec ~cfg () =
+let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?on_engine ~spec ~cfg () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
   let sim = Sim.create () in
   let topo = Topology.create sim spec in
   let engine = Engine.create sim topo cfg in
+  (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
   Engine.start engine;
   Engine.set_measure_from engine warmup;
   (match on_engine with Some f -> f engine sim topo | None -> ());
@@ -69,9 +70,10 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?on_engine ~spec ~cfg () =
    the paper reports its latencies (e.g. GeoBFT's 68 ms is essentially
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
-let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?on_engine ~spec ~cfg () =
+let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?on_engine ~spec
+    ~cfg () =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
-  run ~duration ~warmup ?on_engine ~spec ~cfg:probe_cfg ()
+  run ~duration ~warmup ?trace ?on_engine ~spec ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -22,18 +22,22 @@ type result = {
 val run :
   ?duration:float ->
   ?warmup:float ->
+  ?trace:Massbft_trace.Trace.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->
   result
-(** Defaults: 4 s warm-up, 12 s measurement. [on_engine] runs after
+(** Defaults: 4 s warm-up, 12 s measurement. [trace] is attached via
+    {!Massbft.Engine.set_trace} before [Engine.start], so the sink
+    observes the whole run including warm-up. [on_engine] runs after
     [Engine.start] and before the clock moves — the hook for experiment-
     specific setup (bandwidth degradation, recovery schedules...). *)
 
 val run_latency_probe :
   ?duration:float ->
   ?warmup:float ->
+  ?trace:Massbft_trace.Trace.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->

@@ -1,12 +1,29 @@
+module Trace = Massbft_trace.Trace
+
 type t = {
   sim : Sim.t;
   cores : float array; (* per-core next-free time *)
   mutable busy : float;
+  mutable trace : Trace.t;
+  mutable tr_gid : int;
+  mutable tr_node : int;
 }
 
 let create sim ~cores =
   if cores < 1 then invalid_arg "Cpu.create: need at least one core";
-  { sim; cores = Array.make cores 0.0; busy = 0.0 }
+  {
+    sim;
+    cores = Array.make cores 0.0;
+    busy = 0.0;
+    trace = Trace.null;
+    tr_gid = -1;
+    tr_node = -1;
+  }
+
+let set_trace t tr ~gid ~node =
+  t.trace <- tr;
+  t.tr_gid <- gid;
+  t.tr_node <- node
 
 let earliest_core t =
   let best = ref 0 in
@@ -18,10 +35,21 @@ let earliest_core t =
 let submit t ~seconds k =
   if seconds < 0.0 then invalid_arg "Cpu.submit: negative duration";
   let core = earliest_core t in
-  let start = Float.max (Sim.now t.sim) t.cores.(core) in
+  let now = Sim.now t.sim in
+  let start = Float.max now t.cores.(core) in
   let finish = start +. seconds in
   t.cores.(core) <- finish;
   t.busy <- t.busy +. seconds;
+  if Trace.enabled t.trace then begin
+    if start > now then
+      Trace.span t.trace ~cat:"cpu" ~gid:t.tr_gid ~node:t.tr_node
+        ~args:[ ("core", Trace.Int core) ]
+        ~b:now ~e:start "wait";
+    if seconds > 0.0 then
+      Trace.span t.trace ~cat:"cpu" ~gid:t.tr_gid ~node:t.tr_node
+        ~args:[ ("core", Trace.Int core) ]
+        ~b:start ~e:finish "run"
+  end;
   ignore (Sim.at t.sim finish k)
 
 let utilization t ~since =

@@ -14,6 +14,12 @@ val submit : t -> seconds:float -> (unit -> unit) -> unit
     single-core compute; [k] runs at its completion. Tasks start in FIFO
     order on the earliest-free core. *)
 
+val set_trace : t -> Massbft_trace.Trace.t -> gid:int -> node:int -> unit
+(** Attaches a trace sink and this CPU's owning node. Every subsequent
+    {!submit} then emits ["cpu"]-category spans: a [wait] span when the
+    job queues behind busy cores and a [run] span for its execution,
+    both tagged with the chosen core. Defaults to the disabled sink. *)
+
 val utilization : t -> since:float -> float
 (** Fraction of core-time busy since virtual time [since] (diagnostic;
     in [0, 1] once the window is non-empty). *)

@@ -1,15 +1,31 @@
+module Trace = Massbft_trace.Trace
+
 type t = {
   sim : Sim.t;
   mutable bandwidth_bps : float;
   mutable busy_until : float;  (* bulk-class queue *)
   mutable ctrl_busy_until : float;  (* control-class queue *)
   mutable bytes_sent : int;
+  mutable trace : Trace.t;
+  mutable tr_gid : int;
+  mutable tr_node : int;
+  mutable tr_link : string;
 }
 
 let create sim ~bandwidth_bps =
   if bandwidth_bps <= 0.0 then
     invalid_arg "Nic.create: bandwidth must be positive";
-  { sim; bandwidth_bps; busy_until = 0.0; ctrl_busy_until = 0.0; bytes_sent = 0 }
+  {
+    sim;
+    bandwidth_bps;
+    busy_until = 0.0;
+    ctrl_busy_until = 0.0;
+    bytes_sent = 0;
+    trace = Trace.null;
+    tr_gid = -1;
+    tr_node = -1;
+    tr_link = "";
+  }
 
 let bandwidth t = t.bandwidth_bps
 
@@ -17,14 +33,31 @@ let set_bandwidth t bps =
   if bps <= 0.0 then invalid_arg "Nic.set_bandwidth: bandwidth must be positive";
   t.bandwidth_bps <- bps
 
+let set_trace t tr ~gid ~node ~link =
+  t.trace <- tr;
+  t.tr_gid <- gid;
+  t.tr_node <- node;
+  t.tr_link <- link
+
 let transmit ?(bulk = false) t ~bytes k =
   if bytes < 0 then invalid_arg "Nic.transmit: negative size";
   let queue_head = if bulk then t.busy_until else t.ctrl_busy_until in
-  let start = Float.max (Sim.now t.sim) queue_head in
+  let now = Sim.now t.sim in
+  let start = Float.max now queue_head in
   let duration = float_of_int bytes *. 8.0 /. t.bandwidth_bps in
   let finish = start +. duration in
   if bulk then t.busy_until <- finish else t.ctrl_busy_until <- finish;
   t.bytes_sent <- t.bytes_sent + bytes;
+  if Trace.enabled t.trace then begin
+    let link = if bulk then t.tr_link ^ ".bulk" else t.tr_link in
+    if start > now then
+      Trace.span t.trace ~cat:"nic" ~gid:t.tr_gid ~node:t.tr_node
+        ~args:[ ("link", Trace.Str link); ("bytes", Trace.Int bytes) ]
+        ~b:now ~e:start "queue";
+    Trace.span t.trace ~cat:"nic" ~gid:t.tr_gid ~node:t.tr_node
+      ~args:[ ("link", Trace.Str link); ("bytes", Trace.Int bytes) ]
+      ~b:start ~e:finish "xmit"
+  end;
   ignore (Sim.at t.sim finish k)
 
 let busy_until t = t.busy_until

@@ -29,6 +29,13 @@ val transmit : ?bulk:bool -> t -> bytes:int -> (unit -> unit) -> unit
     Bulk capacity is unaffected in practice because control traffic is a
     negligible byte fraction. *)
 
+val set_trace : t -> Massbft_trace.Trace.t -> gid:int -> node:int -> link:string -> unit
+(** Attaches a trace sink and this NIC's identity. Every subsequent
+    {!transmit} then emits ["nic"]-category spans: a [queue] span when
+    the frame waits behind the class queue, and an [xmit] span for its
+    serialization; both carry the link label (suffixed [".bulk"] for
+    the bulk class) and frame size. Defaults to the disabled sink. *)
+
 val busy_until : t -> float
 (** The virtual time at which the queue drains; [now] or earlier when
     idle. *)

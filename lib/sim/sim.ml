@@ -1,18 +1,42 @@
 module Heap = Massbft_util.Heap
+module Trace = Massbft_trace.Trace
 
 type timer = { mutable cancelled : bool; mutable fired : bool }
 
 type event = { time : float; seq : int; handle : timer; fn : unit -> unit }
 
-type t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  mutable trace : Trace.t;
+  mutable dispatched : int;
+  mutable last_trace_at : float;
+}
 
 let compare_event a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () = { clock = 0.0; next_seq = 0; queue = Heap.create ~cmp:compare_event }
+let create () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    queue = Heap.create ~cmp:compare_event;
+    trace = Trace.null;
+    dispatched = 0;
+    last_trace_at = neg_infinity;
+  }
 
 let now t = t.clock
+let set_trace t tr = t.trace <- tr
+let dispatched t = t.dispatched
+
+(* Sampling period for the dispatch-rate counter: often enough to see
+   load swings in a trace viewer, rare enough not to crowd the ring
+   buffer. Emitting a counter never schedules anything, so tracing
+   cannot perturb the event order. *)
+let trace_counter_period = 0.1
 
 let at t time fn =
   if time < t.clock then
@@ -40,6 +64,17 @@ let fire t e =
   t.clock <- e.time;
   if not e.handle.cancelled then begin
     e.handle.fired <- true;
+    t.dispatched <- t.dispatched + 1;
+    if
+      Trace.enabled t.trace
+      && t.clock -. t.last_trace_at >= trace_counter_period
+    then begin
+      t.last_trace_at <- t.clock;
+      Trace.counter t.trace ~ts:t.clock ~cat:"sim" "dispatched"
+        (float_of_int t.dispatched);
+      Trace.counter t.trace ~ts:t.clock ~cat:"sim" "pending"
+        (float_of_int (Heap.length t.queue))
+    end;
     e.fn ()
   end
 

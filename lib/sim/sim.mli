@@ -16,6 +16,16 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time in seconds. *)
 
+val set_trace : t -> Massbft_trace.Trace.t -> unit
+(** Attaches a trace sink; the dispatcher then emits sampled
+    ["sim"]-category counters (events dispatched, events pending) at
+    most every 100 simulated ms. Tracing never schedules events, so it
+    cannot change the simulation. Defaults to the disabled
+    {!Massbft_trace.Trace.null}. *)
+
+val dispatched : t -> int
+(** Events fired since creation (cancelled events excluded). *)
+
 val at : t -> float -> (unit -> unit) -> timer
 (** [at t time f] schedules [f] to run at absolute virtual [time].
     Raises [Invalid_argument] if [time] is in the past. *)

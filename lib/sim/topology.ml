@@ -1,3 +1,5 @@
+module Trace = Massbft_trace.Trace
+
 type addr = { g : int; n : int }
 
 let addr_to_string a = Printf.sprintf "g%d/n%d" a.g a.n
@@ -27,6 +29,7 @@ type t = {
   nodes : node_state array array;
   mutable wan_baseline : int;
   mutable lan_baseline : int;
+  mutable trace : Trace.t;
 }
 
 let create sim spec =
@@ -50,7 +53,7 @@ let create sim spec =
   let nodes =
     Array.map (fun size -> Array.init size (fun _ -> mk_node ())) spec.group_sizes
   in
-  { sim; spec; nodes; wan_baseline = 0; lan_baseline = 0 }
+  { sim; spec; nodes; wan_baseline = 0; lan_baseline = 0; trace = Trace.null }
 
 let sim t = t.sim
 let n_groups t = Array.length t.nodes
@@ -73,9 +76,29 @@ let group_nodes t g =
 let nodes t =
   List.concat (List.init (n_groups t) (fun g -> group_nodes t g))
 
+let set_trace t tr =
+  t.trace <- tr;
+  Array.iteri
+    (fun g group ->
+      Array.iteri
+        (fun n st ->
+          Nic.set_trace st.wan_up tr ~gid:g ~node:n ~link:"wan_up";
+          Nic.set_trace st.wan_down tr ~gid:g ~node:n ~link:"wan_down";
+          Nic.set_trace st.lan_up tr ~gid:g ~node:n ~link:"lan_up";
+          Nic.set_trace st.lan_down tr ~gid:g ~node:n ~link:"lan_down";
+          Cpu.set_trace st.cpu tr ~gid:g ~node:n)
+        group)
+    t.nodes
+
 let alive t a = (state t a).up
-let crash t a = (state t a).up <- false
-let recover t a = (state t a).up <- true
+
+let crash t a =
+  (state t a).up <- false;
+  Trace.instant t.trace ~cat:"topo" ~gid:a.g ~node:a.n "node_down"
+
+let recover t a =
+  (state t a).up <- true;
+  Trace.instant t.trace ~cat:"topo" ~gid:a.g ~node:a.n "node_up"
 let crash_group t g = List.iter (crash t) (group_nodes t g)
 let recover_group t g = List.iter (recover t) (group_nodes t g)
 let cpu t a = (state t a).cpu
@@ -110,6 +133,14 @@ let send ?(bulk = false) t ~src ~dst ~bytes k =
     (* Store-and-forward: uplink serialization, propagation, downlink
        serialization, then delivery (if the receiver is still up). *)
     Nic.transmit ~bulk up ~bytes (fun () ->
+        if Trace.enabled t.trace then begin
+          let tnow = Sim.now t.sim in
+          Trace.span t.trace ~cat:"net" ~gid:src.g ~node:src.n
+            ~args:
+              [ ("dst", Trace.Str (addr_to_string dst));
+                ("bytes", Trace.Int bytes) ]
+            ~b:tnow ~e:(tnow +. one_way) "propagate"
+        end;
         ignore
           (Sim.after t.sim one_way (fun () ->
                Nic.transmit ~bulk down ~bytes (fun () ->

@@ -47,6 +47,12 @@ val send :
     cost. [bulk] selects the NIC service class (see {!Nic.transmit}):
     entry payloads are bulk, consensus control traffic is not. *)
 
+val set_trace : t -> Massbft_trace.Trace.t -> unit
+(** Attaches a trace sink to every NIC and CPU in the cluster (see
+    {!Nic.set_trace} and {!Cpu.set_trace}) and to the fabric itself,
+    which then emits ["net"] propagation spans per inter-node message
+    and ["topo"] instants on crash/recover. *)
+
 val crash : t -> addr -> unit
 val recover : t -> addr -> unit
 val crash_group : t -> int -> unit

@@ -1,0 +1,157 @@
+type value = Int of int | Float of float | Str of string
+
+type kind =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter of float
+
+type event = {
+  ev_seq : int;
+  ts : float;
+  kind : kind;
+  name : string;
+  cat : string;
+  gid : int;
+  node : int;
+  span : int;
+  e_gid : int;
+  e_seq : int;
+  args : (string * value) list;
+}
+
+type t = {
+  live : bool;
+  cap : int;
+  mutable buf : event array;  (* circular; valid slots are start..start+len *)
+  mutable start : int;
+  mutable len : int;
+  mutable n_dropped : int;
+  mutable n_emitted : int;
+  mutable next_span : int;
+  mutable clock : unit -> float;
+}
+
+let dummy_event =
+  {
+    ev_seq = 0;
+    ts = 0.0;
+    kind = Instant;
+    name = "";
+    cat = "";
+    gid = -1;
+    node = -1;
+    span = 0;
+    e_gid = -1;
+    e_seq = -1;
+    args = [];
+  }
+
+let mk ~live ~cap =
+  {
+    live;
+    cap;
+    buf = (if live then Array.make cap dummy_event else [||]);
+    start = 0;
+    len = 0;
+    n_dropped = 0;
+    n_emitted = 0;
+    next_span = 1;
+    clock = (fun () -> 0.0);
+  }
+
+let null = mk ~live:false ~cap:0
+
+let create ?(capacity = 262_144) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  mk ~live:true ~cap:capacity
+
+let set_clock t clock = if t.live then t.clock <- clock
+let enabled t = t.live
+let capacity t = t.cap
+let length t = t.len
+let dropped t = t.n_dropped
+let emitted t = t.n_emitted
+
+let clear t =
+  if t.live then begin
+    Array.fill t.buf 0 t.cap dummy_event;
+    t.start <- 0;
+    t.len <- 0;
+    t.n_dropped <- 0
+  end
+
+let push t ev =
+  if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- ev;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest slot. *)
+    t.buf.(t.start) <- ev;
+    t.start <- (t.start + 1) mod t.cap;
+    t.n_dropped <- t.n_dropped + 1
+  end;
+  t.n_emitted <- t.n_emitted + 1
+
+let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+
+let emit t ~ts ~kind ~name ~cat ~gid ~node ~span ~eid ~args =
+  let e_gid, e_seq = match eid with Some (g, s) -> (g, s) | None -> (-1, -1) in
+  push t
+    { ev_seq = t.n_emitted; ts; kind; name; cat; gid; node; span; e_gid; e_seq;
+      args }
+
+let instant t ?ts ?(cat = "") ?(gid = -1) ?(node = -1) ?eid ?(args = []) name =
+  if t.live then
+    let ts = match ts with Some x -> x | None -> t.clock () in
+    emit t ~ts ~kind:Instant ~name ~cat ~gid ~node ~span:0 ~eid ~args
+
+let counter t ?ts ?(cat = "") ?(gid = -1) ?(node = -1) name v =
+  if t.live then
+    let ts = match ts with Some x -> x | None -> t.clock () in
+    emit t ~ts ~kind:(Counter v) ~name ~cat ~gid ~node ~span:0 ~eid:None
+      ~args:[]
+
+let fresh_span t =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  id
+
+let span t ?(cat = "") ?(gid = -1) ?(node = -1) ?eid ?(args = []) ~b ~e name =
+  if t.live then begin
+    if e < b then invalid_arg "Trace.span: end before begin";
+    let id = fresh_span t in
+    emit t ~ts:b ~kind:Span_begin ~name ~cat ~gid ~node ~span:id ~eid ~args;
+    emit t ~ts:e ~kind:Span_end ~name ~cat ~gid ~node ~span:id ~eid ~args:[]
+  end
+
+type open_span = {
+  os_id : int;
+  os_name : string;
+  os_cat : string;
+  os_gid : int;
+  os_node : int;
+  os_eid : (int * int) option;
+}
+
+let null_span =
+  { os_id = 0; os_name = ""; os_cat = ""; os_gid = -1; os_node = -1;
+    os_eid = None }
+
+let span_begin t ?ts ?(cat = "") ?(gid = -1) ?(node = -1) ?eid ?(args = []) name
+    =
+  if not t.live then null_span
+  else begin
+    let ts = match ts with Some x -> x | None -> t.clock () in
+    let id = fresh_span t in
+    emit t ~ts ~kind:Span_begin ~name ~cat ~gid ~node ~span:id ~eid ~args;
+    { os_id = id; os_name = name; os_cat = cat; os_gid = gid; os_node = node;
+      os_eid = eid }
+  end
+
+let span_end t ?ts ?(args = []) os =
+  if t.live && os.os_id <> 0 then
+    let ts = match ts with Some x -> x | None -> t.clock () in
+    emit t ~ts ~kind:Span_end ~name:os.os_name ~cat:os.os_cat ~gid:os.os_gid
+      ~node:os.os_node ~span:os.os_id ~eid:os.os_eid ~args

@@ -37,10 +37,15 @@ module Timeseries : sig
 
   val rate_series : t -> (float * float) list
   (** [(bucket_start, sum / bucket_width)] pairs in time order — i.e.
-      a per-second rate when values are counts. *)
+      a per-second rate when values are counts. Every bucket between
+      the first and last observation is present: buckets with no
+      observations report an explicit [0.0] (so outages appear as
+      zero-rate samples, not as gaps). Empty series stay empty. *)
 
   val mean_series : t -> (float * float) list
-  (** [(bucket_start, sum / samples)] pairs — per-bucket means. *)
+  (** [(bucket_start, sum / samples)] pairs — per-bucket means, with
+      the same zero-filling as {!rate_series} (an observation-free
+      bucket reports mean [0.0]). *)
 end
 
 (** Monotonic counters, used for WAN/LAN byte accounting (Figure 10). *)

@@ -1,0 +1,277 @@
+(* Tests for the massbft_trace subsystem: ring-buffer semantics,
+   span discipline of the instrumented engine, determinism of the
+   Chrome export, and well-formedness of the emitted JSON. *)
+
+module Trace = Massbft_trace.Trace
+module Trace_export = Massbft_trace.Trace_export
+module Config = Massbft.Config
+module W = Massbft_workload.Workload
+module Runner = Massbft_harness.Runner
+module Clusters = Massbft_harness.Clusters
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_drops_oldest () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 5 do
+    Trace.instant tr ~ts:(float_of_int i) (Printf.sprintf "e%d" i)
+  done;
+  check_int "capacity" 4 (Trace.capacity tr);
+  check_int "length" 4 (Trace.length tr);
+  check_int "dropped" 2 (Trace.dropped tr);
+  check_int "emitted" 6 (Trace.emitted tr);
+  let names = List.map (fun e -> e.Trace.name) (Trace.events tr) in
+  Alcotest.(check (list string))
+    "oldest two overwritten" [ "e2"; "e3"; "e4"; "e5" ] names;
+  Trace.clear tr;
+  check_int "clear empties" 0 (Trace.length tr);
+  check_int "clear resets drops" 0 (Trace.dropped tr)
+
+let test_null_sink_noop () =
+  check_bool "null disabled" false (Trace.enabled Trace.null);
+  Trace.instant Trace.null "ignored";
+  Trace.counter Trace.null "ignored" 1.0;
+  Trace.span Trace.null ~b:0.0 ~e:1.0 "ignored";
+  Trace.span_end Trace.null (Trace.span_begin Trace.null "ignored");
+  check_int "null stays empty" 0 (Trace.length Trace.null);
+  check_int "null counts nothing" 0 (Trace.emitted Trace.null)
+
+(* ------------------------------------------------------------------ *)
+(* Traced engine runs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let traced_run ?(capacity = 262144) ?(seed = 7) () =
+  let tr = Trace.create ~capacity () in
+  let cfg =
+    {
+      (Config.default ~system:Config.Massbft ~workload:W.Ycsb_a ()) with
+      Config.workload_scale = 0.01;
+      seed = Int64.of_int seed;
+    }
+  in
+  let spec = Clusters.nationwide ~nodes_per_group:4 ~groups:3 () in
+  ignore (Runner.run ~duration:0.4 ~warmup:0.2 ~trace:tr ~spec ~cfg ());
+  tr
+
+let test_span_balance () =
+  let tr = traced_run () in
+  check_bool "dropped nothing at default capacity" true (Trace.dropped tr = 0);
+  check_bool "recorded something" true (Trace.length tr > 0);
+  let begins = Hashtbl.create 256 in
+  let n_begin = ref 0 and n_end = ref 0 in
+  List.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Trace.Span_begin ->
+          incr n_begin;
+          check_bool "span id not reused as begin" false
+            (Hashtbl.mem begins e.Trace.span);
+          Hashtbl.replace begins e.Trace.span e
+      | Trace.Span_end -> (
+          incr n_end;
+          match Hashtbl.find_opt begins e.Trace.span with
+          | None -> Alcotest.failf "end without begin for span %d" e.Trace.span
+          | Some b ->
+              Alcotest.(check string) "end name matches" b.Trace.name e.Trace.name;
+              check_bool "end not before begin" true (e.Trace.ts >= b.Trace.ts);
+              Hashtbl.remove begins e.Trace.span)
+      | Trace.Instant | Trace.Counter _ -> ())
+    (Trace.events tr);
+  check_bool "saw spans" true (!n_begin > 0);
+  check_int "begin/end balance" !n_begin !n_end;
+  check_int "no dangling begins" 0 (Hashtbl.length begins)
+
+let test_export_deterministic () =
+  let a = Trace_export.to_chrome_json (traced_run ()) in
+  let b = Trace_export.to_chrome_json (traced_run ()) in
+  check_bool "same seed, byte-identical export" true (String.equal a b);
+  let c = Trace_export.to_chrome_json (traced_run ~seed:8 ()) in
+  check_bool "different seed, different trace" false (String.equal a c)
+
+(* ------------------------------------------------------------------ *)
+(* JSON well-formedness                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A minimal recursive-descent JSON validator: enough to prove the
+   export is parseable, with no dependency on a JSON library. *)
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "invalid JSON at byte %d: %s" !pos msg in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let digits () =
+      let seen = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            seen := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !seen then fail "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          elements ()
+    | Some '"' -> parse_string ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected a value"
+  in
+  parse_value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_chrome_json_well_formed () =
+  let tr = traced_run () in
+  let json = Trace_export.to_chrome_json tr in
+  parse_json json;
+  check_bool "has traceEvents" true (contains ~needle:"\"traceEvents\"" json);
+  check_bool "has process metadata" true
+    (contains ~needle:"\"process_name\"" json)
+
+let test_json_escaping () =
+  let tr = Trace.create ~capacity:8 () in
+  Trace.instant tr ~ts:0.0
+    ~args:[ ("why", Trace.Str "quote\" back\\slash \n tab\t") ]
+    "weird\"name";
+  let json = Trace_export.to_chrome_json tr in
+  parse_json json
+
+let test_critical_path_report () =
+  let tr = traced_run () in
+  let report = Trace_export.critical_path_report ~limit:3 tr in
+  check_bool "mentions an entry" true (contains ~needle:"entry e(" report);
+  check_bool "reports phases" true (contains ~needle:"local" report)
+
+let () =
+  Alcotest.run "massbft_trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "drops oldest" `Quick test_ring_drops_oldest;
+          Alcotest.test_case "null sink" `Quick test_null_sink_noop;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "span balance" `Quick test_span_balance;
+          Alcotest.test_case "deterministic export" `Quick
+            test_export_deterministic;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json well-formed" `Quick
+            test_chrome_json_well_formed;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+          Alcotest.test_case "critical path report" `Quick
+            test_critical_path_report;
+        ] );
+    ]

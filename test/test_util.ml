@@ -320,6 +320,33 @@ let test_timeseries () =
       Alcotest.(check (float 1e-9)) "bucket 1 mean" 1.0 m1
   | _ -> Alcotest.fail "expected 2 buckets"
 
+let test_timeseries_zero_fill () =
+  (* Observation-free buckets inside the observed span must appear
+     explicitly as 0.0 (a stall looks like a stall, not a gap). *)
+  let ts = Stats.Timeseries.create ~bucket:1.0 in
+  Stats.Timeseries.add ts ~time:0.5 3.0;
+  Stats.Timeseries.add ts ~time:3.5 1.0;
+  (match Stats.Timeseries.rate_series ts with
+  | [ (t0, r0); (t1, r1); (t2, r2); (t3, r3) ] ->
+      Alcotest.(check (float 1e-9)) "bucket 0 start" 0.0 t0;
+      Alcotest.(check (float 1e-9)) "bucket 0 rate" 3.0 r0;
+      Alcotest.(check (float 1e-9)) "gap bucket 1 start" 1.0 t1;
+      Alcotest.(check (float 1e-9)) "gap bucket 1 rate" 0.0 r1;
+      Alcotest.(check (float 1e-9)) "gap bucket 2 start" 2.0 t2;
+      Alcotest.(check (float 1e-9)) "gap bucket 2 rate" 0.0 r2;
+      Alcotest.(check (float 1e-9)) "bucket 3 start" 3.0 t3;
+      Alcotest.(check (float 1e-9)) "bucket 3 rate" 1.0 r3
+  | other -> Alcotest.failf "expected 4 buckets, got %d" (List.length other));
+  (match Stats.Timeseries.mean_series ts with
+  | [ (_, m0); (_, m1); (_, m2); (_, m3) ] ->
+      Alcotest.(check (float 1e-9)) "bucket 0 mean" 3.0 m0;
+      Alcotest.(check (float 1e-9)) "gap means" 0.0 (m1 +. m2);
+      Alcotest.(check (float 1e-9)) "bucket 3 mean" 1.0 m3
+  | other -> Alcotest.failf "expected 4 buckets, got %d" (List.length other));
+  let empty = Stats.Timeseries.create ~bucket:1.0 in
+  check_int "empty stays empty" 0
+    (List.length (Stats.Timeseries.rate_series empty))
+
 let test_counter () =
   let c = Stats.Counter.create () in
   Stats.Counter.add c 10;
@@ -398,6 +425,8 @@ let () =
           Alcotest.test_case "percentile then add" `Quick test_summary_percentile_after_add;
           Alcotest.test_case "stddev" `Quick test_summary_stddev;
           Alcotest.test_case "timeseries buckets" `Quick test_timeseries;
+          Alcotest.test_case "timeseries zero fill" `Quick
+            test_timeseries_zero_fill;
           Alcotest.test_case "counter" `Quick test_counter;
         ] );
       ( "hexdump",
