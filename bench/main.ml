@@ -8,7 +8,8 @@
       evaluation, printed as labeled series with the paper's reported
       values attached where stated (see EXPERIMENTS.md).
 
-   Set MASSBFT_BENCH_QUICK=1 for a fast smoke pass of the figures. *)
+   Pass --quick (or set MASSBFT_BENCH_QUICK=1) for a fast smoke pass:
+   a reduced bechamel quota and the figures' quick mode. *)
 
 open Bechamel
 open Toolkit
@@ -195,10 +196,11 @@ let micro_tests =
     bench_sim;
   ]
 
-let run_micro () =
+let run_micro ~quick () =
   print_endline "=== micro-benchmarks (bechamel) ===";
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
   in
   let test = Test.make_grouped ~name:"massbft" ~fmt:"%s %s" micro_tests in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
@@ -233,9 +235,11 @@ let run_figures ~quick =
 
 let () =
   let quick =
+    Array.exists (String.equal "--quick") Sys.argv
+    ||
     match Sys.getenv_opt "MASSBFT_BENCH_QUICK" with
     | Some ("1" | "true" | "yes") -> true
     | _ -> false
   in
-  run_micro ();
+  run_micro ~quick ();
   run_figures ~quick

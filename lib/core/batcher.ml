@@ -1,0 +1,98 @@
+(* Batching stage: client load generation, the 20 ms batch timer and
+   the pipeline window. A leader forms a batch when its timer has
+   fired ([l_batch_pending]), fewer than [pipeline] own entries are in
+   flight, and the ordering strategy's window admits the next sequence
+   number (round-based systems cap how far a group may run ahead; ISS
+   additionally gates on epoch boundaries). *)
+
+open Node_ctx
+module Sha256 = Massbft_crypto.Sha256
+
+let form_batch t (l : leader) =
+  let seq = l.l_next_seq in
+  l.l_next_seq <- seq + 1;
+  l.l_in_flight <- l.l_in_flight + 1;
+  let rec take acc n lst =
+    if n = 0 then (List.rev acc, lst)
+    else
+      match lst with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (x :: acc) (n - 1) rest
+  in
+  (* Conflicted transactions re-enter through Aria's deterministic
+     fallback lane: they execute serially next time and always commit,
+     bounding retries to one round. *)
+  let retried, rest = take [] t.cfg.Config.max_batch l.l_retry in
+  l.l_retry <- rest;
+  let fresh =
+    List.init
+      (t.cfg.Config.max_batch - List.length retried)
+      (fun _ -> W.next l.l_gen)
+  in
+  let eid = { Types.gid = l.l_gid; seq } in
+  let digest = Sha256.digest ("entry:" ^ Types.entry_id_to_string eid) in
+  let wire l0 =
+    List.fold_left (fun acc (x : Txn.t) -> acc + x.Txn.wire_size) 0 l0
+  in
+  let size = Types.header_bytes + wire fresh + wire retried in
+  let e =
+    {
+      eid;
+      digest;
+      size;
+      txns = fresh;
+      fb_txns = retried;
+      txn_count = List.length fresh + List.length retried;
+      created_at = now t;
+      decided_at = 0.0;
+      committed_at = 0.0;
+      ordered_at = 0.0;
+      outcome = None;
+      exec_count = 0;
+    }
+  in
+  Entry_tbl.replace t.entries eid e;
+  Hashtbl.replace t.by_digest digest e;
+  trace_entry t eid "batch_formed" ~node:0
+    ~args:[ ("txns", Trace.Int e.txn_count); ("bytes", Trace.Int size) ];
+  content_event t (node_of t l.l_addr) eid;
+  (* The leader verifies the batch's client signatures, then starts
+     local PBFT consensus. *)
+  let verify_cost =
+    float_of_int e.txn_count *. t.cfg.Config.cost.Config.sig_verify_s
+  in
+  charge_cpu_parallel t l.l_addr verify_cost (fun () ->
+      if alive t l.l_addr then
+        match (node_of t l.l_addr).n_pbft with
+        | Some pbft -> Pbft.propose pbft ~seq ~digest
+        | None -> ())
+
+let try_batch t (l : leader) =
+  if
+    t.started
+    && alive t l.l_addr
+    && l.l_batch_pending
+    && l.l_in_flight < t.cfg.Config.pipeline
+    && t.strat.ord.o_allows t l l.l_next_seq
+  then begin
+    l.l_batch_pending <- false;
+    form_batch t l
+  end
+
+(* Arm the per-leader batch timers (called once from Engine.start). *)
+let start t =
+  Array.iter
+    (fun l ->
+      let rec tick () =
+        ignore
+          (Sim.after t.sim t.cfg.Config.batch_timeout_s (fun () ->
+               if alive t l.l_addr then begin
+                 l.l_batch_pending <- true;
+                 try_batch t l
+               end;
+               tick ()))
+      in
+      l.l_batch_pending <- true;
+      try_batch t l;
+      tick ())
+    t.leaders

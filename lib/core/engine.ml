@@ -1,1113 +1,87 @@
-module Sim = Massbft_sim.Sim
-module Topology = Massbft_sim.Topology
-module Cpu = Massbft_sim.Cpu
-module Pbft = Massbft_consensus.Pbft
-module Raft = Massbft_consensus.Raft
-module W = Massbft_workload.Workload
-module Txn = Massbft_workload.Txn
-module Kvstore = Massbft_exec.Kvstore
-module Aria = Massbft_exec.Aria
-module Ledger = Massbft_exec.Ledger
-module Sha256 = Massbft_crypto.Sha256
-module Stats = Massbft_util.Stats
-module Intmath = Massbft_util.Intmath
-module Trace = Massbft_trace.Trace
-module Entry_tbl = Types.Entry_tbl
-module ISet = Set.Make (Int)
+(* The engine: a thin conductor over the stage modules.
+
+   Construction resolves [Config.system] exactly once into the
+   [Node_ctx.strategies] record (one strategy value per Table II axis)
+   and wires the stages: Local_consensus (per-group PBFT),
+   Replication (dissemination + rebuild + fetch), Global_consensus
+   (Raft with content-gated acks), Ordering (rounds / epochs / global
+   log / VTS), Execution (Aria + ledger), Batcher (load + batching).
+   The engine itself only owns message routing ([dispatch]), the
+   cross-stage content-arrival composition ([leader_content]),
+   lifecycle (create/start/fault injection) and the read-side
+   accessors. *)
+
+open Node_ctx
+
+type t = Node_ctx.t
 
 (* ------------------------------------------------------------------ *)
-(* Wire messages                                                       *)
+(* Message routing                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Payloads of the global Raft instances: entry metadata (digest +
-   certificate; the content travels by the replication strategy) and
-   vector-timestamp records. *)
-type rpayload =
-  | Entry_meta of { eid : Types.entry_id }
-  | Ts of { eid : Types.entry_id; ts : int }
-  | Noop
-      (* replaces an unrecoverable dead-group entry in a taken-over log *)
-
-type msg =
-  | Local of Pbft.msg  (* intra-group batch consensus *)
-  | Chunk of { eid : Types.entry_id; root_tag : string; index : int }
-  | Chunk_fwd of { eid : Types.entry_id; root_tag : string; index : int }
-  | Copy of { eid : Types.entry_id }  (* full entry copy *)
-  | Copy_fwd of { eid : Types.entry_id }
-  | Raft_m of { inst : int; rmsg : rpayload Raft.msg }
-  | Accept_req of { tag : string }
-  | Accept_vote of { tag : string }
-  | Accept_note of { eid : Types.entry_id }
-  | Recv_note of { eid : Types.entry_id }  (* GeoBFT delivery credit *)
-  | Fetch_req of { eid : Types.entry_id }
-
-(* ------------------------------------------------------------------ *)
-(* Entry registry                                                      *)
-(* ------------------------------------------------------------------ *)
-
-type entry = {
-  eid : Types.entry_id;
-  digest : string;
-  size : int;  (* wire bytes of the batch *)
-  mutable txns : Txn.t list;
-  mutable fb_txns : Txn.t list;  (* Aria fallback lane: retried conflicts *)
-  txn_count : int;
-  created_at : float;
-  mutable decided_at : float;
-  mutable committed_at : float;
-  mutable ordered_at : float;
-  mutable outcome : Aria.outcome option;  (* memoized execution *)
-  mutable exec_count : int;  (* leaders that executed it, for pruning *)
-}
-
-(* Symbolic receiver-side rebuild state: the bucket-classification logic
-   of Rebuild, over virtual chunk identities (root tags instead of real
-   Merkle roots). Byte-level behaviour is covered by Rebuild's tests;
-   sizes here match Chunker.chunk_wire_size exactly. *)
-type rsym = {
-  rb_buckets : (string, ISet.t ref) Hashtbl.t;
-  mutable rb_black : ISet.t;
-  mutable rb_done : bool;
-}
-
-type node = {
-  n_addr : Topology.addr;
-  mutable n_pbft : Pbft.t option;
-  n_content : unit Entry_tbl.t;
-  n_rebuilds : rsym Entry_tbl.t;
-  mutable n_byz : bool;
-}
-
-type leader = {
-  l_gid : int;
-  l_addr : Topology.addr;
-  mutable l_rafts : rpayload Raft.t array;  (* per instance; may be empty *)
-  mutable l_orderer : Orderer.t option;
-  l_store : Kvstore.t;
-  l_ledger : Ledger.t;
-  mutable l_clk : int;  (* own committed-entry count *)
-  l_clk_of : int array;  (* last committed seq per instance *)
-  mutable l_retry : Txn.t list;
-  l_gen : W.t;
-  mutable l_in_flight : int;
-  mutable l_next_seq : int;
-  mutable l_batch_pending : bool;
-  l_exec_q : Types.entry_id Queue.t;
-  mutable l_exec_busy : bool;
-  mutable l_executed_rev : Types.entry_id list;
-  mutable l_executed_count : int;
-  l_accept_pending : (string, unit -> unit) Hashtbl.t;
-  l_accept_votes : (string, int ref) Hashtbl.t;
-  l_accept_notes : int ref Entry_tbl.t;
-  l_ts_mark : (string, unit) Hashtbl.t;  (* Ts proposed, key inst|gid|seq *)
-  l_ts_seen : (string, unit) Hashtbl.t;  (* Ts committed (first wins) *)
-  l_last_heard : float array;  (* per instance *)
-  l_waiting_content : (unit -> unit) list ref Entry_tbl.t;
-  l_committed_unexec : unit Entry_tbl.t;
-  l_round_ready : unit Entry_tbl.t;
-  mutable l_next_round : int;
-  l_recv_notes : int ref Entry_tbl.t;
-  l_steward_proposed : unit Entry_tbl.t;
-  l_fetching : int ref Entry_tbl.t;  (* wanted content, with attempt count *)
-  l_fetch_q : Types.entry_id Queue.t;
-  mutable l_fetch_out : int;  (* outstanding fetch requests *)
-  l_stuck : (string, int ref) Hashtbl.t;
-      (* ticks a led instance's head-of-line entry has been unackable *)
-}
-
-type t = {
-  sim : Sim.t;
-  topo : Topology.t;
-  cfg : Config.t;
-  ng : int;
-  repl : Config.replication;
-  glob : Config.global_consensus;
-  ord : Config.ordering;
-  nodes : node array array;
-  leaders : leader array;
-  entries : entry Entry_tbl.t;
-  by_digest : (string, entry) Hashtbl.t;
-  plans : Transfer_plan.t option array array;  (* [src_group][dst_group] *)
-  metrics : Metrics.t;
-  shared_store : Kvstore.t;
-  mutable started : bool;
-  mutable trace : Trace.t;
-}
-
-(* ------------------------------------------------------------------ *)
-(* Helpers                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let now t = Sim.now t.sim
-let node_of t (a : Topology.addr) = t.nodes.(a.Topology.g).(a.Topology.n)
-let leader_addr gid = { Topology.g = gid; n = 0 }
-let is_leader_node (a : Topology.addr) = a.Topology.n = 0
-let alive t (a : Topology.addr) = Topology.alive t.topo a
-let cpu_of t (a : Topology.addr) = Topology.cpu t.topo a
-
-let entry_of t eid =
-  match Entry_tbl.find_opt t.entries eid with
-  | Some e -> e
-  | None -> invalid_arg ("Engine: unknown entry " ^ Types.entry_id_to_string eid)
-
-let ts_key inst (eid : Types.entry_id) =
-  Printf.sprintf "%d|%d|%d" inst eid.Types.gid eid.Types.seq
-
-let plan_between t ~src ~dst =
-  match t.plans.(src).(dst) with
-  | Some p -> p
-  | None ->
-      let p =
-        Transfer_plan.generate
-          ~n1:(Topology.group_size t.topo src)
-          ~n2:(Topology.group_size t.topo dst)
-      in
-      t.plans.(src).(dst) <- Some p;
-      p
-
-let chunk_bytes t ~src ~dst ~entry_len =
-  Chunker.chunk_wire_size ~plan:(plan_between t ~src ~dst) ~entry_len
-
-let group_f t gid = Intmath.pbft_f (Topology.group_size t.topo gid)
-let fg t = Intmath.raft_f t.ng
-
-let local_msg_bytes t m =
-  match m with
-  | Pbft.Pre_prepare { digest; _ } -> (
-      match Hashtbl.find_opt t.by_digest digest with
-      | Some e -> e.size + Types.header_bytes + Types.signature_bytes
-      | None -> Types.vote_bytes)
-  | Pbft.Prepare _ | Pbft.Commit _ -> Types.vote_bytes
-  | Pbft.View_change _ | Pbft.New_view _ -> 4 * Types.vote_bytes
-
-let raft_msg_bytes t rmsg =
-  match rmsg with
-  | Raft.Append { entry = Entry_meta _; _ } ->
-      Types.raft_meta_bytes ~n:(Topology.group_size t.topo 0)
-  | Raft.Append { entry = Ts _; _ } | Raft.Append { entry = Noop; _ }
-  | Raft.Replace _ ->
-      Types.vote_bytes
-  | Raft.Append_ack _ | Raft.Commit_note _ | Raft.Request_vote _
-  | Raft.Vote _ | Raft.Probe _ | Raft.Probe_reply _ | Raft.Timeout_now _ ->
-      Types.vote_bytes
-
-let copy_bytes t eid =
-  let e = entry_of t eid in
-  e.size + Types.certificate_bytes ~n:(Topology.group_size t.topo eid.Types.gid)
-
-(* Forward declaration of the dispatcher to untangle the send sites. *)
-let handler : (t -> src:Topology.addr -> dst:Topology.addr -> msg -> unit) ref =
-  ref (fun _ ~src:_ ~dst:_ _ -> ())
-
-let send ?(bulk = false) t ~src ~dst ~bytes m =
-  Topology.send ~bulk t.topo ~src ~dst ~bytes (fun () -> !handler t ~src ~dst m)
-
-let broadcast_group ?(bulk = false) t ~src ~bytes m =
-  List.iter
-    (fun dst ->
-      if not (Topology.addr_equal src dst) then send ~bulk t ~src ~dst ~bytes m)
-    (Topology.group_nodes t.topo src.Topology.g)
-
-let charge_cpu t (a : Topology.addr) seconds k = Cpu.submit (cpu_of t a) ~seconds k
-
-(* Batch signature verification and Aria execution are embarrassingly
-   parallel: spread the work over every core, continuing when the last
-   slice finishes. *)
-let charge_cpu_parallel t (a : Topology.addr) seconds k =
-  let cores = Topology.cores t.topo in
-  if seconds <= 0.0 then k ()
-  else begin
-    let slice = seconds /. float_of_int cores in
-    let remaining = ref cores in
-    for _ = 1 to cores do
-      Cpu.submit (cpu_of t a) ~seconds:slice (fun () ->
-          decr remaining;
-          if !remaining = 0 then k ())
-    done
-  end
-
-let measuring t created_at = created_at >= t.metrics.Metrics.measure_from
-
-let trace_entry t ?(gid = -1) ?(node = -1) ?args (eid : Types.entry_id) name =
-  if Trace.enabled t.trace then
-    Trace.instant t.trace ~cat:"entry"
-      ~gid:(if gid >= 0 then gid else eid.Types.gid)
-      ~node ?args
-      ~eid:(eid.Types.gid, eid.Types.seq)
-      name
-
-(* The entry's lifecycle as (summary, name, begin, duration) spans.
-   Both the Metrics phase summaries (Figure 11) and the exported trace
-   derive from this one list, so figure output and a trace of the same
-   run always agree. *)
-let phase_spans t e ~tnow =
-  let m = t.metrics in
-  let batch_wait = t.cfg.batch_timeout_s /. 2.0 in
-  let coding =
-    match t.repl with
-    | Config.Encoded_bijective ->
-        float_of_int e.size
-        *. (t.cfg.cost.Config.encode_per_byte_s
-           +. t.cfg.cost.Config.decode_per_byte_s)
-    | _ -> 0.0
-  in
-  let always =
-    [
-      (m.Metrics.phase_batch_s, "batch", e.created_at -. batch_wait, batch_wait);
-      ( m.Metrics.phase_local_s,
-        "local",
-        e.created_at,
-        e.decided_at -. e.created_at );
-      (m.Metrics.phase_coding_s, "coding", e.decided_at, coding);
-    ]
-  in
-  let tail =
-    if e.committed_at > 0.0 then
-      ( m.Metrics.phase_global_s,
-        "global",
-        e.decided_at,
-        e.committed_at -. e.decided_at )
-      ::
-      (if e.ordered_at > 0.0 then
-         [
-           ( m.Metrics.phase_order_s,
-             "order",
-             e.committed_at,
-             e.ordered_at -. e.committed_at );
-           (m.Metrics.phase_exec_s, "exec", e.ordered_at, tnow -. e.ordered_at);
-         ]
-       else [])
-    else []
-  in
-  always @ tail
-
-(* ------------------------------------------------------------------ *)
-(* Content tracking                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let has_content node eid = Entry_tbl.mem node.n_content eid
-
-let rec content_event t (node : node) eid =
-  if not (has_content node eid) then begin
-    Entry_tbl.replace node.n_content eid ();
-    if is_leader_node node.n_addr then begin
-      let l = t.leaders.(node.n_addr.Topology.g) in
-      (* A satisfied fetch frees its pump slot. *)
-      if Entry_tbl.mem l.l_fetching eid then begin
-        Entry_tbl.remove l.l_fetching eid;
-        l.l_fetch_out <- max 0 (l.l_fetch_out - 1);
-        pump_fetch t l
-      end;
-      (* Release any ack guards waiting for this entry (Lemma V.1). *)
-      (match Entry_tbl.find_opt l.l_waiting_content eid with
-      | Some cbs ->
-          let run = !cbs in
-          Entry_tbl.remove l.l_waiting_content eid;
-          List.iter (fun k -> k ()) run
-      | None -> ());
-      (* GeoBFT: content arrival is the commitment event. *)
-      if t.glob = Config.Direct_broadcast then begin
-        if eid.Types.gid <> l.l_gid then
-          send t ~src:l.l_addr
-            ~dst:(leader_addr eid.Types.gid)
-            ~bytes:Types.vote_bytes (Recv_note { eid });
-        mark_round_ready t l eid
-      end;
-      pump_exec t l
-    end
-  end
-
-and when_content t (l : leader) eid k =
-  let node = node_of t l.l_addr in
-  if has_content node eid then k ()
-  else
-    let cbs =
-      match Entry_tbl.find_opt l.l_waiting_content eid with
-      | Some r -> r
-      | None ->
-          let r = ref [] in
-          Entry_tbl.replace l.l_waiting_content eid r;
-          r
-    in
-    cbs := k :: !cbs
-
-(* ------------------------------------------------------------------ *)
-(* Round-based ordering (Baseline / GeoBFT / BR / EBR / ISS)           *)
-(* ------------------------------------------------------------------ *)
-
-and mark_round_ready t (l : leader) eid =
-  if not (Entry_tbl.mem l.l_round_ready eid) then begin
-    Entry_tbl.replace l.l_round_ready eid ();
-    try_rounds t l
-  end
-
-and try_rounds t (l : leader) =
-  let round_complete r =
-    let ok = ref true in
-    for g = 0 to t.ng - 1 do
-      if not (Entry_tbl.mem l.l_round_ready { Types.gid = g; seq = r }) then
-        ok := false
-    done;
-    !ok
-  in
-  while round_complete l.l_next_round do
-    let r = l.l_next_round in
-    l.l_next_round <- r + 1;
-    for g = 0 to t.ng - 1 do
-      enqueue_exec t l { Types.gid = g; seq = r }
-    done;
-    (* ISS: closing a round may unblock the next epoch's proposals. *)
-    try_batch t t.leaders.(l.l_gid)
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Execution pipeline                                                  *)
-(* ------------------------------------------------------------------ *)
-
-and enqueue_exec t (l : leader) eid =
-  (match Entry_tbl.find_opt t.entries eid with
-  | Some e when eid.Types.gid = l.l_gid && e.ordered_at = 0.0 ->
-      e.ordered_at <- now t;
-      trace_entry t eid "ordered" ~node:0
-  | _ -> ());
-  Queue.push eid l.l_exec_q;
-  pump_exec t l
-
-and pump_exec t (l : leader) =
-  if (not l.l_exec_busy) && not (Queue.is_empty l.l_exec_q) then begin
-    let eid = Queue.peek l.l_exec_q in
-    let node = node_of t l.l_addr in
-    if has_content node eid then begin
-      ignore (Queue.pop l.l_exec_q);
-      l.l_exec_busy <- true;
-      let e = entry_of t eid in
-      let cost = float_of_int e.txn_count *. t.cfg.cost.Config.txn_exec_s in
-      (* Every node of the group replays execution; followers' CPUs are
-         charged fire-and-forget. *)
-      List.iter
-        (fun a ->
-          if (not (is_leader_node a)) && alive t a then
-            charge_cpu_parallel t a cost (fun () -> ()))
-        (Topology.group_nodes t.topo l.l_gid);
-      charge_cpu_parallel t l.l_addr cost (fun () ->
-          do_execute t l e;
-          l.l_exec_busy <- false;
-          pump_exec t l)
-    end
-    else
-      (* The head can only be repaired by a fetch after a crash gap;
-         give the chunks one timeout to arrive on their own. *)
-      ignore
-        (Sim.after t.sim t.cfg.fetch_timeout_s (fun () ->
-             if
-               alive t l.l_addr
-               && not (has_content (node_of t l.l_addr) eid)
-             then want_fetch t l eid))
-  end
-
-(* Content repair: a pipelined fetch pump. Entries whose chunks were
-   lost (a crash gap) are pulled as full copies, up to 8 in flight so
-   a recovered group catches up at link speed; each issued request is
-   retried against rotating groups while the content is missing, and
-   the pump refills a slot the moment content lands. Missed content
-   under normal operation never reaches the pump: the first fetch
-   timer fires only after [fetch_timeout_s]. *)
-and want_fetch t (l : leader) eid =
-  if
-    (not (has_content (node_of t l.l_addr) eid))
-    && not (Entry_tbl.mem l.l_fetching eid)
-  then begin
-    Entry_tbl.replace l.l_fetching eid (ref 0);
-    Queue.push eid l.l_fetch_q
-  end;
-  pump_fetch t l
-
-and pump_fetch t (l : leader) =
-  while l.l_fetch_out < 8 && not (Queue.is_empty l.l_fetch_q) do
-    let eid = Queue.pop l.l_fetch_q in
-    if Entry_tbl.mem l.l_fetching eid then
-      if has_content (node_of t l.l_addr) eid then
-        Entry_tbl.remove l.l_fetching eid
-      else begin
-        l.l_fetch_out <- l.l_fetch_out + 1;
-        fetch_issue t l eid
-      end
-  done
-
-and fetch_issue t (l : leader) eid =
-  match Entry_tbl.find_opt l.l_fetching eid with
-  | None -> () (* satisfied in the meantime; slot freed by content_event *)
-  | Some attempts ->
-      (* Ask the proposer first, then rotate through the groups. *)
-      let target = (eid.Types.gid + !attempts) mod t.ng in
-      incr attempts;
-      if target <> l.l_gid then begin
-        trace_entry t eid "fetch_req" ~gid:l.l_gid ~node:0
-          ~args:[ ("target", Trace.Int target) ];
-        send t ~src:l.l_addr ~dst:(leader_addr target) ~bytes:Types.vote_bytes
-          (Fetch_req { eid })
-      end;
-      ignore
-        (Sim.after t.sim (2.0 *. t.cfg.fetch_timeout_s) (fun () ->
-             if Entry_tbl.mem l.l_fetching eid then fetch_issue t l eid))
-
-and do_execute t (l : leader) e =
-  let outcome =
-    match e.outcome with
-    | Some o when not t.cfg.independent_stores -> o
-    | _ ->
-        let o =
-          Aria.execute_batch ~reorder:t.cfg.reorder ~fallback:e.fb_txns
-            l.l_store e.txns
-        in
-        if not t.cfg.independent_stores then e.outcome <- Some o;
-        o
-  in
-  ignore
-    (Ledger.append l.l_ledger ~gid:e.eid.Types.gid ~seq:e.eid.Types.seq
-       ~txn_count:e.txn_count ~payload_digest:e.digest);
-  l.l_executed_rev <- e.eid :: l.l_executed_rev;
-  l.l_executed_count <- l.l_executed_count + 1;
-  Entry_tbl.remove l.l_committed_unexec e.eid;
-  (* Once every leader has executed the entry its content (transaction
-     closures, memoized outcome) is dead weight; keep the metadata. *)
-  e.exec_count <- e.exec_count + 1;
-  if e.exec_count >= t.ng && not t.cfg.independent_stores then begin
-    e.txns <- [];
-    e.fb_txns <- [];
-    e.outcome <- None
-  end;
-  if e.eid.Types.gid = l.l_gid then begin
-    trace_entry t e.eid "executed" ~node:0
-      ~args:[ ("committed", Trace.Int (List.length outcome.Aria.committed)) ];
-    (* The proposer re-queues its conflict-aborted transactions. *)
-    l.l_retry <- l.l_retry @ outcome.Aria.conflicted;
-    if measuring t e.created_at then record_metrics t e outcome
-  end;
-  try_batch t l
-
-and record_metrics t e outcome =
-  let m = t.metrics in
-  let tnow = now t in
-  let n_committed = List.length outcome.Aria.committed in
-  Stats.Counter.add m.Metrics.committed_txns n_committed;
-  (let per_group =
-     match Hashtbl.find_opt m.Metrics.committed_per_group e.eid.Types.gid with
-     | Some c -> c
-     | None ->
-         let c = Stats.Counter.create () in
-         Hashtbl.replace m.Metrics.committed_per_group e.eid.Types.gid c;
-         c
-   in
-   Stats.Counter.add per_group n_committed);
-  Stats.Counter.add m.Metrics.conflicted_txns (List.length outcome.Aria.conflicted);
-  Stats.Counter.add m.Metrics.logic_aborted_txns
-    (List.length outcome.Aria.logic_aborted);
-  Stats.Counter.add m.Metrics.entries_executed 1;
-  Stats.Timeseries.add m.Metrics.txn_rate ~time:tnow (float_of_int n_committed);
-  let batch_wait = t.cfg.batch_timeout_s /. 2.0 in
-  let latency = tnow -. e.created_at +. batch_wait in
-  Stats.Summary.add m.Metrics.latency_s latency;
-  Stats.Timeseries.add m.Metrics.latency_ts ~time:tnow latency;
-  (* Phase breakdown: the span list is the single source; each span's
-     duration feeds its summary and, when tracing, the span itself is
-     exported with the entry's correlation id. *)
-  List.iter
-    (fun (summary, name, b, dur) ->
-      Stats.Summary.add summary dur;
-      if Trace.enabled t.trace then begin
-        let b = Float.max 0.0 b in
-        Trace.span t.trace ~cat:"entry.phase" ~gid:e.eid.Types.gid ~node:0
-          ~eid:(e.eid.Types.gid, e.eid.Types.seq)
-          ~b ~e:(b +. dur) name
-      end)
-    (phase_spans t e ~tnow)
-
-(* ------------------------------------------------------------------ *)
-(* Batching                                                            *)
-(* ------------------------------------------------------------------ *)
-
-and epoch_allows t (l : leader) seq =
-  match t.ord with
-  | Config.Sync_rounds ->
-      (* Round-based protocols propose exactly one entry per round: a
-         group may run at most a pipeline's worth of rounds ahead of the
-         slowest group (otherwise Figure 2's backlog grows without
-         bound). *)
-      seq - l.l_next_round < t.cfg.pipeline
-  | Config.Epoch_rounds k ->
-      (* A proposal in epoch e requires every round of the preceding
-         epochs (rounds 1 .. e*k) to have executed locally — the
-         epoch-boundary synchronization that gives ISS its latency
-         profile. *)
-      let epoch = (seq - 1) / k in
-      epoch = 0 || l.l_next_round > epoch * k
-  | _ -> true
-
-and try_batch t (l : leader) =
-  if
-    t.started
-    && alive t l.l_addr
-    && l.l_batch_pending
-    && l.l_in_flight < t.cfg.pipeline
-    && epoch_allows t l l.l_next_seq
-  then begin
-    l.l_batch_pending <- false;
-    form_batch t l
-  end
-
-and form_batch t (l : leader) =
-  let seq = l.l_next_seq in
-  l.l_next_seq <- seq + 1;
-  l.l_in_flight <- l.l_in_flight + 1;
-  let rec take acc n lst =
-    if n = 0 then (List.rev acc, lst)
-    else
-      match lst with
-      | [] -> (List.rev acc, [])
-      | x :: rest -> take (x :: acc) (n - 1) rest
-  in
-  (* Conflicted transactions re-enter through Aria's deterministic
-     fallback lane: they execute serially next time and always commit,
-     bounding retries to one round. *)
-  let retried, rest = take [] t.cfg.max_batch l.l_retry in
-  l.l_retry <- rest;
-  let fresh =
-    List.init (t.cfg.max_batch - List.length retried) (fun _ -> W.next l.l_gen)
-  in
-  let eid = { Types.gid = l.l_gid; seq } in
-  let digest = Sha256.digest ("entry:" ^ Types.entry_id_to_string eid) in
-  let wire l0 =
-    List.fold_left (fun acc (x : Txn.t) -> acc + x.Txn.wire_size) 0 l0
-  in
-  let size = Types.header_bytes + wire fresh + wire retried in
-  let e =
-    {
-      eid;
-      digest;
-      size;
-      txns = fresh;
-      fb_txns = retried;
-      txn_count = List.length fresh + List.length retried;
-      created_at = now t;
-      decided_at = 0.0;
-      committed_at = 0.0;
-      ordered_at = 0.0;
-      outcome = None;
-      exec_count = 0;
-    }
-  in
-  Entry_tbl.replace t.entries eid e;
-  Hashtbl.replace t.by_digest digest e;
-  trace_entry t eid "batch_formed" ~node:0
-    ~args:[ ("txns", Trace.Int e.txn_count); ("bytes", Trace.Int size) ];
-  content_event t (node_of t l.l_addr) eid;
-  (* The leader verifies the batch's client signatures, then starts
-     local PBFT consensus. *)
-  let verify_cost =
-    float_of_int e.txn_count *. t.cfg.cost.Config.sig_verify_s
-  in
-  charge_cpu_parallel t l.l_addr verify_cost (fun () ->
-      if alive t l.l_addr then
-        match (node_of t l.l_addr).n_pbft with
-        | Some pbft -> Pbft.propose pbft ~seq ~digest
-        | None -> ())
-
-(* ------------------------------------------------------------------ *)
-(* Local consensus decisions -> global phase                           *)
-(* ------------------------------------------------------------------ *)
-
-and on_local_decide t (node : node) (cert : Pbft.certificate) =
-  match Hashtbl.find_opt t.by_digest cert.Pbft.cert_digest with
-  | None -> ()
-  | Some e ->
-      let addr = node.n_addr in
-      content_event t node e.eid;
-      if is_leader_node addr && e.eid.Types.gid = addr.Topology.g then
-        if e.decided_at = 0.0 then begin
-          e.decided_at <- now t;
-          trace_entry t e.eid "decided" ~node:0
-        end;
-      (* Encoded bijective: every node ships its chunks. *)
-      (match t.repl with
-      | Config.Encoded_bijective -> send_chunks t node e
-      | Config.Bijective_full -> send_bijective_copies t node e
-      | Config.Leader_oneway -> ());
-      if is_leader_node addr && addr.Topology.g = e.eid.Types.gid then
-        start_global t t.leaders.(addr.Topology.g) e
-
-and send_chunks t (node : node) e =
-  let g = node.n_addr.Topology.g in
-  if node.n_addr.Topology.n = 0 then
-    trace_entry t e.eid "chunks_sent" ~gid:g ~node:node.n_addr.Topology.n;
-  let encode_cost = float_of_int e.size *. t.cfg.cost.Config.encode_per_byte_s in
-  charge_cpu t node.n_addr encode_cost (fun () ->
-      for j = 0 to t.ng - 1 do
-        if j <> g then begin
-          let plan = plan_between t ~src:g ~dst:j in
-          let bytes = chunk_bytes t ~src:g ~dst:j ~entry_len:e.size in
-          let root_tag =
-            if node.n_byz then "tampered:" ^ e.digest else e.digest
-          in
-          List.iter
-            (fun (c, r) ->
-              send ~bulk:true t ~src:node.n_addr
-                ~dst:{ Topology.g = j; n = r }
-                ~bytes
-                (Chunk { eid = e.eid; root_tag; index = c }))
-            (Transfer_plan.sends_of plan ~sender:node.n_addr.Topology.n)
-        end
-      done)
-
-and send_bijective_copies t (node : node) e =
-  (* The general approach of §IV-A: the (partitioned) bijective
-     cluster-sending plan, f1 + f2 + 1 full copies for similar group
-     sizes. *)
-  let g = node.n_addr.Topology.g in
-  for j = 0 to t.ng - 1 do
-    if j <> g then begin
-      let plan =
-        Bijective_plan.generate
-          ~n1:(Topology.group_size t.topo g)
-          ~n2:(Topology.group_size t.topo j)
-      in
-      List.iter
-        (fun r ->
-          send ~bulk:true t ~src:node.n_addr
-            ~dst:{ Topology.g = j; n = r }
-            ~bytes:(copy_bytes t e.eid) (Copy { eid = e.eid }))
-        (Bijective_plan.sends_of plan ~sender:node.n_addr.Topology.n)
-    end
-  done
-
-and send_oneway_copies t (l : leader) e ~skip =
-  (* Leader one-way with the GeoBFT optimization: f_j + 1 receivers per
-     remote group, who then forward over their LAN. *)
-  for j = 0 to t.ng - 1 do
-    if j <> l.l_gid && not (List.mem j skip) then
-      for r = 0 to group_f t j do
-        send ~bulk:true t ~src:l.l_addr
-          ~dst:{ Topology.g = j; n = r }
-          ~bytes:(copy_bytes t e.eid) (Copy { eid = e.eid })
-      done
-  done
-
-and start_global t (l : leader) e =
-  match t.glob with
-  | Config.Per_group_raft ->
-      if t.repl = Config.Leader_oneway then send_oneway_copies t l e ~skip:[];
-      if Raft.role l.l_rafts.(l.l_gid) = Raft.Leader then
-        ignore (Raft.propose l.l_rafts.(l.l_gid) (Entry_meta { eid = e.eid }))
-  | Config.Direct_broadcast ->
-      send_oneway_copies t l e ~skip:[];
-      (* No global consensus: the entry is ready for ordering here. *)
-      mark_round_ready t l e.eid;
-      if e.committed_at = 0.0 then begin
-        e.committed_at <- now t;
-        trace_entry t e.eid "committed" ~node:0
-      end
-  | Config.Single_raft ->
-      if l.l_gid = 0 then steward_propose t l e
-      else
-        (* Forward the certified entry to the global leader group. *)
-        send ~bulk:true t ~src:l.l_addr ~dst:(leader_addr 0)
-          ~bytes:(copy_bytes t e.eid) (Copy { eid = e.eid })
-
-and steward_propose t (l : leader) e =
-  if not (Entry_tbl.mem l.l_steward_proposed e.eid) then begin
-    Entry_tbl.replace l.l_steward_proposed e.eid ();
-    send_oneway_copies t l e ~skip:[ e.eid.Types.gid ];
-    if Raft.role l.l_rafts.(0) = Raft.Leader then
-      ignore (Raft.propose l.l_rafts.(0) (Entry_meta { eid = e.eid }))
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Symbolic chunk rebuild                                              *)
-(* ------------------------------------------------------------------ *)
-
-and rebuild_state (node : node) eid =
-  match Entry_tbl.find_opt node.n_rebuilds eid with
-  | Some r -> r
-  | None ->
-      let r =
-        { rb_buckets = Hashtbl.create 2; rb_black = ISet.empty; rb_done = false }
-      in
-      Entry_tbl.replace node.n_rebuilds eid r;
-      r
-
-and on_chunk_received t (node : node) ~eid ~root_tag ~index =
-  let e = entry_of t eid in
-  let r = rebuild_state node eid in
-  if (not r.rb_done) && not (ISet.mem index r.rb_black) then begin
-    let bucket =
-      match Hashtbl.find_opt r.rb_buckets root_tag with
-      | Some b -> b
-      | None ->
-          let b = ref ISet.empty in
-          Hashtbl.replace r.rb_buckets root_tag b;
-          b
-    in
-    if not (ISet.mem index !bucket) then begin
-      bucket := ISet.add index !bucket;
-      let g = node.n_addr.Topology.g in
-      let plan = plan_between t ~src:eid.Types.gid ~dst:g in
-      if ISet.cardinal !bucket >= plan.Transfer_plan.n_data then
-        if String.equal root_tag e.digest then begin
-          r.rb_done <- true;
-          let cost = float_of_int e.size *. t.cfg.cost.Config.decode_per_byte_s in
-          if Trace.enabled t.trace then begin
-            let tnow = now t in
-            Trace.span t.trace ~cat:"entry" ~gid:g ~node:node.n_addr.Topology.n
-              ~eid:(eid.Types.gid, eid.Types.seq) ~b:tnow ~e:(tnow +. cost)
-              "rebuild"
-          end;
-          charge_cpu t node.n_addr cost (fun () ->
-              if alive t node.n_addr then content_event t node eid)
-        end
-        else begin
-          (* Fake bucket: certificate validation fails, ids are burned
-             (the DoS defence of §IV-C). *)
-          r.rb_black <- ISet.union r.rb_black !bucket;
-          Hashtbl.remove r.rb_buckets root_tag
-        end
-    end
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Global Raft wiring                                                  *)
-(* ------------------------------------------------------------------ *)
-
-and assign_ts t (l : leader) eid =
-  (* Overlapped VTS assignment: stamp the entry with our clock and
-     replicate through our own instance (Fig. 7b). *)
-  if
-    t.ord = Config.Async_vts
-    && eid.Types.gid <> l.l_gid
-    && (not (Hashtbl.mem l.l_ts_mark (ts_key l.l_gid eid)))
-    && (not (Hashtbl.mem l.l_ts_seen (ts_key l.l_gid eid)))
-    && Raft.role l.l_rafts.(l.l_gid) = Raft.Leader
-  then begin
-    Hashtbl.replace l.l_ts_mark (ts_key l.l_gid eid) ();
-    ignore (Raft.propose l.l_rafts.(l.l_gid) (Ts { eid; ts = l.l_clk }))
-  end
-
-and on_raft_deliver t (l : leader) _inst payload =
-  match payload with
-  | Noop -> ()
-  | Entry_meta { eid } ->
-      (* Overlapped assignment (Fig. 7b): stamp on the propose message.
-         The serial variant (Fig. 7a) waits for the entry's own commit
-         (handled in on_raft_commit), costing one extra RTT. *)
-      if t.cfg.overlapped_vts then assign_ts t l eid
-  | Ts _ -> ()
-
-and accept_round t (l : leader) ~tag k =
-  let quorum = Intmath.pbft_quorum (Topology.group_size t.topo l.l_gid) in
-  if quorum <= 1 then k ()
-  else begin
-    Hashtbl.replace l.l_accept_pending tag k;
-    Hashtbl.replace l.l_accept_votes tag (ref 1);
-    broadcast_group t ~src:l.l_addr ~bytes:Types.vote_bytes (Accept_req { tag })
-  end
-
-and ack_guard t (l : leader) inst ~index payload release =
-  match payload with
-  | Noop -> release ()
-  | Entry_meta { eid } ->
-      if not (has_content (node_of t l.l_addr) eid) then
-        ignore
-          (Sim.after t.sim t.cfg.fetch_timeout_s (fun () ->
-               if
-                 alive t l.l_addr
-                 && not (has_content (node_of t l.l_addr) eid)
-               then want_fetch t l eid));
-      when_content t l eid (fun () ->
-          (* Verify the sender group's certificate, then reach local
-             consensus on the accept decision (skip-prepare PBFT). *)
-          let cert_cost =
-            float_of_int
-              (Intmath.pbft_quorum (Topology.group_size t.topo eid.Types.gid))
-            *. t.cfg.cost.Config.sig_verify_s
-          in
-          charge_cpu t l.l_addr cert_cost (fun () ->
-              if alive t l.l_addr then
-                accept_round t l
-                  ~tag:(Printf.sprintf "acc|%d|%d" inst index)
-                  (fun () ->
-                    release ();
-                    (* Slow-receiver support (§V-C): advertise the accept
-                       to every group directly. *)
-                    if t.cfg.system = Config.Massbft then
-                      for j = 0 to t.ng - 1 do
-                        if j <> l.l_gid then
-                          send t ~src:l.l_addr ~dst:(leader_addr j)
-                            ~bytes:Types.vote_bytes (Accept_note { eid })
-                      done)))
-  | Ts { eid; _ } ->
-      (* Lemma V.1: only accept a timestamp for an entry we hold. *)
-      if not (has_content (node_of t l.l_addr) eid) then
-        ignore
-          (Sim.after t.sim t.cfg.fetch_timeout_s (fun () ->
-               if
-                 alive t l.l_addr
-                 && not (has_content (node_of t l.l_addr) eid)
-               then want_fetch t l eid));
-      when_content t l eid release
-
-and on_raft_commit t (l : leader) inst payload =
-  match payload with
-  | Noop -> ()
-  | Entry_meta { eid } ->
-      let e = entry_of t eid in
-      l.l_clk_of.(inst) <- eid.Types.seq;
-      Entry_tbl.replace l.l_committed_unexec eid ();
-      if not t.cfg.overlapped_vts then assign_ts t l eid;
-      (match t.ord with
-      | Config.Sync_rounds | Config.Epoch_rounds _ -> mark_round_ready t l eid
-      | Config.Global_log -> enqueue_exec t l eid
-      | Config.Async_vts -> ());
-      if eid.Types.gid = l.l_gid then begin
-        l.l_clk <- max l.l_clk eid.Types.seq;
-        (* A recovered leader may re-propose an in-flight entry that in
-           fact committed twice; account it once. *)
-        if e.committed_at = 0.0 then begin
-          e.committed_at <- now t;
-          trace_entry t e.eid "committed" ~node:0;
-          l.l_in_flight <- l.l_in_flight - 1;
-          try_batch t l
-        end
-      end;
-      (* Catch-all timestamp assignment for every instance this leader
-         currently leads: covers taken-over instances (frozen clocks on
-         behalf of a crashed group, §V-C) and our own instance for
-         entries whose deliver-time assignment was skipped during a
-         leadership handover. *)
-      for j = 0 to Array.length l.l_rafts - 1 do
-        if
-          j <> eid.Types.gid
-          && Raft.role l.l_rafts.(j) = Raft.Leader
-          && (not (Hashtbl.mem l.l_ts_seen (ts_key j eid)))
-          && not (Hashtbl.mem l.l_ts_mark (ts_key j eid))
-        then begin
-          Hashtbl.replace l.l_ts_mark (ts_key j eid) ();
-          ignore (Raft.propose l.l_rafts.(j) (Ts { eid; ts = l.l_clk_of.(j) }))
-        end
-      done
-  | Ts { eid; ts } ->
-      let key = ts_key inst eid in
-      if not (Hashtbl.mem l.l_ts_seen key) then begin
-        Hashtbl.replace l.l_ts_seen key ();
-        match l.l_orderer with
-        | Some o -> Orderer.on_timestamp o ~from_gid:inst ~eid ~ts
-        | None -> ()
-      end
-
-and on_raft_role t (l : leader) inst role =
-  if role = Raft.Leader then begin
-    if inst = l.l_gid then
-      (* Transfer-back after recovery: in-flight entries whose proposals
-         died with the old term are re-proposed in sequence order. *)
-      for seq = 1 to l.l_next_seq - 1 do
-        let eid = { Types.gid = l.l_gid; seq } in
-        match Entry_tbl.find_opt t.entries eid with
-        | Some e when e.committed_at = 0.0 ->
-            ignore (Raft.propose l.l_rafts.(inst) (Entry_meta { eid }))
-        | _ -> ()
-      done;
-    (* Stamp every committed-but-unexecuted entry still lacking this
-       instance's element: on a takeover this assigns the crashed
-       group's frozen clock; on a transfer-back it repairs assignments
-       skipped while we were not the leader. *)
-    Entry_tbl.iter
-      (fun eid () ->
-        if
-          eid.Types.gid <> inst
-          && (not (Hashtbl.mem l.l_ts_seen (ts_key inst eid)))
-          && not (Hashtbl.mem l.l_ts_mark (ts_key inst eid))
-        then begin
-          Hashtbl.replace l.l_ts_mark (ts_key inst eid) ();
-          ignore (Raft.propose l.l_rafts.(inst) (Ts { eid; ts = l.l_clk_of.(inst) }))
-        end)
-      l.l_committed_unexec
-  end
-
-(* A taken-over instance can inherit the dead leader's in-flight
-   entries whose chunk dissemination never completed: no live group
-   holds their content, so the content-gated accepts (Lemma V.1) can
-   never arrive and the whole log wedges behind them. Such entries can
-   never have committed anywhere (commitment needs a majority of
-   content-holding groups), so after fetching from every group fails
-   they are safely replaced with no-ops. *)
-and unwedge_check t (l : leader) inst raft =
-  let idx = Raft.commit_index raft + 1 in
-  if idx <= Raft.last_index raft then begin
-    let blocked_eid =
-      match Raft.entry_at raft idx with
-      | Some (Entry_meta { eid }) | Some (Ts { eid; _ }) ->
-          if has_content (node_of t l.l_addr) eid then None else Some eid
-      | Some Noop | None -> None
-    in
-    match blocked_eid with
-    | None -> ()
-    | Some eid ->
-        let key = Printf.sprintf "%d|%d" inst idx in
-        let ticks =
-          match Hashtbl.find_opt l.l_stuck key with
-          | Some r -> r
-          | None ->
-              let r = ref 0 in
-              Hashtbl.replace l.l_stuck key r;
-              r
-        in
-        incr ticks;
-        if !ticks = 1 then want_fetch t l eid
-        else if !ticks >= 4 then begin
-          Hashtbl.remove l.l_stuck key;
-          trace_entry t eid "unwedge_noop" ~gid:l.l_gid ~node:0
-            ~args:[ ("inst", Trace.Int inst); ("index", Trace.Int idx) ];
-          Raft.replace_uncommitted raft ~index:idx Noop
-        end
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Message dispatch                                                    *)
-(* ------------------------------------------------------------------ *)
-
-and handle t ~(src : Topology.addr) ~(dst : Topology.addr) m =
+let dispatch t ~(src : Topology.addr) ~(dst : Topology.addr) m =
   let node = node_of t dst in
   match m with
-  | Local pm -> (
-      match node.n_pbft with
-      | None -> ()
-      | Some pbft -> (
-          match pm with
-          | Pbft.Pre_prepare { digest; _ } ->
-              (* Receiving the batch: verify every client signature
-                 before voting (the paper's dominant local cost). *)
-              let cost =
-                match Hashtbl.find_opt t.by_digest digest with
-                | Some e ->
-                    float_of_int e.txn_count *. t.cfg.cost.Config.sig_verify_s
-                | None -> 0.0
-              in
-              charge_cpu_parallel t dst cost (fun () ->
-                  if alive t dst then Pbft.handle pbft ~from:src.Topology.n pm)
-          | _ -> Pbft.handle pbft ~from:src.Topology.n pm))
+  | Local pm -> Local_consensus.handle t node ~src pm
   | Chunk { eid; root_tag; index } ->
-      on_chunk_received t node ~eid ~root_tag ~index;
-      (* Exchange with the rest of the group (a Byzantine receiver
-         forwards a tampered version instead). *)
-      let e = entry_of t eid in
-      let fwd_tag = if node.n_byz then "tampered:" ^ e.digest else root_tag in
-      let bytes = chunk_bytes t ~src:eid.Types.gid ~dst:dst.Topology.g ~entry_len:e.size in
-      broadcast_group ~bulk:true t ~src:dst ~bytes
-        (Chunk_fwd { eid; root_tag = fwd_tag; index })
+      Replication.handle_chunk t node ~eid ~root_tag ~index
   | Chunk_fwd { eid; root_tag; index } ->
-      on_chunk_received t node ~eid ~root_tag ~index
-  | Copy { eid } ->
-      if not (has_content node eid) then begin
-        content_event t node eid;
-        broadcast_group ~bulk:true t ~src:dst ~bytes:(copy_bytes t eid)
-          (Copy_fwd { eid });
-        if
-          t.glob = Config.Single_raft
-          && is_leader_node dst && dst.Topology.g = 0
-          && eid.Types.gid <> 0
-        then steward_propose t t.leaders.(0) (entry_of t eid)
-      end
+      Replication.on_chunk_received t node ~eid ~root_tag ~index
+  | Copy { eid } -> Replication.handle_copy t node eid
   | Copy_fwd { eid } -> content_event t node eid
-  | Raft_m { inst; rmsg } ->
-      if is_leader_node dst then begin
-        let l = t.leaders.(dst.Topology.g) in
-        if inst < Array.length l.l_last_heard then
-          l.l_last_heard.(inst) <- now t;
-        if inst < Array.length l.l_rafts then
-          Raft.handle l.l_rafts.(inst) ~from:src.Topology.g rmsg
-      end
-  | Accept_req { tag } ->
-      (* Follower's vote in the skip-prepare accept round. *)
-      send t ~src:dst ~dst:src ~bytes:Types.vote_bytes (Accept_vote { tag })
-  | Accept_vote { tag } ->
-      if is_leader_node dst then begin
-        let l = t.leaders.(dst.Topology.g) in
-        match Hashtbl.find_opt l.l_accept_votes tag with
-        | None -> ()
-        | Some votes ->
-            incr votes;
-            let quorum =
-              Intmath.pbft_quorum (Topology.group_size t.topo dst.Topology.g)
-            in
-            if !votes >= quorum then begin
-              match Hashtbl.find_opt l.l_accept_pending tag with
-              | Some k ->
-                  Hashtbl.remove l.l_accept_pending tag;
-                  Hashtbl.remove l.l_accept_votes tag;
-                  k ()
-              | None -> ()
-            end
-      end
-  | Accept_note { eid } ->
-      if is_leader_node dst then begin
-        let l = t.leaders.(dst.Topology.g) in
-        let notes =
-          match Entry_tbl.find_opt l.l_accept_notes eid with
-          | Some r -> r
-          | None ->
-              let r = ref 0 in
-              Entry_tbl.replace l.l_accept_notes eid r;
-              r
-        in
-        incr notes;
-        (* f_g + 1 groups holding the entry imply it is replicated; the
-           proposer counts implicitly, so f_g accept notes suffice for a
-           slow receiver to stamp the entry without holding it (§V-C). *)
-        if !notes >= max 1 (fg t) then assign_ts t l eid
-      end
-  | Recv_note { eid } ->
-      if is_leader_node dst && t.glob = Config.Direct_broadcast then begin
-        let l = t.leaders.(dst.Topology.g) in
-        if eid.Types.gid = l.l_gid then begin
-          let notes =
-            match Entry_tbl.find_opt l.l_recv_notes eid with
-            | Some r -> r
-            | None ->
-                let r = ref 0 in
-                Entry_tbl.replace l.l_recv_notes eid r;
-                r
-          in
-          incr notes;
-          if !notes >= t.ng - 1 then begin
-            let e = entry_of t eid in
-            if e.committed_at = 0.0 then begin
-              e.committed_at <- now t;
-              trace_entry t eid "committed" ~node:0
-            end;
-            l.l_in_flight <- l.l_in_flight - 1;
-            Entry_tbl.remove l.l_recv_notes eid;
-            try_batch t l
-          end
-        end
-      end
-  | Fetch_req { eid } ->
-      if has_content node eid then
-        send ~bulk:true t ~src:dst ~dst:src ~bytes:(copy_bytes t eid)
-          (Copy { eid })
+  | Raft_m { inst; rmsg } -> Global_consensus.handle_raft_m t ~src ~dst ~inst rmsg
+  | Accept_req { tag } -> Local_consensus.handle_accept_req t ~src ~dst tag
+  | Accept_vote { tag } -> Local_consensus.handle_accept_vote t ~dst tag
+  | Accept_note { eid } -> Local_consensus.handle_accept_note t ~dst eid
+  | Recv_note { eid } -> Global_consensus.handle_recv_note t ~dst eid
+  | Fetch_req { eid } -> Replication.handle_fetch_req t node ~src eid
+
+(* Cross-stage reactions to content arriving at a leader, in a fixed
+   order: release the fetch slot, run the content-gated ack guards
+   (Lemma V.1), let the global strategy react (GeoBFT commits here),
+   then pump the execution queue. *)
+let leader_content t (l : leader) eid =
+  Replication.on_content t l eid;
+  run_content_waiters l eid;
+  t.strat.glob.g_on_content t l eid;
+  Execution.pump t l
+
+(* ------------------------------------------------------------------ *)
+(* Strategy resolution — the single place Config.system is consulted   *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_strategies (cfg : Config.t) =
+  let repl =
+    match Config.replication_of cfg.Config.system with
+    | Config.Leader_oneway -> Replication.leader_oneway
+    | Config.Bijective_full -> Replication.bijective_full
+    | Config.Encoded_bijective -> Replication.encoded_bijective
+  in
+  let glob =
+    match Config.global_of cfg.Config.system with
+    | Config.Per_group_raft -> Global_consensus.per_group_raft
+    | Config.Single_raft -> Global_consensus.single_raft
+    | Config.Direct_broadcast -> Global_consensus.direct_broadcast
+  in
+  let ord =
+    match
+      Config.ordering_of ~epoch_rounds:cfg.Config.epoch_rounds
+        cfg.Config.system
+    with
+    | Config.Sync_rounds -> Ordering.sync_rounds
+    | Config.Epoch_rounds k -> Ordering.epoch_rounds k
+    | Config.Async_vts -> Ordering.async_vts
+    | Config.Global_log -> Ordering.global_log
+  in
+  { repl; glob; ord }
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let raft_instance_count glob ng =
-  match glob with
-  | Config.Per_group_raft -> ng
-  | Config.Single_raft -> 1
-  | Config.Direct_broadcast -> 0
-
 let create sim topo cfg =
   let ng = Topology.n_groups topo in
-  let repl = Config.replication_of cfg.Config.system in
-  let glob = Config.global_of cfg.Config.system in
-  let ord = Config.ordering_of ~epoch_rounds:cfg.Config.epoch_rounds cfg.Config.system in
+  let strat = resolve_strategies cfg in
   let shared_store =
     Kvstore.create
       ~init:(W.preload ~scale:cfg.Config.workload_scale cfg.Config.workload)
@@ -1131,7 +105,7 @@ let create sim topo cfg =
               n_byz = false;
             }))
   in
-  let n_inst = raft_instance_count glob ng in
+  let n_inst = strat.glob.g_instances ng in
   let leaders =
     Array.init ng (fun g ->
         {
@@ -1178,9 +152,6 @@ let create sim topo cfg =
       topo;
       cfg;
       ng;
-      repl;
-      glob;
-      ord;
       nodes;
       leaders;
       entries = Entry_tbl.create 1024;
@@ -1188,56 +159,15 @@ let create sim topo cfg =
       plans = Array.make_matrix ng ng None;
       metrics = Metrics.create ();
       shared_store;
+      strat;
+      deliver = dispatch;
+      on_leader_content = leader_content;
       started = false;
       trace = Trace.null;
     }
   in
-  (* Local PBFT replicas. *)
-  Array.iter
-    (fun group ->
-      Array.iter
-        (fun node ->
-          let g = node.n_addr.Topology.g in
-          let n = Topology.group_size topo g in
-          let pbft =
-            Pbft.create
-              { Pbft.n; me = node.n_addr.Topology.n; skip_prepare = false }
-              {
-                Pbft.send =
-                  (fun dst_n pm ->
-                    let bulk =
-                      match pm with Pbft.Pre_prepare _ -> true | _ -> false
-                    in
-                    send ~bulk t ~src:node.n_addr
-                      ~dst:{ Topology.g; n = dst_n }
-                      ~bytes:(local_msg_bytes t pm) (Local pm));
-                decide = (fun cert -> on_local_decide t node cert);
-              }
-          in
-          node.n_pbft <- Some pbft)
-        group)
-    nodes;
-  (* Global Raft instances at the leaders. *)
-  Array.iter
-    (fun l ->
-      l.l_rafts <-
-        Array.init n_inst (fun inst ->
-            Raft.create ~initial_leader:inst ~ng ~me:l.l_gid
-              {
-                Raft.send =
-                  (fun dst_g rmsg ->
-                    send t ~src:l.l_addr ~dst:(leader_addr dst_g)
-                      ~bytes:(raft_msg_bytes t rmsg)
-                      (Raft_m { inst; rmsg }));
-                on_deliver = (fun ~index:_ p -> on_raft_deliver t l inst p);
-                on_commit = (fun ~index:_ p -> on_raft_commit t l inst p);
-                on_role = (fun role ~term:_ -> on_raft_role t l inst role);
-                ack_guard = (fun ~index p k -> ack_guard t l inst ~index p k);
-              });
-      if ord = Config.Async_vts then
-        l.l_orderer <-
-          Some (Orderer.create ~ng ~on_execute:(fun eid -> enqueue_exec t l eid)))
-    leaders;
+  Local_consensus.install t;
+  Global_consensus.install t ~n_inst;
   t
 
 let set_trace t tr =
@@ -1265,77 +195,28 @@ let set_trace t tr =
 let start t =
   if t.started then invalid_arg "Engine.start: already started";
   t.started <- true;
-  handler := handle;
-  (* Batch timers. *)
-  Array.iter
-    (fun l ->
-      let rec tick () =
-        ignore
-          (Sim.after t.sim t.cfg.batch_timeout_s (fun () ->
-               if alive t l.l_addr then begin
-                 l.l_batch_pending <- true;
-                 try_batch t l
-               end;
-               tick ()))
-      in
-      l.l_batch_pending <- true;
-      try_batch t l;
-      tick ())
-    t.leaders;
-  (* Heartbeats + crash detection (only meaningful with global Raft). *)
-  if Array.length t.leaders.(0).l_rafts > 0 then begin
-    let period = t.cfg.election_timeout_s /. 2.0 in
-    Array.iter
-      (fun l ->
-        Array.iteri (fun i _ -> l.l_last_heard.(i) <- 0.0) l.l_last_heard;
-        let rec tick () =
-          ignore
-            (Sim.after t.sim period (fun () ->
-                 if alive t l.l_addr then begin
-                   Array.iteri
-                     (fun inst raft ->
-                       if Raft.role raft = Raft.Leader then begin
-                         (* Anti-entropy probe: heartbeat + catch-up for
-                            lagging or recovered followers. *)
-                         Raft.heartbeat raft;
-                         unwedge_check t l inst raft
-                       end
-                       else begin
-                         let stagger =
-                           float_of_int ((l.l_gid - inst + t.ng) mod t.ng)
-                         in
-                         let deadline =
-                           t.cfg.election_timeout_s *. (1.0 +. (0.5 *. stagger))
-                         in
-                         if now t -. l.l_last_heard.(inst) > deadline then begin
-                           l.l_last_heard.(inst) <- now t;
-                           Raft.start_election raft
-                         end
-                       end)
-                     l.l_rafts
-                 end;
-                 tick ()))
-        in
-        tick ())
-      t.leaders
-  end;
+  Batcher.start t;
+  Global_consensus.start_heartbeats t;
   (* Byzantine activation. *)
-  if t.cfg.byzantine_per_group > 0 then
+  if t.cfg.Config.byzantine_per_group > 0 then
     ignore
-      (Sim.at t.sim (Float.max t.cfg.byzantine_from_s (now t)) (fun () ->
+      (Sim.at t.sim (Float.max t.cfg.Config.byzantine_from_s (now t)) (fun () ->
            Array.iter
              (fun group ->
                let n = Array.length group in
-               let count = min t.cfg.byzantine_per_group (Intmath.pbft_f n) in
+               let count =
+                 min t.cfg.Config.byzantine_per_group (Intmath.pbft_f n)
+               in
                for k = 1 to count do
                  group.(n - k).n_byz <- true
                done)
              t.nodes));
   (* Group crash. *)
-  match t.cfg.crash_group_at with
+  match t.cfg.Config.crash_group_at with
   | Some (g, at) ->
-      ignore (Sim.at t.sim (Float.max at (now t)) (fun () ->
-          Topology.crash_group t.topo g))
+      ignore
+        (Sim.at t.sim (Float.max at (now t)) (fun () ->
+             Topology.crash_group t.topo g))
   | None -> ()
 
 let recover_group t g =
@@ -1422,7 +303,3 @@ let debug_dump t =
       | None -> ())
     t.leaders;
   Buffer.contents buf
-
-(* Tie the dispatcher knot at module load so messages sent before
-   [start] (there are none, but belt-and-braces) still dispatch. *)
-let () = handler := handle

@@ -1,0 +1,11 @@
+(* Execution stage: ordered execution queue, Aria + ledger, metrics. *)
+
+open Node_ctx
+
+val enqueue : t -> leader -> Types.entry_id -> unit
+(** Append an entry to the leader's execution queue in final order
+    (stamping [ordered_at] for the group's own entries) and pump. *)
+
+val pump : t -> leader -> unit
+(** Execute queue-head entries whose content is held; arrange a fetch
+    for a head that stays missing past the fetch timeout. *)

@@ -1,0 +1,30 @@
+(* Global-consensus stage: the Raft adapter with content-gated acks
+   (Lemma V.1), VTS stamping, skip-prepare accept rounds, heartbeats
+   and log unwedging. *)
+
+open Node_ctx
+
+val per_group_raft : glob_strategy
+(** One Raft instance per group (MassBFT / Baseline / ISS / BR / EBR). *)
+
+val single_raft : glob_strategy
+(** Steward: one global Raft at group 0; remote entries are forwarded
+    there as full copies. *)
+
+val direct_broadcast : glob_strategy
+(** GeoBFT: no global consensus — content arrival at every group is the
+    commitment event, credited back to the proposer with Recv_notes. *)
+
+val handle_raft_m :
+  t -> src:Topology.addr -> dst:Topology.addr -> inst:int ->
+  rpayload Raft.msg -> unit
+
+val handle_recv_note : t -> dst:Topology.addr -> Types.entry_id -> unit
+
+val install : t -> n_inst:int -> unit
+(** Create the per-leader Raft instances (and the Orderer under VTS
+    ordering). Called once from [Engine.create]. *)
+
+val start_heartbeats : t -> unit
+(** Arm the heartbeat / election / unwedge timers. Called once from
+    [Engine.start]; a no-op without global Raft instances. *)

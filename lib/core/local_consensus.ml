@@ -1,0 +1,138 @@
+(* Local-consensus stage: the PBFT adapter. Wires one PBFT replica per
+   node (the skip-prepare accept variant used for global-accept rounds
+   lives in Global_consensus; the replicas here run full three-phase
+   PBFT), charges the batch signature-verification cost on Pre_prepare
+   receipt, and turns decide certificates into the dissemination +
+   global phase via the resolved strategies. *)
+
+open Node_ctx
+
+let local_msg_bytes t m =
+  match m with
+  | Pbft.Pre_prepare { digest; _ } -> (
+      match Hashtbl.find_opt t.by_digest digest with
+      | Some e -> e.size + Types.header_bytes + Types.signature_bytes
+      | None -> Types.vote_bytes)
+  | Pbft.Prepare _ | Pbft.Commit _ -> Types.vote_bytes
+  | Pbft.View_change _ | Pbft.New_view _ -> 4 * Types.vote_bytes
+
+let on_decide t (node : node) (cert : Pbft.certificate) =
+  match Hashtbl.find_opt t.by_digest cert.Pbft.cert_digest with
+  | None -> ()
+  | Some e ->
+      let addr = node.n_addr in
+      content_event t node e.eid;
+      if is_leader_node addr && e.eid.Types.gid = addr.Topology.g then
+        if e.decided_at = 0.0 then begin
+          e.decided_at <- now t;
+          trace_entry t e.eid "decided" ~node:0
+        end;
+      (* Per-node dissemination (chunks / bijective copies). *)
+      t.strat.repl.r_on_decide t node e;
+      if is_leader_node addr && addr.Topology.g = e.eid.Types.gid then
+        t.strat.glob.g_start t t.leaders.(addr.Topology.g) e
+
+let handle t (node : node) ~(src : Topology.addr) pm =
+  match node.n_pbft with
+  | None -> ()
+  | Some pbft -> (
+      match pm with
+      | Pbft.Pre_prepare { digest; _ } ->
+          (* Receiving the batch: verify every client signature before
+             voting (the paper's dominant local cost). *)
+          let cost =
+            match Hashtbl.find_opt t.by_digest digest with
+            | Some e ->
+                float_of_int e.txn_count *. t.cfg.Config.cost.Config.sig_verify_s
+            | None -> 0.0
+          in
+          charge_cpu_parallel t node.n_addr cost (fun () ->
+              if alive t node.n_addr then Pbft.handle pbft ~from:src.Topology.n pm)
+      | _ -> Pbft.handle pbft ~from:src.Topology.n pm)
+
+(* ------------------------------------------------------------------ *)
+(* Skip-prepare accept rounds                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The accept decision on a remote entry skips PBFT's prepare phase:
+   the leader broadcasts the request and collects a quorum of direct
+   votes (the skip-prepare variant of §V-B). Global_consensus drives
+   this from its content-gated ack guards. *)
+
+let accept_round t (l : leader) ~tag k =
+  let quorum = Intmath.pbft_quorum (Topology.group_size t.topo l.l_gid) in
+  if quorum <= 1 then k ()
+  else begin
+    Hashtbl.replace l.l_accept_pending tag k;
+    Hashtbl.replace l.l_accept_votes tag (ref 1);
+    broadcast_group t ~src:l.l_addr ~bytes:Types.vote_bytes (Accept_req { tag })
+  end
+
+let handle_accept_req t ~(src : Topology.addr) ~(dst : Topology.addr) tag =
+  (* Follower's vote in the skip-prepare accept round. *)
+  send t ~src:dst ~dst:src ~bytes:Types.vote_bytes (Accept_vote { tag })
+
+let handle_accept_vote t ~(dst : Topology.addr) tag =
+  if is_leader_node dst then begin
+    let l = t.leaders.(dst.Topology.g) in
+    match Hashtbl.find_opt l.l_accept_votes tag with
+    | None -> ()
+    | Some votes ->
+        incr votes;
+        let quorum =
+          Intmath.pbft_quorum (Topology.group_size t.topo dst.Topology.g)
+        in
+        if !votes >= quorum then begin
+          match Hashtbl.find_opt l.l_accept_pending tag with
+          | Some k ->
+              Hashtbl.remove l.l_accept_pending tag;
+              Hashtbl.remove l.l_accept_votes tag;
+              k ()
+          | None -> ()
+        end
+  end
+
+let handle_accept_note t ~(dst : Topology.addr) eid =
+  if is_leader_node dst then begin
+    let l = t.leaders.(dst.Topology.g) in
+    let notes =
+      match Entry_tbl.find_opt l.l_accept_notes eid with
+      | Some r -> r
+      | None ->
+          let r = ref 0 in
+          Entry_tbl.replace l.l_accept_notes eid r;
+          r
+    in
+    incr notes;
+    (* f_g + 1 groups holding the entry imply it is replicated; the
+       proposer counts implicitly, so f_g accept notes suffice for a
+       slow receiver to stamp the entry without holding it (§V-C). *)
+    if !notes >= max 1 (fg t) then Ordering.assign_ts t l eid
+  end
+
+(* Create the per-node PBFT replicas. Called once from [Engine.create]. *)
+let install t =
+  Array.iter
+    (fun group ->
+      Array.iter
+        (fun node ->
+          let g = node.n_addr.Topology.g in
+          let n = Topology.group_size t.topo g in
+          let pbft =
+            Pbft.create
+              { Pbft.n; me = node.n_addr.Topology.n; skip_prepare = false }
+              {
+                Pbft.send =
+                  (fun dst_n pm ->
+                    let bulk =
+                      match pm with Pbft.Pre_prepare _ -> true | _ -> false
+                    in
+                    send ~bulk t ~src:node.n_addr
+                      ~dst:{ Topology.g; n = dst_n }
+                      ~bytes:(local_msg_bytes t pm) (Local pm));
+                decide = (fun cert -> on_decide t node cert);
+              }
+          in
+          node.n_pbft <- Some pbft)
+        group)
+    t.nodes

@@ -1,0 +1,22 @@
+(* Local-consensus stage: the per-group PBFT adapter. *)
+
+open Node_ctx
+
+val handle : t -> node -> src:Topology.addr -> Pbft.msg -> unit
+(** Deliver a PBFT message to the node's replica, charging the batch
+    signature-verification cost on Pre_prepare receipt. *)
+
+val install : t -> unit
+(** Create the per-node PBFT replicas. Called once from
+    [Engine.create]. *)
+
+val accept_round : t -> leader -> tag:string -> (unit -> unit) -> unit
+(** Reach local consensus on an accept decision via the skip-prepare
+    variant (§V-B): broadcast the request, run the continuation at a
+    quorum of votes. *)
+
+val handle_accept_req :
+  t -> src:Topology.addr -> dst:Topology.addr -> string -> unit
+
+val handle_accept_vote : t -> dst:Topology.addr -> string -> unit
+val handle_accept_note : t -> dst:Topology.addr -> Types.entry_id -> unit

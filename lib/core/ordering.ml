@@ -1,0 +1,160 @@
+(* Ordering stage: how globally-replicated entries reach a final
+   execution order. Four strategies behind one interface (Table II):
+
+   - [sync_rounds]: round-synchronous — round r executes when every
+     group's entry r is ready; a group may run at most a pipeline's
+     worth of rounds ahead (Baseline / GeoBFT / BR / EBR).
+   - [epoch_rounds k]: rounds plus ISS's epoch-boundary gate — a
+     proposal in epoch e waits for every round of the preceding epochs
+     to have executed locally.
+   - [global_log]: Steward — the single Raft log's commit order IS the
+     execution order.
+   - [async_vts]: MassBFT's asynchronous vector-timestamp ordering
+     (Algorithm 2); the Orderer consumes Ts records from the
+     global-consensus stage, so commits trigger nothing here. *)
+
+open Node_ctx
+
+let rec mark_round_ready t (l : leader) eid =
+  if not (Entry_tbl.mem l.l_round_ready eid) then begin
+    Entry_tbl.replace l.l_round_ready eid ();
+    try_rounds t l
+  end
+
+and try_rounds t (l : leader) =
+  let round_complete r =
+    let ok = ref true in
+    for g = 0 to t.ng - 1 do
+      if not (Entry_tbl.mem l.l_round_ready { Types.gid = g; seq = r }) then
+        ok := false
+    done;
+    !ok
+  in
+  while round_complete l.l_next_round do
+    let r = l.l_next_round in
+    l.l_next_round <- r + 1;
+    for g = 0 to t.ng - 1 do
+      Execution.enqueue t l { Types.gid = g; seq = r }
+    done;
+    (* ISS: closing a round may unblock the next epoch's proposals. *)
+    Batcher.try_batch t t.leaders.(l.l_gid)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The VTS stamping lane (Async_vts / MassBFT)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Vector-timestamp records travel through the global Raft instances,
+   but which entries get stamped, with what clock, and what a committed
+   Ts record means are ordering questions — so the lane lives here and
+   the Raft adapter (Global_consensus) calls in at its deliver/commit/
+   role-change hooks. *)
+
+let ts_key inst (eid : Types.entry_id) =
+  Printf.sprintf "%d|%d|%d" inst eid.Types.gid eid.Types.seq
+
+let assign_ts t (l : leader) eid =
+  (* Overlapped VTS assignment: stamp the entry with our clock and
+     replicate through our own instance (Fig. 7b). *)
+  if
+    t.strat.ord.o_vts
+    && eid.Types.gid <> l.l_gid
+    && (not (Hashtbl.mem l.l_ts_mark (ts_key l.l_gid eid)))
+    && (not (Hashtbl.mem l.l_ts_seen (ts_key l.l_gid eid)))
+    && Raft.role l.l_rafts.(l.l_gid) = Raft.Leader
+  then begin
+    Hashtbl.replace l.l_ts_mark (ts_key l.l_gid eid) ();
+    ignore (Raft.propose l.l_rafts.(l.l_gid) (Ts { eid; ts = l.l_clk }))
+  end
+
+(* Catch-all timestamp assignment for every instance this leader
+   currently leads: covers taken-over instances (frozen clocks on
+   behalf of a crashed group, §V-C) and our own instance for entries
+   whose deliver-time assignment was skipped during a leadership
+   handover. *)
+let stamp_led_instances (l : leader) eid =
+  for j = 0 to Array.length l.l_rafts - 1 do
+    if
+      j <> eid.Types.gid
+      && Raft.role l.l_rafts.(j) = Raft.Leader
+      && (not (Hashtbl.mem l.l_ts_seen (ts_key j eid)))
+      && not (Hashtbl.mem l.l_ts_mark (ts_key j eid))
+    then begin
+      Hashtbl.replace l.l_ts_mark (ts_key j eid) ();
+      ignore (Raft.propose l.l_rafts.(j) (Ts { eid; ts = l.l_clk_of.(j) }))
+    end
+  done
+
+(* Stamp every committed-but-unexecuted entry still lacking instance
+   [inst]'s element: on a takeover this assigns the crashed group's
+   frozen clock; on a transfer-back it repairs assignments skipped
+   while we were not the leader. *)
+let stamp_committed_unexec (l : leader) inst =
+  Entry_tbl.iter
+    (fun eid () ->
+      if
+        eid.Types.gid <> inst
+        && (not (Hashtbl.mem l.l_ts_seen (ts_key inst eid)))
+        && not (Hashtbl.mem l.l_ts_mark (ts_key inst eid))
+      then begin
+        Hashtbl.replace l.l_ts_mark (ts_key inst eid) ();
+        ignore
+          (Raft.propose l.l_rafts.(inst) (Ts { eid; ts = l.l_clk_of.(inst) }))
+      end)
+    l.l_committed_unexec
+
+(* A Ts record committed in instance [inst]'s log: feed the Orderer
+   (first commit wins). *)
+let on_ts_commit (l : leader) inst ~eid ~ts =
+  let key = ts_key inst eid in
+  if not (Hashtbl.mem l.l_ts_seen key) then begin
+    Hashtbl.replace l.l_ts_seen key ();
+    match l.l_orderer with
+    | Some o -> Orderer.on_timestamp o ~from_gid:inst ~eid ~ts
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Strategy values                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sync_rounds =
+  {
+    o_allows =
+      (fun t l seq ->
+        (* Round-based protocols propose exactly one entry per round: a
+           group may run at most a pipeline's worth of rounds ahead of
+           the slowest group (otherwise Figure 2's backlog grows
+           without bound). *)
+        seq - l.l_next_round < t.cfg.Config.pipeline);
+    o_on_commit = mark_round_ready;
+    o_vts = false;
+  }
+
+let epoch_rounds k =
+  {
+    o_allows =
+      (fun _t l seq ->
+        (* A proposal in epoch e requires every round of the preceding
+           epochs (rounds 1 .. e*k) to have executed locally — the
+           epoch-boundary synchronization that gives ISS its latency
+           profile. *)
+        let epoch = (seq - 1) / k in
+        epoch = 0 || l.l_next_round > epoch * k);
+    o_on_commit = mark_round_ready;
+    o_vts = false;
+  }
+
+let global_log =
+  {
+    o_allows = (fun _ _ _ -> true);
+    o_on_commit = Execution.enqueue;
+    o_vts = false;
+  }
+
+let async_vts =
+  {
+    o_allows = (fun _ _ _ -> true);
+    o_on_commit = (fun _ _ _ -> ());
+    o_vts = true;
+  }

@@ -1,0 +1,34 @@
+(* Ordering stage: round-synchronous vs. epoch vs. global-log vs.
+   asynchronous VTS ordering behind one strategy interface. *)
+
+open Node_ctx
+
+val mark_round_ready : t -> leader -> Types.entry_id -> unit
+(** Record that the entry is ready for its round and close every
+    now-complete round in sequence (round-based strategies; also the
+    commitment path of GeoBFT's direct broadcast). *)
+
+val sync_rounds : ord_strategy
+val epoch_rounds : int -> ord_strategy
+val global_log : ord_strategy
+val async_vts : ord_strategy
+
+(* The VTS stamping lane (Async_vts only): which entries get stamped,
+   with what clock, and what a committed Ts record means. The Raft
+   adapter calls in at its deliver/commit/role-change hooks. *)
+
+val assign_ts : t -> leader -> Types.entry_id -> unit
+(** Stamp a remote entry with our clock through our own instance
+    (overlapped assignment, Fig. 7b); no-op unless VTS ordering is
+    active and we lead our instance. *)
+
+val stamp_led_instances : leader -> Types.entry_id -> unit
+(** Catch-all: stamp the entry in every instance this leader currently
+    leads (takeovers run crashed groups' frozen clocks, §V-C). *)
+
+val stamp_committed_unexec : leader -> int -> unit
+(** On gaining an instance's leadership: stamp every
+    committed-but-unexecuted entry still lacking its element. *)
+
+val on_ts_commit : leader -> int -> eid:Types.entry_id -> ts:int -> unit
+(** A Ts record committed: feed the Orderer (first commit wins). *)

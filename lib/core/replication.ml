@@ -1,0 +1,267 @@
+(* Replication stage: how a locally-decided batch travels to the other
+   groups. Three strategies (Table II):
+
+   - [leader_oneway]: the proposing leader ships f_j + 1 full copies to
+     each remote group during the global phase (GeoBFT's optimized
+     cluster-sending; also Steward/ISS/Baseline). Nothing to do at
+     decide time — the global-consensus strategy invokes
+     [send_oneway_copies].
+   - [bijective_full]: every node ships full copies per the partitioned
+     bijective sending plan of §IV-A (f1 + f2 + 1 copies).
+   - [encoded_bijective]: every node erasure-codes the entry and ships
+     its chunks per the Algorithm 1 transfer plan; receivers rebuild
+     (MassBFT / EBR).
+
+   This module also owns the receiver side: symbolic chunk rebuild with
+   the bucket classification of Rebuild (§IV-C's DoS defence), full-copy
+   handling, and the post-crash content fetch pump. *)
+
+open Node_ctx
+
+let plan_between t ~src ~dst =
+  match t.plans.(src).(dst) with
+  | Some p -> p
+  | None ->
+      let p =
+        Transfer_plan.generate
+          ~n1:(Topology.group_size t.topo src)
+          ~n2:(Topology.group_size t.topo dst)
+      in
+      t.plans.(src).(dst) <- Some p;
+      p
+
+let chunk_bytes t ~src ~dst ~entry_len =
+  Chunker.chunk_wire_size ~plan:(plan_between t ~src ~dst) ~entry_len
+
+(* ------------------------------------------------------------------ *)
+(* Senders                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let send_chunks t (node : node) e =
+  let g = node.n_addr.Topology.g in
+  if node.n_addr.Topology.n = 0 then
+    trace_entry t e.eid "chunks_sent" ~gid:g ~node:node.n_addr.Topology.n;
+  let encode_cost =
+    float_of_int e.size *. t.cfg.Config.cost.Config.encode_per_byte_s
+  in
+  charge_cpu t node.n_addr encode_cost (fun () ->
+      for j = 0 to t.ng - 1 do
+        if j <> g then begin
+          let plan = plan_between t ~src:g ~dst:j in
+          let bytes = chunk_bytes t ~src:g ~dst:j ~entry_len:e.size in
+          let root_tag =
+            if node.n_byz then "tampered:" ^ e.digest else e.digest
+          in
+          List.iter
+            (fun (c, r) ->
+              send ~bulk:true t ~src:node.n_addr
+                ~dst:{ Topology.g = j; n = r }
+                ~bytes
+                (Chunk { eid = e.eid; root_tag; index = c }))
+            (Transfer_plan.sends_of plan ~sender:node.n_addr.Topology.n)
+        end
+      done)
+
+let send_bijective_copies t (node : node) e =
+  (* The general approach of §IV-A: the (partitioned) bijective
+     cluster-sending plan, f1 + f2 + 1 full copies for similar group
+     sizes. *)
+  let g = node.n_addr.Topology.g in
+  for j = 0 to t.ng - 1 do
+    if j <> g then begin
+      let plan =
+        Bijective_plan.generate
+          ~n1:(Topology.group_size t.topo g)
+          ~n2:(Topology.group_size t.topo j)
+      in
+      List.iter
+        (fun r ->
+          send ~bulk:true t ~src:node.n_addr
+            ~dst:{ Topology.g = j; n = r }
+            ~bytes:(copy_bytes t e.eid) (Copy { eid = e.eid }))
+        (Bijective_plan.sends_of plan ~sender:node.n_addr.Topology.n)
+    end
+  done
+
+let send_oneway_copies t (l : leader) e ~skip =
+  (* Leader one-way with the GeoBFT optimization: f_j + 1 receivers per
+     remote group, who then forward over their LAN. *)
+  for j = 0 to t.ng - 1 do
+    if j <> l.l_gid && not (List.mem j skip) then
+      for r = 0 to group_f t j do
+        send ~bulk:true t ~src:l.l_addr
+          ~dst:{ Topology.g = j; n = r }
+          ~bytes:(copy_bytes t e.eid) (Copy { eid = e.eid })
+      done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Content repair: a pipelined fetch pump                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Entries whose chunks were lost (a crash gap) are pulled as full
+   copies, up to 8 in flight so a recovered group catches up at link
+   speed; each issued request is retried against rotating groups while
+   the content is missing, and the pump refills a slot the moment
+   content lands. Missed content under normal operation never reaches
+   the pump: the first fetch timer fires only after [fetch_timeout_s]. *)
+let rec want_fetch t (l : leader) eid =
+  if
+    (not (has_content (node_of t l.l_addr) eid))
+    && not (Entry_tbl.mem l.l_fetching eid)
+  then begin
+    Entry_tbl.replace l.l_fetching eid (ref 0);
+    Queue.push eid l.l_fetch_q
+  end;
+  pump_fetch t l
+
+and pump_fetch t (l : leader) =
+  while l.l_fetch_out < 8 && not (Queue.is_empty l.l_fetch_q) do
+    let eid = Queue.pop l.l_fetch_q in
+    if Entry_tbl.mem l.l_fetching eid then
+      if has_content (node_of t l.l_addr) eid then
+        Entry_tbl.remove l.l_fetching eid
+      else begin
+        l.l_fetch_out <- l.l_fetch_out + 1;
+        fetch_issue t l eid
+      end
+  done
+
+and fetch_issue t (l : leader) eid =
+  match Entry_tbl.find_opt l.l_fetching eid with
+  | None -> () (* satisfied in the meantime; slot freed on content *)
+  | Some attempts ->
+      (* Ask the proposer first, then rotate through the groups. *)
+      let target = (eid.Types.gid + !attempts) mod t.ng in
+      incr attempts;
+      if target <> l.l_gid then begin
+        trace_entry t eid "fetch_req" ~gid:l.l_gid ~node:0
+          ~args:[ ("target", Trace.Int target) ];
+        send t ~src:l.l_addr ~dst:(leader_addr target) ~bytes:Types.vote_bytes
+          (Fetch_req { eid })
+      end;
+      ignore
+        (Sim.after t.sim (2.0 *. t.cfg.Config.fetch_timeout_s) (fun () ->
+             if Entry_tbl.mem l.l_fetching eid then fetch_issue t l eid))
+
+(* A satisfied fetch frees its pump slot (part of the engine's
+   on-leader-content composition). *)
+let on_content t (l : leader) eid =
+  if Entry_tbl.mem l.l_fetching eid then begin
+    Entry_tbl.remove l.l_fetching eid;
+    l.l_fetch_out <- max 0 (l.l_fetch_out - 1);
+    pump_fetch t l
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic chunk rebuild                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_state (node : node) eid =
+  match Entry_tbl.find_opt node.n_rebuilds eid with
+  | Some r -> r
+  | None ->
+      let r =
+        { rb_buckets = Hashtbl.create 2; rb_black = ISet.empty; rb_done = false }
+      in
+      Entry_tbl.replace node.n_rebuilds eid r;
+      r
+
+let on_chunk_received t (node : node) ~eid ~root_tag ~index =
+  let e = entry_of t eid in
+  let r = rebuild_state node eid in
+  if (not r.rb_done) && not (ISet.mem index r.rb_black) then begin
+    let bucket =
+      match Hashtbl.find_opt r.rb_buckets root_tag with
+      | Some b -> b
+      | None ->
+          let b = ref ISet.empty in
+          Hashtbl.replace r.rb_buckets root_tag b;
+          b
+    in
+    if not (ISet.mem index !bucket) then begin
+      bucket := ISet.add index !bucket;
+      let g = node.n_addr.Topology.g in
+      let plan = plan_between t ~src:eid.Types.gid ~dst:g in
+      if ISet.cardinal !bucket >= plan.Transfer_plan.n_data then
+        if String.equal root_tag e.digest then begin
+          r.rb_done <- true;
+          let cost =
+            float_of_int e.size *. t.cfg.Config.cost.Config.decode_per_byte_s
+          in
+          if Trace.enabled t.trace then begin
+            let tnow = now t in
+            Trace.span t.trace ~cat:"entry" ~gid:g ~node:node.n_addr.Topology.n
+              ~eid:(eid.Types.gid, eid.Types.seq) ~b:tnow ~e:(tnow +. cost)
+              "rebuild"
+          end;
+          charge_cpu t node.n_addr cost (fun () ->
+              if alive t node.n_addr then content_event t node eid)
+        end
+        else begin
+          (* Fake bucket: certificate validation fails, ids are burned
+             (the DoS defence of §IV-C). *)
+          r.rb_black <- ISet.union r.rb_black !bucket;
+          Hashtbl.remove r.rb_buckets root_tag
+        end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Receiver-side message handlers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let handle_chunk t (node : node) ~eid ~root_tag ~index =
+  on_chunk_received t node ~eid ~root_tag ~index;
+  (* Exchange with the rest of the group (a Byzantine receiver forwards
+     a tampered version instead). *)
+  let e = entry_of t eid in
+  let fwd_tag = if node.n_byz then "tampered:" ^ e.digest else root_tag in
+  let bytes =
+    chunk_bytes t ~src:eid.Types.gid ~dst:node.n_addr.Topology.g
+      ~entry_len:e.size
+  in
+  broadcast_group ~bulk:true t ~src:node.n_addr ~bytes
+    (Chunk_fwd { eid; root_tag = fwd_tag; index })
+
+let handle_copy t (node : node) eid =
+  if not (has_content node eid) then begin
+    content_event t node eid;
+    broadcast_group ~bulk:true t ~src:node.n_addr ~bytes:(copy_bytes t eid)
+      (Copy_fwd { eid });
+    t.strat.glob.g_on_copy t node eid
+  end
+
+let handle_fetch_req t (node : node) ~src eid =
+  if has_content node eid then
+    send ~bulk:true t ~src:node.n_addr ~dst:src ~bytes:(copy_bytes t eid)
+      (Copy { eid })
+
+(* ------------------------------------------------------------------ *)
+(* Strategy values                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let leader_oneway =
+  {
+    r_on_decide = (fun _ _ _ -> ());
+    r_oneway = true;
+    r_coding_s = (fun _ _ -> 0.0);
+  }
+
+let bijective_full =
+  {
+    r_on_decide = send_bijective_copies;
+    r_oneway = false;
+    r_coding_s = (fun _ _ -> 0.0);
+  }
+
+let encoded_bijective =
+  {
+    r_on_decide = send_chunks;
+    r_oneway = false;
+    r_coding_s =
+      (fun t e ->
+        float_of_int e.size
+        *. (t.cfg.Config.cost.Config.encode_per_byte_s
+           +. t.cfg.Config.cost.Config.decode_per_byte_s));
+  }

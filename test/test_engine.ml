@@ -483,6 +483,105 @@ let test_iss_respects_epoch_barrier () =
       Hashtbl.replace seen (e.Types.gid, e.Types.seq) ())
     ids
 
+(* ------------------------------------------------------------------ *)
+(* Golden determinism fixtures                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Golden = Golden_fixture
+
+(* The files under test/golden/ were recorded against the pre-refactor
+   monolithic engine (see golden_record.ml). The staged engine must
+   reproduce every fingerprint byte-for-byte: committed counts, WAN/LAN
+   bytes, the store fingerprint, and the full executed order of every
+   group. *)
+let test_golden_fixtures () =
+  List.iter
+    (fun system ->
+      let name = Config.system_name system in
+      let recorded =
+        Golden.load (Filename.concat "golden" (Golden.file_of_system system))
+      in
+      let fresh = Golden.capture ~system in
+      check_int (name ^ " committed") recorded.Golden.committed
+        fresh.Golden.committed;
+      check_int (name ^ " entries executed") recorded.Golden.entries
+        fresh.Golden.entries;
+      check_int (name ^ " wan bytes") recorded.Golden.wan fresh.Golden.wan;
+      check_int (name ^ " lan bytes") recorded.Golden.lan fresh.Golden.lan;
+      Alcotest.(check string)
+        (name ^ " store fingerprint")
+        recorded.Golden.store fresh.Golden.store;
+      Array.iteri
+        (fun g ids ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s executed order g%d" name g)
+            ids
+            fresh.Golden.executed.(g))
+        recorded.Golden.executed)
+    Config.all_systems
+
+let test_golden_roundtrip () =
+  (* The fixture format itself: parse (print x) = x. *)
+  let g = Golden.capture ~system:Config.Geobft in
+  let g' = Golden.of_string (Golden.to_string g) in
+  Alcotest.(check string) "round-trip" (Golden.to_string g) (Golden.to_string g')
+
+(* ------------------------------------------------------------------ *)
+(* debug_dump                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nn = 0 then 0 else go 0 0
+
+let test_debug_dump system ~instances () =
+  (* Dump once mid-run (inside a simulation callback — it must not
+     raise with consensus in flight) and once at the end. *)
+  let mid_dump = ref "" in
+  let eng, _, _ =
+    run_engine ~cfg:(small_cfg ~system ())
+      ~before_run:(fun eng sim _ ->
+        ignore (Sim.at sim 3.0 (fun () -> mid_dump := Engine.debug_dump eng)))
+      ()
+  in
+  let name = Config.system_name system in
+  check_bool (name ^ " mid-run dump non-empty") true
+    (String.length !mid_dump > 0);
+  let final = Engine.debug_dump eng in
+  check_bool (name ^ " final dump non-empty") true (String.length final > 0);
+  for g = 0 to 2 do
+    check_bool
+      (Printf.sprintf "%s dump covers leader g%d" name g)
+      true
+      (contains final (Printf.sprintf "leader g%d" g))
+  done;
+  for inst = 0 to instances - 1 do
+    check_bool
+      (Printf.sprintf "%s dump shows instance %d's role" name inst)
+      true
+      (contains final (Printf.sprintf "inst %d: role=" inst))
+  done;
+  (* One role line per (leader, instance) pair: every group reports
+     every Raft instance's role. *)
+  check_int
+    (name ^ " role lines cover every group x instance")
+    (3 * instances)
+    (count_occurrences final "role=");
+  if system = Config.Massbft then
+    (* The VTS orderer's head vector is part of the dump. *)
+    check_bool "massbft dump shows orderer heads" true
+      (contains final "head[0]")
+
 let () =
   Alcotest.run "massbft_engine"
     [
@@ -529,5 +628,18 @@ let () =
           Alcotest.test_case "unequal group sizes" `Quick test_unequal_group_sizes;
           Alcotest.test_case "bandwidth degradation" `Slow test_bandwidth_degradation;
           Alcotest.test_case "five groups" `Quick test_more_groups;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "fixture round-trip" `Quick test_golden_roundtrip;
+          Alcotest.test_case "all systems reproduce recordings" `Slow
+            test_golden_fixtures;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "debug dump massbft" `Quick
+            (test_debug_dump Config.Massbft ~instances:3);
+          Alcotest.test_case "debug dump steward" `Quick
+            (test_debug_dump Config.Steward ~instances:1);
         ] );
     ]
