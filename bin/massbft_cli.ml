@@ -9,6 +9,10 @@ module Clusters = Massbft_harness.Clusters
 module Figures = Massbft_harness.Figures
 module Trace = Massbft_trace.Trace
 module Trace_export = Massbft_trace.Trace_export
+module Obs_registry = Massbft_obs.Registry
+module Sampler = Massbft_obs.Sampler
+module Exposition = Massbft_obs.Exposition
+module Saturation = Massbft_obs.Saturation
 
 let system_conv =
   let parse s =
@@ -95,16 +99,25 @@ let run_cmd =
            ~doc:"Also record a structured trace and write it to $(docv) as \
                  Chrome trace_event JSON (open in Perfetto).")
   in
+  let metrics_file =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Also sample resource metrics and write them to $(docv): \
+                 Prometheus text exposition by default, the JSON export \
+                 for a .json destination, the per-tick CSV for .csv.")
+  in
   let action system workload nodes groups worldwide duration warmup scale seed
-      latency_probe trace_file =
+      latency_probe trace_file metrics_file =
     let cfg, spec =
       experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
     in
     let sink = Option.map (fun _ -> Trace.create ()) trace_file in
+    let obs =
+      Option.map (fun _ -> Sampler.create (Obs_registry.create ())) metrics_file
+    in
     let r =
       if latency_probe then
-        Runner.run_latency_probe ~duration ~warmup ?trace:sink ~spec ~cfg ()
-      else Runner.run ~duration ~warmup ?trace:sink ~spec ~cfg ()
+        Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ~spec ~cfg ()
+      else Runner.run ~duration ~warmup ?trace:sink ?obs ~spec ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
     List.iter
@@ -113,6 +126,24 @@ let run_cmd =
     List.iteri
       (fun g t -> Format.printf "  group %d: %.2f ktps@." g t)
       r.Runner.per_group_ktps;
+    (match (metrics_file, obs) with
+    | Some file, Some s ->
+        let text =
+          if Filename.check_suffix file ".json" then
+            Exposition.json (Sampler.registry s)
+          else if Filename.check_suffix file ".csv" then Sampler.csv s
+          else Exposition.prometheus (Sampler.registry s)
+        in
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        (match r.Runner.binding_resource with
+        | Some res -> Format.printf "binding resource: %s@." res
+        | None -> ());
+        Format.printf "metrics: wrote %s (%d series, %d ticks)@." file
+          (List.length (Obs_registry.collect (Sampler.registry s)))
+          (Sampler.tick_count s)
+    | _ -> ());
     match (trace_file, sink) with
     | Some file, Some tr ->
         Trace_export.write_chrome_json tr file;
@@ -125,7 +156,7 @@ let run_cmd =
     Term.(
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
-      $ latency_probe $ trace_file)
+      $ latency_probe $ trace_file $ metrics_file)
 
 (* ---- trace ---- *)
 
@@ -180,6 +211,69 @@ let trace_cmd =
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg $ out
       $ capacity $ report)
+
+(* ---- metrics ---- *)
+
+let metrics_cmd =
+  let duration =
+    Arg.(value & opt float 6.0 & info [ "duration"; "d" ]
+           ~doc:"Measurement window, simulated seconds.")
+  in
+  let period =
+    Arg.(value & opt float 0.1 & info [ "period" ]
+           ~doc:"Sampling tick, simulated seconds.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.95 & info [ "threshold" ]
+           ~doc:"Busy fraction above which a sampling window counts as \
+                 saturated.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Also write the registry to $(docv) (same format selection \
+                 as 'run --metrics').")
+  in
+  let action system workload nodes groups worldwide duration warmup scale seed
+      period threshold out =
+    if period <= 0.0 then begin
+      prerr_endline "massbft: option '--period': must be positive";
+      exit 124
+    end;
+    let cfg, spec =
+      experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
+    in
+    let s = Sampler.create ~period (Obs_registry.create ()) in
+    let r = Runner.run ~duration ~warmup ~obs:s ~spec ~cfg () in
+    Format.printf "%a@." Runner.pp_result r;
+    List.iteri
+      (fun g b ->
+        Format.printf "  leader g%d: wan_up busy %.2f  cpu %.2f@." g b
+          (List.nth r.Runner.leader_cpu_util g))
+      r.Runner.leader_wan_busy;
+    print_string (Saturation.report ~threshold s);
+    match out with
+    | None -> ()
+    | Some file ->
+        let text =
+          if Filename.check_suffix file ".json" then
+            Exposition.json (Sampler.registry s)
+          else if Filename.check_suffix file ".csv" then Sampler.csv s
+          else Exposition.prometheus (Sampler.registry s)
+        in
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.printf "metrics: wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one experiment with resource sampling on and print the \
+          saturation report attributing the binding resource.")
+    Term.(
+      const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
+      $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg $ period
+      $ threshold $ out)
 
 (* ---- figures ---- *)
 
@@ -252,6 +346,6 @@ let main =
        ~doc:
          "MassBFT: fast and scalable geo-distributed BFT consensus \
           (reproduction of the ICDE 2025 paper).")
-    [ run_cmd; trace_cmd; figures_cmd; list_cmd; plan_cmd ]
+    [ run_cmd; trace_cmd; metrics_cmd; figures_cmd; list_cmd; plan_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -96,3 +96,19 @@ let start t =
       try_batch t l;
       tick ())
     t.leaders
+
+let observe (t : Node_ctx.t) sampler =
+  let open Node_ctx in
+  Array.iter
+    (fun l ->
+      let labels = obs_group_labels l in
+      Massbft_obs.Sampler.add_probe sampler ~name:"massbft_batcher_in_flight"
+        ~help:
+          "Batches admitted into the pipeline window and not yet globally \
+           committed"
+        ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int l.l_in_flight);
+      Massbft_obs.Sampler.add_probe sampler ~name:"massbft_batcher_retry_queue"
+        ~help:"Conflict-aborted transactions awaiting rebatching" ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int (List.length l.l_retry)))
+    t.leaders

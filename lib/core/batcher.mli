@@ -9,3 +9,7 @@ val try_batch : Node_ctx.t -> Node_ctx.leader -> unit
 val start : Node_ctx.t -> unit
 (** Arm the per-leader batch timers and form the first batches.
     Called once from [Engine.start]. *)
+
+val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit
+(** Register the admission-side gauges (pipeline in-flight, retry
+    queue) per leader. Part of [Engine.set_obs]. *)

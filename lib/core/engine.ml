@@ -188,6 +188,20 @@ let set_trace t tr =
     (fun l -> Array.iteri (fun inst r -> Raft.set_trace r tr ~inst) l.l_rafts)
     t.leaders
 
+(* Register every stage's instruments in the sampler. Purely read-only:
+   probes poll existing stage state, so an observed run commits the
+   same entries as an unobserved one. Must run after [create] (replicas
+   and Raft instances exist) and before [Sampler.attach] (columns
+   freeze there). *)
+let set_obs t sampler =
+  Node_ctx.observe t sampler;
+  Batcher.observe t sampler;
+  Local_consensus.observe t sampler;
+  Replication.observe t sampler;
+  Global_consensus.observe t sampler;
+  Ordering.observe t sampler;
+  Execution.observe t sampler
+
 (* ------------------------------------------------------------------ *)
 (* Start / fault injection                                             *)
 (* ------------------------------------------------------------------ *)

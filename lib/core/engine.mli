@@ -45,6 +45,17 @@ val set_trace : t -> Massbft_trace.Trace.t -> unit
     Massbft_trace.Trace.null}), in which case every emission site is a
     single branch. *)
 
+val set_obs : t -> Massbft_obs.Sampler.t -> unit
+(** Registers every stage's instruments with the sampler: admission
+    (pipeline in-flight, retry queue), PBFT role/view per replica,
+    replication (fetch lane, rebuilds in progress), Raft role and
+    commit index per instance, the ordering round barrier, the
+    execution pump, and the deployment-wide transaction totals. All
+    probes are read-only polls of existing state, so an observed run is
+    result-identical to an unobserved one. Call after {!create} and
+    before [Sampler.attach]; independent of {!set_trace} — either
+    subsystem works without the other. *)
+
 val start : t -> unit
 (** Arms the batch timers, heartbeats and fault injectors. Run the
     simulation with {!Massbft_sim.Sim.run}. *)

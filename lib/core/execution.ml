@@ -160,3 +160,22 @@ let enqueue t (l : leader) eid =
   | _ -> ());
   Queue.push eid l.l_exec_q;
   pump t l
+
+let observe (t : Node_ctx.t) sampler =
+  Array.iter
+    (fun l ->
+      let labels = obs_group_labels l in
+      Massbft_obs.Sampler.add_probe sampler
+        ~name:"massbft_execution_queue_depth"
+        ~help:"Finally-ordered entries queued behind the execution pump"
+        ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int (Queue.length l.l_exec_q));
+      Massbft_obs.Sampler.add_probe sampler ~name:"massbft_execution_busy"
+        ~help:"1 while the pump has an Aria batch on the CPU" ~labels
+        (fun ~now:_ ~dt:_ -> if l.l_exec_busy then 1.0 else 0.0);
+      Massbft_obs.Sampler.add_probe sampler
+        ~name:"massbft_execution_committed_unexec"
+        ~help:"Globally committed entries not yet executed" ~labels
+        (fun ~now:_ ~dt:_ ->
+          float_of_int (Entry_tbl.length l.l_committed_unexec)))
+    t.leaders

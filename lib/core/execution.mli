@@ -9,3 +9,6 @@ val enqueue : t -> leader -> Types.entry_id -> unit
 val pump : t -> leader -> unit
 (** Execute queue-head entries whose content is held; arrange a fetch
     for a head that stays missing past the fetch timeout. *)
+
+val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit
+(** Register the execution-pump gauges. Part of [Engine.set_obs]. *)

@@ -349,3 +349,24 @@ let start_heartbeats t =
         tick ())
       t.leaders
   end
+
+let observe (t : Node_ctx.t) sampler =
+  Array.iter
+    (fun l ->
+      Array.iteri
+        (fun inst r ->
+          let labels =
+            obs_group_labels l @ [ ("inst", string_of_int inst) ]
+          in
+          Massbft_obs.Sampler.add_probe sampler ~name:"massbft_raft_is_leader"
+            ~help:"1 when this group's leader leads the Raft instance"
+            ~labels
+            (fun ~now:_ ~dt:_ ->
+              match Raft.role r with Raft.Leader -> 1.0 | _ -> 0.0);
+          Massbft_obs.Sampler.add_probe sampler
+            ~name:"massbft_raft_commit_index"
+            ~help:"Commit index of the instance as seen by this leader"
+            ~labels
+            (fun ~now:_ ~dt:_ -> float_of_int (Raft.commit_index r)))
+        l.l_rafts)
+    t.leaders

@@ -28,3 +28,7 @@ val install : t -> n_inst:int -> unit
 val start_heartbeats : t -> unit
 (** Arm the heartbeat / election / unwedge timers. Called once from
     [Engine.start]; a no-op without global Raft instances. *)
+
+val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit
+(** Register the per-instance Raft role and commit-index gauges. Part
+    of [Engine.set_obs]. *)

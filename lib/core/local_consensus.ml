@@ -136,3 +136,23 @@ let install t =
           node.n_pbft <- Some pbft)
         group)
     t.nodes
+
+let observe (t : Node_ctx.t) sampler =
+  Array.iter
+    (fun group ->
+      Array.iter
+        (fun node ->
+          match node.n_pbft with
+          | None -> ()
+          | Some p ->
+              let labels = obs_node_labels node in
+              Massbft_obs.Sampler.add_probe sampler
+                ~name:"massbft_pbft_is_leader"
+                ~help:"1 when this replica leads its group's PBFT view"
+                ~labels
+                (fun ~now:_ ~dt:_ -> if Pbft.is_leader p then 1.0 else 0.0);
+              Massbft_obs.Sampler.add_probe sampler ~name:"massbft_pbft_view"
+                ~help:"Current PBFT view number" ~labels
+                (fun ~now:_ ~dt:_ -> float_of_int (Pbft.view p)))
+        group)
+    t.nodes

@@ -20,3 +20,7 @@ val handle_accept_req :
 
 val handle_accept_vote : t -> dst:Topology.addr -> string -> unit
 val handle_accept_note : t -> dst:Topology.addr -> Types.entry_id -> unit
+
+val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit
+(** Register the per-replica PBFT role and view gauges. Part of
+    [Engine.set_obs]. *)

@@ -49,6 +49,7 @@ let group_committed t gid =
   | Some c -> Stats.Counter.get c
   | None -> 0
 
+(* Deliberately excludes [logic_aborted_txns]: see the .mli. *)
 let commit_ratio t =
   let c = Stats.Counter.get t.committed_txns in
   let a = Stats.Counter.get t.conflicted_txns in

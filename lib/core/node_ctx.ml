@@ -298,3 +298,37 @@ let when_content t (l : leader) eid k =
           r
     in
     cbs := k :: !cbs
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let obs_group_labels (l : leader) = [ ("group", string_of_int l.l_gid) ]
+
+let obs_node_labels (n : node) =
+  [
+    ("group", string_of_int n.n_addr.Topology.g);
+    ("node", string_of_int n.n_addr.Topology.n);
+  ]
+
+let observe t sampler =
+  let reg = Massbft_obs.Sampler.registry sampler in
+  let get = Massbft_util.Stats.Counter.get in
+  let cnt name help fn =
+    Massbft_obs.Registry.counter_fn reg ~name ~help [] fn
+  in
+  cnt "massbft_txns_committed_total"
+    "Aria-committed transactions inside the measurement window" (fun () ->
+      get t.metrics.Metrics.committed_txns);
+  cnt "massbft_txns_conflict_aborted_total"
+    "Aria conflict aborts (retried through the fallback lane)" (fun () ->
+      get t.metrics.Metrics.conflicted_txns);
+  cnt "massbft_txns_logic_aborted_total"
+    "Application-level aborts (executed, outcome abort)" (fun () ->
+      get t.metrics.Metrics.logic_aborted_txns);
+  cnt "massbft_entries_executed_total"
+    "Entries fully executed inside the measurement window" (fun () ->
+      get t.metrics.Metrics.entries_executed);
+  Massbft_obs.Registry.gauge_fn reg ~name:"massbft_entries_registered"
+    ~help:"Entries known to the registry (all states)" [] (fun () ->
+      float_of_int (Entry_tbl.length t.entries))

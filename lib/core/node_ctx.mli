@@ -203,3 +203,15 @@ val run_content_waiters : leader -> Types.entry_id -> unit
     Raft acks, Lemma V.1). *)
 
 val when_content : t -> leader -> Types.entry_id -> (unit -> unit) -> unit
+
+(** {1 Observability} *)
+
+val obs_group_labels : leader -> Massbft_obs.Registry.labels
+val obs_node_labels : node -> Massbft_obs.Registry.labels
+(** The shared label conventions ([group], [node]) so every stage's
+    instruments join on the same keys. *)
+
+val observe : t -> Massbft_obs.Sampler.t -> unit
+(** Register the deployment-wide instruments (transaction totals as
+    polled counters, the entry-registry size) in the sampler's
+    registry. Part of [Engine.set_obs]. *)

@@ -158,3 +158,18 @@ let async_vts =
     o_on_commit = (fun _ _ _ -> ());
     o_vts = true;
   }
+
+let observe (t : Node_ctx.t) sampler =
+  Array.iter
+    (fun l ->
+      let labels = obs_group_labels l in
+      Massbft_obs.Sampler.add_probe sampler
+        ~name:"massbft_ordering_round_ready"
+        ~help:"Entries ready at the round barrier, waiting for the rest \
+               of their round"
+        ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int (Entry_tbl.length l.l_round_ready));
+      Massbft_obs.Sampler.add_probe sampler ~name:"massbft_ordering_next_round"
+        ~help:"Next round this leader will close" ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int l.l_next_round))
+    t.leaders

@@ -32,3 +32,6 @@ val stamp_committed_unexec : leader -> int -> unit
 
 val on_ts_commit : leader -> int -> eid:Types.entry_id -> ts:int -> unit
 (** A Ts record committed: feed the Orderer (first commit wins). *)
+
+val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit
+(** Register the round-barrier gauges. Part of [Engine.set_obs]. *)

@@ -265,3 +265,34 @@ let encoded_bijective =
         *. (t.cfg.Config.cost.Config.encode_per_byte_s
            +. t.cfg.Config.cost.Config.decode_per_byte_s));
   }
+
+let observe (t : Node_ctx.t) sampler =
+  Array.iter
+    (fun l ->
+      let labels = obs_group_labels l in
+      Massbft_obs.Sampler.add_probe sampler
+        ~name:"massbft_replication_fetch_outstanding"
+        ~help:"Full-copy fetch requests in flight from this leader" ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int l.l_fetch_out);
+      Massbft_obs.Sampler.add_probe sampler
+        ~name:"massbft_replication_fetch_queued"
+        ~help:"Missing entries waiting for a fetch slot" ~labels
+        (fun ~now:_ ~dt:_ -> float_of_int (Queue.length l.l_fetch_q)))
+    t.leaders;
+  Array.iter
+    (fun group ->
+      Array.iter
+        (fun node ->
+          Massbft_obs.Sampler.add_probe sampler
+            ~name:"massbft_replication_rebuilds_in_progress"
+            ~help:
+              "Entries with some chunks received but not yet rebuilt on \
+               this node"
+            ~labels:(obs_node_labels node)
+            (fun ~now:_ ~dt:_ ->
+              float_of_int
+                (Entry_tbl.fold
+                   (fun _ r acc -> if r.rb_done then acc else acc + 1)
+                   node.n_rebuilds 0)))
+        group)
+    t.nodes

@@ -35,3 +35,8 @@ val handle_chunk :
 
 val handle_copy : t -> node -> Types.entry_id -> unit
 val handle_fetch_req : t -> node -> src:Topology.addr -> Types.entry_id -> unit
+
+val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit
+(** Register the dissemination gauges: per-leader fetch-lane depth and
+    per-node chunks-outstanding rebuild count. Part of
+    [Engine.set_obs]. *)

@@ -12,6 +12,14 @@ type figure = { id : string; title : string; expectation : string; rows : row li
 
 let c ?paper name value = { name; value; paper }
 
+(* Utilization cells come from a per-run sampler (fig13a / fig14): the
+   hottest leader's mean busy fraction makes the binding resource
+   visible right in the table. *)
+let fresh_sampler () =
+  Massbft_obs.Sampler.create (Massbft_obs.Registry.create ())
+
+let hottest = List.fold_left Float.max 0.0
+
 (* Window lengths: every run needs the pipeline/NIC queues to fill
    before measuring; the slow systems (Steward) have multi-second time
    constants. *)
@@ -23,9 +31,9 @@ let base_cfg ?(quick = false) ~system ~workload () =
     Config.workload_scale = (if quick then 0.01 else 1.0);
   }
 
-let run ?(quick = false) ?on_engine ~spec ~cfg () =
+let run ?(quick = false) ?obs ?on_engine ~spec ~cfg () =
   let warmup, duration = windows ~quick in
-  Runner.run ~warmup ~duration ?on_engine ~spec ~cfg ()
+  Runner.run ~warmup ~duration ?obs ?on_engine ~spec ~cfg ()
 
 let probe ?(quick = false) ?on_engine ~spec ~cfg () =
   let warmup, duration = windows ~quick in
@@ -280,10 +288,16 @@ let fig13a ?(quick = false) () =
                     if quick then (2.0, 5.0) else (6.0, 14.0) )
             in
             let spec = Clusters.nationwide ~nodes_per_group:n () in
-            let r = Runner.run ~warmup ~duration ~spec ~cfg () in
+            let obs = fresh_sampler () in
+            let r = Runner.run ~warmup ~duration ~obs ~spec ~cfg () in
             {
               label = Printf.sprintf "%-8s %2d nodes/group" (Config.system_name system) n;
-              cells = [ c "throughput_ktps" r.Runner.throughput_ktps ];
+              cells =
+                [
+                  c "throughput_ktps" r.Runner.throughput_ktps;
+                  c "leader_wan_busy" (hottest r.Runner.leader_wan_busy);
+                  c "leader_cpu_util" (hottest r.Runner.leader_cpu_util);
+                ];
             })
           [ Config.Massbft; Config.Baseline ])
       sizes
@@ -363,7 +377,8 @@ let fig14 ?(quick = false) () =
             done
           done
         in
-        let r = run ~quick ~on_engine:degrade ~spec ~cfg () in
+        let obs = fresh_sampler () in
+        let r = run ~quick ~obs ~on_engine:degrade ~spec ~cfg () in
         let l = probe ~quick ~on_engine:degrade ~spec ~cfg () in
         {
           label = Printf.sprintf "%d slow nodes/group" slow;
@@ -371,6 +386,8 @@ let fig14 ?(quick = false) () =
             [
               c "throughput_ktps" r.Runner.throughput_ktps;
               c "latency_ms" l.Runner.mean_latency_ms;
+              c "leader_wan_busy" (hottest r.Runner.leader_wan_busy);
+              c "leader_cpu_util" (hottest r.Runner.leader_cpu_util);
             ];
         })
       slow_counts

@@ -4,6 +4,8 @@ module Engine = Massbft.Engine
 module Config = Massbft.Config
 module Metrics = Massbft.Metrics
 module Stats = Massbft_util.Stats
+module Sampler = Massbft_obs.Sampler
+module Saturation = Massbft_obs.Saturation
 
 type result = {
   system : Config.system;
@@ -20,9 +22,13 @@ type result = {
   latency_series : (float * float) list;
   phases_ms : (string * float) list;
   per_group_ktps : float list;
+  leader_wan_busy : float list;
+  leader_cpu_util : float list;
+  binding_resource : string option;
 }
 
-let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?on_engine ~spec ~cfg () =
+let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ~spec ~cfg
+    () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
@@ -30,14 +36,44 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?on_engine ~spec ~cfg () =
   let topo = Topology.create sim spec in
   let engine = Engine.create sim topo cfg in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
+  (* With no sampler, nothing below schedules a single event: the run
+     is bit-identical to one without observability. *)
+  (match obs with
+  | Some s ->
+      Sampler.watch_topology s topo;
+      Engine.set_obs engine s;
+      Sampler.attach s sim
+  | None -> ());
   Engine.start engine;
   Engine.set_measure_from engine warmup;
   (match on_engine with Some f -> f engine sim topo | None -> ());
-  ignore (Sim.at sim warmup (fun () -> Topology.reset_traffic_baseline topo));
+  ignore
+    (Sim.at sim warmup (fun () ->
+         Topology.reset_traffic_baseline topo;
+         (* Saturation shares cover only the measurement window. *)
+         match obs with Some s -> Sampler.reset s | None -> ()));
   Sim.run sim ~until:(warmup +. duration);
   let m = Engine.metrics engine in
   let entries = Stats.Counter.get m.Metrics.entries_executed in
   let wan_mb = float_of_int (Engine.wan_bytes engine) /. 1e6 in
+  let leader_wan_busy, leader_cpu_util, binding_resource =
+    match obs with
+    | None -> ([], [], None)
+    | Some s ->
+        let per_leader name extra =
+          List.init (Topology.n_groups topo) (fun g ->
+              let labels =
+                [ ("group", string_of_int g); ("node", "0") ] @ extra
+              in
+              Option.value ~default:0.0 (Sampler.column_mean s ~name ~labels))
+        in
+        ( per_leader "massbft_nic_busy_fraction"
+            [ ("link", "wan_up"); ("class", "bulk") ],
+          per_leader "massbft_cpu_utilization" [],
+          Option.map
+            (fun (v : Saturation.verdict) -> v.Saturation.resource)
+            (Saturation.binding s) )
+  in
   {
     system = cfg.Config.system;
     workload = cfg.Config.workload;
@@ -63,6 +99,9 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?on_engine ~spec ~cfg () =
         ("ordering", 1000.0 *. Stats.Summary.mean m.Metrics.phase_order_s);
         ("execution", 1000.0 *. Stats.Summary.mean m.Metrics.phase_exec_s);
       ];
+    leader_wan_busy;
+    leader_cpu_util;
+    binding_resource;
   }
 
 (* A light-load run for latency reporting: small batches and a shallow
@@ -70,10 +109,10 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?on_engine ~spec ~cfg () =
    the paper reports its latencies (e.g. GeoBFT's 68 ms is essentially
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
-let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?on_engine ~spec
-    ~cfg () =
+let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?on_engine
+    ~spec ~cfg () =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
-  run ~duration ~warmup ?trace ?on_engine ~spec ~cfg:probe_cfg ()
+  run ~duration ~warmup ?trace ?obs ?on_engine ~spec ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -17,12 +17,22 @@ type result = {
   latency_series : (float * float) list;  (** (second, mean latency s) *)
   phases_ms : (string * float) list;  (** Figure 11 breakdown *)
   per_group_ktps : float list;  (** throughput split by proposing group *)
+  leader_wan_busy : float list;
+      (** per-group leader WAN-uplink bulk busy fraction, averaged over
+          the measurement window; [[]] when no sampler was passed *)
+  leader_cpu_util : float list;
+      (** per-group leader CPU utilization, same window; [[]] without a
+          sampler *)
+  binding_resource : string option;
+      (** {!Massbft_obs.Saturation.binding}'s verdict (e.g.
+          ["g0/n0 wan_up"]); [None] without a sampler *)
 }
 
 val run :
   ?duration:float ->
   ?warmup:float ->
   ?trace:Massbft_trace.Trace.t ->
+  ?obs:Massbft_obs.Sampler.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
@@ -30,14 +40,24 @@ val run :
   result
 (** Defaults: 4 s warm-up, 12 s measurement. [trace] is attached via
     {!Massbft.Engine.set_trace} before [Engine.start], so the sink
-    observes the whole run including warm-up. [on_engine] runs after
-    [Engine.start] and before the clock moves — the hook for experiment-
-    specific setup (bandwidth degradation, recovery schedules...). *)
+    observes the whole run including warm-up. [obs] must be a fresh,
+    unattached sampler: the runner registers the fabric probes
+    ({!Massbft_obs.Sampler.watch_topology}) and the engine's stage
+    instruments ({!Massbft.Engine.set_obs}), attaches it, and resets
+    its rows at the warm-up cutoff so saturation analysis covers only
+    the measurement window; the utilization result fields are filled
+    from it. Without [obs] nothing is scheduled and results are
+    bit-identical to a build without observability. Tracing and
+    metrics are independent — pass either, both, or neither.
+    [on_engine] runs after [Engine.start] and before the clock moves —
+    the hook for experiment-specific setup (bandwidth degradation,
+    recovery schedules...). *)
 
 val run_latency_probe :
   ?duration:float ->
   ?warmup:float ->
   ?trace:Massbft_trace.Trace.t ->
+  ?obs:Massbft_obs.Sampler.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->

@@ -1,0 +1,153 @@
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* Prometheus label-value escaping: backslash, double-quote, newline. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP text escaping: backslash and newline only (quotes are legal). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      let pairs =
+        List.map
+          (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+          labels
+      in
+      "{" ^ String.concat "," pairs ^ "}"
+
+(* le-labelled block for histogram bucket lines. *)
+let bucket_label_block labels le =
+  let pairs =
+    List.map
+      (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+      labels
+    @ [ Printf.sprintf "le=\"%s\"" le ]
+  in
+  "{" ^ String.concat "," pairs ^ "}"
+
+let prometheus registry =
+  let buf = Buffer.create 4096 in
+  let last_header = ref "" in
+  List.iter
+    (fun (s : Registry.sample) ->
+      if s.name <> !last_header then begin
+        last_header := s.name;
+        if s.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" s.name (escape_help s.help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" s.name
+             (Registry.kind_to_string s.kind))
+      end;
+      match s.point with
+      | Registry.P_counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" s.name (label_block s.labels) c)
+      | Registry.P_gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" s.name (label_block s.labels)
+               (fmt_float g))
+      | Registry.P_histogram { cumulative; sum; count } ->
+          List.iter
+            (fun (bound, c) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" s.name
+                   (bucket_label_block s.labels (fmt_float bound))
+                   c))
+            cumulative;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" s.name
+               (bucket_label_block s.labels "+Inf")
+               count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" s.name (label_block s.labels)
+               (fmt_float sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" s.name (label_block s.labels)
+               count))
+    (Registry.collect registry);
+  Buffer.contents buf
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_json_labels buf labels =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_json_string buf v)
+    labels;
+  Buffer.add_char buf '}'
+
+let json registry =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i (s : Registry.sample) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  {\"name\":";
+      add_json_string buf s.name;
+      Buffer.add_string buf ",\"kind\":";
+      add_json_string buf (Registry.kind_to_string s.kind);
+      Buffer.add_string buf ",\"labels\":";
+      add_json_labels buf s.labels;
+      (match s.point with
+      | Registry.P_counter c ->
+          Buffer.add_string buf (Printf.sprintf ",\"value\":%d" c)
+      | Registry.P_gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"value\":%s" (fmt_float g))
+      | Registry.P_histogram { cumulative; sum; count } ->
+          Buffer.add_string buf ",\"buckets\":[";
+          List.iteri
+            (fun j (bound, c) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "{\"le\":%s,\"count\":%d}" (fmt_float bound) c))
+            cumulative;
+          Buffer.add_string buf
+            (Printf.sprintf "],\"sum\":%s,\"count\":%d" (fmt_float sum) count));
+      Buffer.add_string buf "}")
+    (Registry.collect registry);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,172 @@
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  h_bounds : float array;  (* ascending upper bounds, exclusive of +inf *)
+  h_counts : int array;  (* length = bounds + 1 (overflow) *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type value =
+  | V_counter of counter
+  | V_counter_fn of (unit -> int)
+  | V_gauge of gauge
+  | V_gauge_fn of (unit -> float)
+  | V_histogram of histogram
+
+type series = { s_labels : labels; s_value : value }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  mutable f_series : series list;  (* newest first; collect re-sorts *)
+}
+
+type t = { mutable families : family list (* newest first *) }
+
+let create () = { families = [] }
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let canonical_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+
+let family t ~name ~help kind =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
+  match List.find_opt (fun f -> f.f_name = name) t.families with
+  | Some f ->
+      if f.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Registry: %s already registered as a %s" name
+             (kind_to_string f.f_kind));
+      f
+  | None ->
+      let f = { f_name = name; f_help = help; f_kind = kind; f_series = [] } in
+      t.families <- f :: t.families;
+      f
+
+let add_series f ~labels value =
+  let labels = canonical_labels labels in
+  if List.exists (fun s -> s.s_labels = labels) f.f_series then
+    invalid_arg
+      (Printf.sprintf "Registry: duplicate series for %s" f.f_name);
+  f.f_series <- { s_labels = labels; s_value = value } :: f.f_series
+
+let counter t ~name ?(help = "") labels =
+  let f = family t ~name ~help Counter in
+  let c = { c = 0 } in
+  add_series f ~labels (V_counter c);
+  c
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Registry.inc: negative increment";
+  c.c <- c.c + by
+
+let counter_value c = c.c
+
+let counter_fn t ~name ?(help = "") labels fn =
+  let f = family t ~name ~help Counter in
+  add_series f ~labels (V_counter_fn fn)
+
+let gauge t ~name ?(help = "") labels =
+  let f = family t ~name ~help Gauge in
+  let g = { g = 0.0 } in
+  add_series f ~labels (V_gauge g);
+  g
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let gauge_fn t ~name ?(help = "") labels fn =
+  let f = family t ~name ~help Gauge in
+  add_series f ~labels (V_gauge_fn fn)
+
+let histogram t ~name ?(help = "") ~buckets labels =
+  if Array.length buckets = 0 then
+    invalid_arg "Registry.histogram: need at least one bucket bound";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Registry.histogram: bucket bounds must be increasing")
+    buckets;
+  let f = family t ~name ~help Histogram in
+  let h =
+    {
+      h_bounds = Array.copy buckets;
+      h_counts = Array.make (Array.length buckets + 1) 0;
+      h_sum = 0.0;
+      h_count = 0;
+    }
+  in
+  add_series f ~labels (V_histogram h);
+  h
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* ---- snapshots for the exporters ---- *)
+
+type point =
+  | P_counter of int
+  | P_gauge of float
+  | P_histogram of { cumulative : (float * int) list; sum : float; count : int }
+
+type sample = { name : string; help : string; kind : kind; labels : labels; point : point }
+
+let sample_of_series f s =
+  let point =
+    match s.s_value with
+    | V_counter c -> P_counter c.c
+    | V_counter_fn fn -> P_counter (fn ())
+    | V_gauge g -> P_gauge g.g
+    | V_gauge_fn fn -> P_gauge (fn ())
+    | V_histogram h ->
+        let acc = ref 0 in
+        let cumulative =
+          List.init
+            (Array.length h.h_bounds)
+            (fun i ->
+              acc := !acc + h.h_counts.(i);
+              (h.h_bounds.(i), !acc))
+        in
+        P_histogram { cumulative; sum = h.h_sum; count = h.h_count }
+  in
+  { name = f.f_name; help = f.f_help; kind = f.f_kind; labels = s.s_labels; point }
+
+let compare_labels a b = compare a b
+
+let collect t =
+  let families =
+    List.sort (fun a b -> compare a.f_name b.f_name) t.families
+  in
+  List.concat_map
+    (fun f ->
+      f.f_series
+      |> List.sort (fun a b -> compare_labels a.s_labels b.s_labels)
+      |> List.map (sample_of_series f))
+    families

@@ -1,0 +1,86 @@
+(** A periodic in-sim resource sampler. Every [period] of virtual time
+    it evaluates a fixed set of read-only {e probes} — NIC busy
+    fractions and backlogs, CPU utilization and queue depth, stage
+    in-flight gauges — records one row per tick, and mirrors each value
+    into a {!Registry.t} gauge so the exporters always show the last
+    sample.
+
+    Probes must never mutate simulation state: with a sampler attached,
+    protocol results are identical to a run without one (asserted in
+    the test suite). When no sampler is attached nothing is scheduled
+    at all — observability off is genuinely zero-cost.
+
+    An attached sampler reschedules itself forever, so drive the
+    simulation with [Sim.run ~until] (as the harness does);
+    [Sim.run_until_idle] would never return. *)
+
+type t
+
+val create : ?period:float -> Registry.t -> t
+(** [period] is the virtual-time tick, default [0.1] s; must be
+    positive. *)
+
+val registry : t -> Registry.t
+val period : t -> float
+
+val add_probe :
+  t ->
+  name:string ->
+  ?help:string ->
+  labels:Registry.labels ->
+  ?resource:string ->
+  (now:float -> dt:float -> float) ->
+  unit
+(** Registers a probe and its backing registry gauge. The closure
+    receives the tick's virtual time and the window length [dt] since
+    the previous tick; windowed probes (busy fractions) keep their own
+    previous-cumulative reference and return [delta /. dt] capped at 1.
+    [resource] marks the column as a saturation signal in [0, 1] for
+    {!Saturation} attribution (e.g. ["g0/n0 wan_up"]); leave it unset
+    for gauges that are not busy fractions. Probes cannot be added
+    after {!attach} (columns are frozen). *)
+
+val watch_topology : t -> Massbft_sim.Topology.t -> unit
+(** Registers the standard fabric probes for every node: per-link,
+    per-service-class [massbft_nic_busy_fraction] (resource-tagged;
+    control-class resources get a [".ctrl"] suffix) and
+    [massbft_nic_backlog_seconds], plus [massbft_cpu_utilization]
+    (resource-tagged) and [massbft_cpu_queue_depth]. *)
+
+val attach : t -> Massbft_sim.Sim.t -> unit
+(** Freezes the column set and schedules the recurring tick. May be
+    called once; ticks with an empty window (e.g. a tick racing the
+    run's end) record no row. *)
+
+val attached : t -> bool
+
+val reset : t -> unit
+(** Drops the rows recorded so far (windowed probes keep their
+    cumulative references, so the next row is still a clean window).
+    The harness calls this at the end of warm-up so saturation shares
+    cover only the measurement window. *)
+
+val columns : t -> (string * Registry.labels) list
+(** Column identities, in registration order. *)
+
+val resource_columns : t -> (int * string) list
+(** Indices (into row arrays) and resource names of the
+    saturation-signal columns. *)
+
+val rows : t -> (float * float array) list
+(** Recorded ticks in chronological order; each array aligns with
+    {!columns}. *)
+
+val tick_count : t -> int
+
+val column_index : t -> name:string -> labels:Registry.labels -> int option
+(** Index of one column by identity (label order irrelevant). *)
+
+val column_mean : t -> name:string -> labels:Registry.labels -> float option
+(** Mean of one column over the recorded rows ([Some 0.] when no rows
+    yet, [None] when the column doesn't exist). *)
+
+val csv : t -> string
+(** One header line ([time] then [name{k=v;...}] per column — label
+    blocks use [';'] so cells contain no commas) and one line per
+    recorded tick. *)

@@ -1,0 +1,31 @@
+(** Bottleneck attribution: post-processes a {!Sampler}'s recorded rows
+    to name the binding resource of a run — machine-checkable
+    validation of the paper's saturation claims (leader WAN uplink for
+    the Baseline, Figures 1b/13a; signature-verification CPU for large
+    MassBFT groups, Figure 13a). *)
+
+type verdict = {
+  resource : string;  (** e.g. ["g0/n0 wan_up"] or ["g1/n3 cpu"] *)
+  mean : float;  (** mean busy fraction over the recorded windows *)
+  peak : float;  (** highest single-window busy fraction *)
+  saturated_share : float;
+      (** fraction of windows with busy fraction [>= threshold] *)
+  windows : int;  (** number of recorded windows *)
+}
+
+val default_threshold : float
+(** [0.95]. *)
+
+val analyze : ?threshold:float -> Sampler.t -> verdict list
+(** One verdict per resource-tagged column, sorted most-binding first:
+    by saturated share, then mean, then name — deterministic. Empty
+    when no rows were recorded. *)
+
+val binding : ?threshold:float -> Sampler.t -> verdict option
+(** The head of {!analyze}: the resource that saturated for the largest
+    share of the run. *)
+
+val report : ?threshold:float -> ?top:int -> Sampler.t -> string
+(** Human-readable summary: the binding resource in the
+    ["g0/n0 wan_up >=95% busy for 87% of the measurement window"]
+    style, then a table of the [top] (default 10) resources. *)

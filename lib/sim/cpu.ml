@@ -4,6 +4,7 @@ type t = {
   sim : Sim.t;
   cores : float array; (* per-core next-free time *)
   mutable busy : float;
+  mutable in_flight : int; (* submitted, completion not yet fired *)
   mutable trace : Trace.t;
   mutable tr_gid : int;
   mutable tr_node : int;
@@ -15,6 +16,7 @@ let create sim ~cores =
     sim;
     cores = Array.make cores 0.0;
     busy = 0.0;
+    in_flight = 0;
     trace = Trace.null;
     tr_gid = -1;
     tr_node = -1;
@@ -40,6 +42,7 @@ let submit t ~seconds k =
   let finish = start +. seconds in
   t.cores.(core) <- finish;
   t.busy <- t.busy +. seconds;
+  t.in_flight <- t.in_flight + 1;
   if Trace.enabled t.trace then begin
     if start > now then
       Trace.span t.trace ~cat:"cpu" ~gid:t.tr_gid ~node:t.tr_node
@@ -50,7 +53,12 @@ let submit t ~seconds k =
         ~args:[ ("core", Trace.Int core) ]
         ~b:start ~e:finish "run"
   end;
-  ignore (Sim.at t.sim finish k)
+  ignore
+    (Sim.at t.sim finish (fun () ->
+         t.in_flight <- t.in_flight - 1;
+         k ()))
+
+let queue_depth t = t.in_flight
 
 let utilization t ~since =
   let elapsed = Sim.now t.sim -. since in

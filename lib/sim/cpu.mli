@@ -22,7 +22,15 @@ val set_trace : t -> Massbft_trace.Trace.t -> gid:int -> node:int -> unit
 
 val utilization : t -> since:float -> float
 (** Fraction of core-time busy since virtual time [since] (diagnostic;
-    in [0, 1] once the window is non-empty). *)
+    in [0, 1] once the window is non-empty). Work is accounted at
+    {!submit} time, so a window that admits a long task reports the
+    whole task's cost even if it finishes later; 0 when the window is
+    empty or inverted. *)
 
 val busy_seconds : t -> float
 (** Total core-seconds of work accepted so far. *)
+
+val queue_depth : t -> int
+(** Number of submitted tasks whose completion has not yet fired —
+    running plus queued. The observability sampler polls this as the
+    per-node CPU queue-depth gauge. *)

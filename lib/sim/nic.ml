@@ -1,11 +1,16 @@
 module Trace = Massbft_trace.Trace
 
+type cls = Bulk | Ctrl
+
 type t = {
   sim : Sim.t;
   mutable bandwidth_bps : float;
   mutable busy_until : float;  (* bulk-class queue *)
   mutable ctrl_busy_until : float;  (* control-class queue *)
-  mutable bytes_sent : int;
+  mutable bulk_bytes_sent : int;
+  mutable ctrl_bytes_sent : int;
+  mutable bulk_busy_s : float;  (* cumulative serialization time accepted *)
+  mutable ctrl_busy_s : float;
   mutable trace : Trace.t;
   mutable tr_gid : int;
   mutable tr_node : int;
@@ -20,7 +25,10 @@ let create sim ~bandwidth_bps =
     bandwidth_bps;
     busy_until = 0.0;
     ctrl_busy_until = 0.0;
-    bytes_sent = 0;
+    bulk_bytes_sent = 0;
+    ctrl_bytes_sent = 0;
+    bulk_busy_s = 0.0;
+    ctrl_busy_s = 0.0;
     trace = Trace.null;
     tr_gid = -1;
     tr_node = -1;
@@ -46,8 +54,16 @@ let transmit ?(bulk = false) t ~bytes k =
   let start = Float.max now queue_head in
   let duration = float_of_int bytes *. 8.0 /. t.bandwidth_bps in
   let finish = start +. duration in
-  if bulk then t.busy_until <- finish else t.ctrl_busy_until <- finish;
-  t.bytes_sent <- t.bytes_sent + bytes;
+  if bulk then begin
+    t.busy_until <- finish;
+    t.bulk_bytes_sent <- t.bulk_bytes_sent + bytes;
+    t.bulk_busy_s <- t.bulk_busy_s +. duration
+  end
+  else begin
+    t.ctrl_busy_until <- finish;
+    t.ctrl_bytes_sent <- t.ctrl_bytes_sent + bytes;
+    t.ctrl_busy_s <- t.ctrl_busy_s +. duration
+  end;
   if Trace.enabled t.trace then begin
     let link = if bulk then t.tr_link ^ ".bulk" else t.tr_link in
     if start > now then
@@ -61,4 +77,21 @@ let transmit ?(bulk = false) t ~bytes k =
   ignore (Sim.at t.sim finish k)
 
 let busy_until t = t.busy_until
-let bytes_sent t = t.bytes_sent
+let ctrl_busy_until t = t.ctrl_busy_until
+let bytes_sent t = t.bulk_bytes_sent + t.ctrl_bytes_sent
+let class_bytes_sent t = function
+  | Bulk -> t.bulk_bytes_sent
+  | Ctrl -> t.ctrl_bytes_sent
+
+let class_busy_seconds t = function
+  | Bulk -> t.bulk_busy_s
+  | Ctrl -> t.ctrl_busy_s
+
+let backlog_s t =
+  let now = Sim.now t.sim in
+  Float.max 0.0
+    (Float.max (t.busy_until -. now) (t.ctrl_busy_until -. now))
+
+let class_backlog_s t cls =
+  let head = match cls with Bulk -> t.busy_until | Ctrl -> t.ctrl_busy_until in
+  Float.max 0.0 (head -. Sim.now t.sim)

@@ -6,6 +6,11 @@
 
 type t
 
+type cls = Bulk | Ctrl
+(** The two service classes (separate TCP streams in a real
+    deployment): [Bulk] carries entry chunks and copies, [Ctrl] carries
+    votes, acks and consensus metadata. *)
+
 val create : Sim.t -> bandwidth_bps:float -> t
 (** [create sim ~bandwidth_bps] is an idle NIC. Bandwidth must be
     positive. *)
@@ -37,9 +42,30 @@ val set_trace : t -> Massbft_trace.Trace.t -> gid:int -> node:int -> link:string
     the bulk class) and frame size. Defaults to the disabled sink. *)
 
 val busy_until : t -> float
-(** The virtual time at which the queue drains; [now] or earlier when
-    idle. *)
+(** The virtual time at which the bulk-class queue drains; [now] or
+    earlier when idle. *)
+
+val ctrl_busy_until : t -> float
+(** Same for the control-class queue. *)
 
 val bytes_sent : t -> int
-(** Cumulative bytes accepted by this NIC, for traffic accounting
-    (Figure 10). *)
+(** Cumulative bytes accepted by this NIC across both service classes,
+    for traffic accounting (Figure 10). *)
+
+val class_bytes_sent : t -> cls -> int
+(** Per-class slice of {!bytes_sent}. *)
+
+val class_busy_seconds : t -> cls -> float
+(** Cumulative serialization time accepted by a class's queue. Work is
+    accounted at enqueue time (like {!Cpu.busy_seconds}), so a delta of
+    this value over a sampling window is the window's *offered* load —
+    the observability sampler divides it by the window length and caps
+    at 1.0 to get a busy fraction. *)
+
+val backlog_s : t -> float
+(** Seconds until this NIC is fully drained — the *maximum* over both
+    class queues (each class serializes independently at the full
+    rate); 0 when idle. *)
+
+val class_backlog_s : t -> cls -> float
+(** Seconds of queued transmission in one class. *)

@@ -156,8 +156,25 @@ let wan_bytes_sent t = sum_over t (fun n -> Nic.bytes_sent n.wan_up) - t.wan_bas
 let wan_bytes_sent_of t a = Nic.bytes_sent (state t a).wan_up
 let lan_bytes_sent t = sum_over t (fun n -> Nic.bytes_sent n.lan_up) - t.lan_baseline
 
-let wan_uplink_backlog_s t a =
-  Float.max 0.0 (Nic.busy_until (state t a).wan_up -. Sim.now t.sim)
+let wan_uplink_backlog_s t a = Nic.backlog_s (state t a).wan_up
+
+type link = Wan_up | Wan_down | Lan_up | Lan_down
+
+let link_to_string = function
+  | Wan_up -> "wan_up"
+  | Wan_down -> "wan_down"
+  | Lan_up -> "lan_up"
+  | Lan_down -> "lan_down"
+
+let all_links = [ Wan_up; Wan_down; Lan_up; Lan_down ]
+
+let nic t a link =
+  let s = state t a in
+  match link with
+  | Wan_up -> s.wan_up
+  | Wan_down -> s.wan_down
+  | Lan_up -> s.lan_up
+  | Lan_down -> s.lan_down
 
 let reset_traffic_baseline t =
   t.wan_baseline <- sum_over t (fun n -> Nic.bytes_sent n.wan_up);

@@ -80,4 +80,25 @@ val reset_traffic_baseline : t -> unit
 
 val wan_uplink_backlog_s : t -> addr -> float
 (** Seconds of queued transmission on the node's WAN uplink (0 when
-    idle) — the congestion diagnostic. *)
+    idle) — the congestion diagnostic. Covers both service classes
+    (the maximum over the bulk and control queues, which serialize
+    independently — see {!Nic.backlog_s}). *)
+
+(** {1 Read-only interface access}
+
+    The observability sampler polls individual NICs for busy-fraction
+    and backlog; these accessors expose them without widening the
+    mutable surface. *)
+
+type link = Wan_up | Wan_down | Lan_up | Lan_down
+
+val link_to_string : link -> string
+(** ["wan_up"], ["wan_down"], ["lan_up"], ["lan_down"] — matches the
+    link labels used by tracing. *)
+
+val all_links : link list
+(** The four links in a fixed order (WAN before LAN, up before down). *)
+
+val nic : t -> addr -> link -> Nic.t
+(** The node's NIC for one link direction. Callers must treat it as
+    read-only: transmissions go through {!send}. *)

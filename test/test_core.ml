@@ -690,10 +690,34 @@ let test_rebuild_mixed_interleaving () =
     items;
   check_bool "rebuilt through the noise" true !rebuilt
 
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_commit_ratio_semantics () =
+  (* Pins the documented denominator: conflicted transactions count
+     against the ratio, application-level (logic) aborts do not — they
+     executed correctly to their specified outcome and are never
+     retried. *)
+  let open Massbft_util.Stats in
+  let m = Metrics.create () in
+  Alcotest.(check (float 1e-9)) "empty run" 1.0 (Metrics.commit_ratio m);
+  Counter.add m.Metrics.committed_txns 90;
+  Counter.add m.Metrics.conflicted_txns 10;
+  Alcotest.(check (float 1e-9)) "conflicts count" 0.9 (Metrics.commit_ratio m);
+  Counter.add m.Metrics.logic_aborted_txns 1000;
+  Alcotest.(check (float 1e-9))
+    "logic aborts excluded" 0.9 (Metrics.commit_ratio m)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "massbft_core"
     [
+      ( "metrics",
+        [
+          Alcotest.test_case "commit ratio semantics" `Quick
+            test_commit_ratio_semantics;
+        ] );
       ( "transfer_plan",
         [
           Alcotest.test_case "paper case study" `Quick test_plan_paper_case_study;

@@ -167,6 +167,33 @@ let test_nic_bulk_classes_independent () =
   check_float "bulk" 0.125 !bulk_done;
   check_float "control" 0.125 !ctrl_done
 
+let test_nic_class_counters () =
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:8e6 in
+  Nic.transmit ~bulk:true nic ~bytes:125_000 (fun () -> ());
+  Nic.transmit nic ~bytes:125 (fun () -> ());
+  Nic.transmit nic ~bytes:125 (fun () -> ());
+  Sim.run_until_idle sim ();
+  check_int "bulk bytes" 125_000 (Nic.class_bytes_sent nic Nic.Bulk);
+  check_int "ctrl bytes" 250 (Nic.class_bytes_sent nic Nic.Ctrl);
+  check_int "combined keeps old semantics" 125_250 (Nic.bytes_sent nic);
+  check_float "bulk busy-seconds" 0.125 (Nic.class_busy_seconds nic Nic.Bulk);
+  check_float "ctrl busy-seconds" 0.00025 (Nic.class_busy_seconds nic Nic.Ctrl)
+
+let test_nic_backlog_covers_both_classes () =
+  let sim = Sim.create () in
+  let nic = Nic.create sim ~bandwidth_bps:8e6 in
+  Nic.transmit ~bulk:true nic ~bytes:125_000 (fun () -> ());
+  Nic.transmit nic ~bytes:250_000 (fun () -> ());
+  check_float "bulk backlog" 0.125 (Nic.class_backlog_s nic Nic.Bulk);
+  check_float "ctrl backlog" 0.25 (Nic.class_backlog_s nic Nic.Ctrl);
+  (* The combined backlog is the max over the class queues: here the
+     control queue is the deeper one. *)
+  check_float "combined is the max" 0.25 (Nic.backlog_s nic);
+  check_float "ctrl_busy_until" 0.25 (Nic.ctrl_busy_until nic);
+  Sim.run_until_idle sim ();
+  check_float "drained" 0.0 (Nic.backlog_s nic)
+
 let test_nic_zero_bytes () =
   let sim = Sim.create () in
   let nic = Nic.create sim ~bandwidth_bps:1e6 in
@@ -213,6 +240,50 @@ let test_cpu_utilization () =
   Sim.run_until_idle sim ();
   (* 1 core-second over 4 cores for 1 second = 25%. *)
   check_float "utilization" 0.25 (Cpu.utilization cpu ~since:0.0)
+
+let test_cpu_utilization_empty_window () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  check_float "empty window" 0.0 (Cpu.utilization cpu ~since:0.0);
+  check_float "inverted window" 0.0 (Cpu.utilization cpu ~since:5.0)
+
+let test_cpu_utilization_mid_task_window () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  (* Work is accounted at submit time: a 2 s task shows in full from
+     the moment it is accepted, so a 1 s window caps at 1.0. *)
+  Cpu.submit cpu ~seconds:2.0 (fun () -> ());
+  ignore
+    (Sim.at sim 1.0 (fun () ->
+         check_float "mid-task, capped" 1.0 (Cpu.utilization cpu ~since:0.0)));
+  Sim.run_until_idle sim ();
+  check_float "exactly busy over its own span" 1.0
+    (Cpu.utilization cpu ~since:0.0)
+
+let test_cpu_utilization_multi_core_partial () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:4 in
+  Cpu.submit cpu ~seconds:1.0 (fun () -> ());
+  Cpu.submit cpu ~seconds:1.0 (fun () -> ());
+  ignore (Sim.at sim 2.0 (fun () -> ()));
+  Sim.run_until_idle sim ();
+  (* 2 core-seconds over 2 s x 4 cores = 25%. *)
+  check_float "partial busy" 0.25 (Cpu.utilization cpu ~since:0.0);
+  (* The busy total is cumulative since creation, so a late window sees
+     all of it over half the capacity. *)
+  check_float "late window" 0.5 (Cpu.utilization cpu ~since:1.0)
+
+let test_cpu_queue_depth () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  check_int "idle" 0 (Cpu.queue_depth cpu);
+  Cpu.submit cpu ~seconds:1.0 (fun () -> ());
+  Cpu.submit cpu ~seconds:1.0 (fun () -> ());
+  check_int "running + queued" 2 (Cpu.queue_depth cpu);
+  ignore
+    (Sim.at sim 1.5 (fun () -> check_int "one completed" 1 (Cpu.queue_depth cpu)));
+  Sim.run_until_idle sim ();
+  check_int "drained" 0 (Cpu.queue_depth cpu)
 
 (* ------------------------------------------------------------------ *)
 (* Topology                                                            *)
@@ -322,6 +393,18 @@ let test_crash_group () =
   Topology.recover_group topo 1;
   check_bool "recovered" true (Topology.alive topo { g = 1; n = 2 })
 
+let test_topology_backlog_includes_control () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let a = { Topology.g = 0; n = 0 } in
+  (* A control-class (non-bulk) message must register on the uplink
+     backlog diagnostic: 250 KB at 20 Mbps = 0.1 s of queue. *)
+  Topology.send topo ~src:a ~dst:{ Topology.g = 1; n = 0 } ~bytes:250_000
+    (fun () -> ());
+  check_float "control traffic counts" 0.1
+    (Topology.wan_uplink_backlog_s topo a);
+  Sim.run_until_idle sim ()
+
 let test_self_send () =
   let sim = Sim.create () in
   let topo = Topology.create sim (spec ()) in
@@ -383,6 +466,9 @@ let () =
           Alcotest.test_case "idle gap" `Quick test_nic_idle_gap;
           Alcotest.test_case "control bypasses bulk" `Quick test_nic_control_bypasses_bulk;
           Alcotest.test_case "classes independent" `Quick test_nic_bulk_classes_independent;
+          Alcotest.test_case "per-class counters" `Quick test_nic_class_counters;
+          Alcotest.test_case "backlog covers both classes" `Quick
+            test_nic_backlog_covers_both_classes;
           Alcotest.test_case "zero bytes" `Quick test_nic_zero_bytes;
         ] );
       ( "cpu",
@@ -390,6 +476,13 @@ let () =
           Alcotest.test_case "parallel cores" `Quick test_cpu_parallel_cores;
           Alcotest.test_case "single core FIFO" `Quick test_cpu_single_core_fifo;
           Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+          Alcotest.test_case "utilization empty window" `Quick
+            test_cpu_utilization_empty_window;
+          Alcotest.test_case "utilization mid-task window" `Quick
+            test_cpu_utilization_mid_task_window;
+          Alcotest.test_case "utilization multi-core partial" `Quick
+            test_cpu_utilization_multi_core_partial;
+          Alcotest.test_case "queue depth" `Quick test_cpu_queue_depth;
         ] );
       ( "topology",
         [
@@ -398,6 +491,8 @@ let () =
           Alcotest.test_case "LAN fast path" `Quick test_lan_fast_path;
           Alcotest.test_case "leader uplink bottleneck" `Quick test_leader_uplink_bottleneck;
           Alcotest.test_case "crash drops messages" `Quick test_crash_drops_messages;
+          Alcotest.test_case "backlog includes control class" `Quick
+            test_topology_backlog_includes_control;
           Alcotest.test_case "crash mid-flight" `Quick test_crash_mid_flight;
           Alcotest.test_case "crash group" `Quick test_crash_group;
           Alcotest.test_case "self send" `Quick test_self_send;

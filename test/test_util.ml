@@ -297,6 +297,30 @@ let test_summary_percentile_after_add () =
   Stats.Summary.add s 1.0;
   Alcotest.(check (float 1e-9)) "new min seen" 1.0 (Stats.Summary.percentile s 1.0)
 
+let test_summary_single_sample () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 7.0;
+  Alcotest.(check (float 1e-9)) "mean" 7.0 (Stats.Summary.mean s);
+  (* Every percentile of a one-sample population is that sample. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f" p)
+        7.0
+        (Stats.Summary.percentile s p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ]
+
+let test_summary_percentile_domain () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 1.0;
+  let raises p =
+    match Stats.Summary.percentile s p with
+    | _ -> Alcotest.failf "p=%.1f accepted" p
+    | exception Invalid_argument _ -> ()
+  in
+  raises (-0.1);
+  raises 100.1
+
 let test_summary_stddev () =
   let s = Stats.Summary.create () in
   List.iter (Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
@@ -346,6 +370,40 @@ let test_timeseries_zero_fill () =
   let empty = Stats.Timeseries.create ~bucket:1.0 in
   check_int "empty stays empty" 0
     (List.length (Stats.Timeseries.rate_series empty))
+
+let test_timeseries_empty () =
+  let ts = Stats.Timeseries.create ~bucket:1.0 in
+  Alcotest.(check int) "rate of empty" 0
+    (List.length (Stats.Timeseries.rate_series ts));
+  Alcotest.(check int) "mean of empty" 0
+    (List.length (Stats.Timeseries.mean_series ts))
+
+let test_timeseries_single_sample () =
+  let ts = Stats.Timeseries.create ~bucket:2.0 in
+  Stats.Timeseries.add ts ~time:3.0 4.0;
+  (match Stats.Timeseries.rate_series ts with
+  | [ (t0, r0) ] ->
+      Alcotest.(check (float 1e-9)) "bucket start" 2.0 t0;
+      Alcotest.(check (float 1e-9)) "rate = sum / bucket" 2.0 r0
+  | other -> Alcotest.failf "expected 1 bucket, got %d" (List.length other));
+  match Stats.Timeseries.mean_series ts with
+  | [ (_, m0) ] -> Alcotest.(check (float 1e-9)) "mean" 4.0 m0
+  | other -> Alcotest.failf "expected 1 bucket, got %d" (List.length other)
+
+let test_timeseries_out_of_order () =
+  (* Bucketing is by timestamp, not arrival order: adding a late sample
+     first must produce the same series. *)
+  let ts = Stats.Timeseries.create ~bucket:1.0 in
+  Stats.Timeseries.add ts ~time:2.5 1.0;
+  Stats.Timeseries.add ts ~time:0.5 3.0;
+  match Stats.Timeseries.rate_series ts with
+  | [ (t0, r0); (_, r1); (t2, r2) ] ->
+      Alcotest.(check (float 1e-9)) "first bucket" 0.0 t0;
+      Alcotest.(check (float 1e-9)) "first rate" 3.0 r0;
+      Alcotest.(check (float 1e-9)) "gap zero-filled" 0.0 r1;
+      Alcotest.(check (float 1e-9)) "last bucket" 2.0 t2;
+      Alcotest.(check (float 1e-9)) "last rate" 1.0 r2
+  | other -> Alcotest.failf "expected 3 buckets, got %d" (List.length other)
 
 let test_counter () =
   let c = Stats.Counter.create () in
@@ -423,10 +481,18 @@ let () =
           Alcotest.test_case "summary basics" `Quick test_summary_basic;
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
           Alcotest.test_case "percentile then add" `Quick test_summary_percentile_after_add;
+          Alcotest.test_case "single sample" `Quick test_summary_single_sample;
+          Alcotest.test_case "percentile domain" `Quick
+            test_summary_percentile_domain;
           Alcotest.test_case "stddev" `Quick test_summary_stddev;
           Alcotest.test_case "timeseries buckets" `Quick test_timeseries;
           Alcotest.test_case "timeseries zero fill" `Quick
             test_timeseries_zero_fill;
+          Alcotest.test_case "timeseries empty" `Quick test_timeseries_empty;
+          Alcotest.test_case "timeseries single sample" `Quick
+            test_timeseries_single_sample;
+          Alcotest.test_case "timeseries out-of-order add" `Quick
+            test_timeseries_out_of_order;
           Alcotest.test_case "counter" `Quick test_counter;
         ] );
       ( "hexdump",
