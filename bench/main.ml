@@ -1,15 +1,23 @@
 (* The benchmark suite:
 
-   1. Bechamel micro-benchmarks for every substrate hot path (SHA-256,
-      HMAC, Merkle trees, GF arithmetic, Reed-Solomon coding, transfer
-      plans, chunker/rebuild, VTS ordering, Aria execution, PBFT rounds,
-      and the simulator core).
-   2. The figure harness: one experiment per table/figure of the paper's
-      evaluation, printed as labeled series with the paper's reported
-      values attached where stated (see EXPERIMENTS.md).
+   1. Named bechamel micro-benchmarks for every substrate hot path
+      (SHA-256, HMAC, Merkle trees, GF arithmetic, Reed-Solomon coding
+      over both GF(256) and GF(65536), transfer plans, chunker/rebuild,
+      VTS ordering, Aria execution, PBFT rounds, and the simulator core
+      including a schedule/cancel/poll churn case).
+   2. Macro benchmarks: one full engine run per system on YCSB-A over
+      the nationwide cluster, reporting both the simulated-side results
+      and the wall-clock cost of producing them.
+   3. (--figures) The figure harness: one experiment per table/figure
+      of the paper's evaluation (see EXPERIMENTS.md).
 
-   Pass --quick (or set MASSBFT_BENCH_QUICK=1) for a fast smoke pass:
-   a reduced bechamel quota and the figures' quick mode. *)
+   Flags:
+     --quick        fast smoke pass (reduced bechamel quota, short
+                    macro windows at 1% scale); MASSBFT_BENCH_QUICK=1
+                    does the same
+     --json [FILE]  write the micro+macro baseline to FILE (default
+                    BENCH_<date>.json) in the Bench_report schema
+     --figures      also run the figure harness *)
 
 open Bechamel
 open Toolkit
@@ -18,6 +26,7 @@ module Sha256 = Massbft_crypto.Sha256
 module Hmac = Massbft_crypto.Hmac
 module Merkle = Massbft_crypto.Merkle
 module Gf256 = Massbft_codec.Gf256
+module Gf65536 = Massbft_codec.Gf65536
 module Erasure = Massbft_codec.Erasure
 module Transfer_plan = Massbft.Transfer_plan
 module Chunker = Massbft.Chunker
@@ -29,6 +38,8 @@ module Kvstore = Massbft_exec.Kvstore
 module W = Massbft_workload.Workload
 module Pbft = Massbft_consensus.Pbft
 module Sim = Massbft_sim.Sim
+module Config = Massbft.Config
+module Bench_report = Massbft_harness.Bench_report
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark subjects                                            *)
@@ -77,8 +88,18 @@ let bench_gf_mul_slice =
   Test.make ~name:"gf256/mul_slice-4KiB"
     (Staged.stage (fun () -> Gf256.mul_slice 0x57 gf_src gf_dst))
 
+let bench_gf_xor_slice =
+  (* Coefficient 1 takes the word-wide XOR fast path. *)
+  Test.make ~name:"gf256/xor_slice-4KiB"
+    (Staged.stage (fun () -> Gf256.mul_slice 1 gf_src gf_dst))
+
+let bench_gf16_mul_slice =
+  Test.make ~name:"gf65536/mul_slice-4KiB"
+    (Staged.stage (fun () -> Gf65536.mul_slice 0x1234 gf_src gf_dst))
+
+(* GF(256) coding: 28 total shards, the paper's 3x(7+...) regime. *)
 let bench_rs_encode =
-  Test.make ~name:"rs/encode-13+15-100KB"
+  Test.make ~name:"rs/gf8-encode-13+15-100KB"
     (Staged.stage (fun () -> Erasure.encode ~data:13 ~parity:15 entry_100k))
 
 let rs_chunks =
@@ -88,9 +109,27 @@ let rs_chunks =
 let rs_tail = List.filteri (fun i _ -> i >= 15) rs_chunks
 
 let bench_rs_decode =
-  Test.make ~name:"rs/decode-from-parity-100KB"
+  Test.make ~name:"rs/gf8-decode-from-parity-100KB"
     (Staged.stage (fun () ->
          match Erasure.decode ~data:13 ~parity:15 rs_tail with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+(* GF(65536) coding: > 255 total shards forces the 16-bit field. *)
+let bench_rs16_encode =
+  Test.make ~name:"rs/gf16-encode-180+120-100KB"
+    (Staged.stage (fun () -> Erasure.encode ~data:180 ~parity:120 entry_100k))
+
+let rs16_chunks =
+  Array.to_list
+    (Array.mapi (fun i c -> (i, c)) (Erasure.encode ~data:180 ~parity:120 entry_100k))
+
+let rs16_tail = List.filteri (fun i _ -> i >= 120) rs16_chunks
+
+let bench_rs16_decode =
+  Test.make ~name:"rs/gf16-decode-from-parity-100KB"
+    (Staged.stage (fun () ->
+         match Erasure.decode ~data:180 ~parity:120 rs16_tail with
          | Ok _ -> ()
          | Error e -> failwith e))
 
@@ -188,12 +227,42 @@ let bench_sim =
          Sim.run_until_idle sim ();
          assert (!count = 100_000)))
 
+let bench_sim_churn =
+  (* The timeout-churn pattern that motivated the lazy-deletion queue:
+     schedule a wave of timers, cancel 90% of them (polling the live
+     count after every cancel, as the obs sampler does each tick), and
+     drain the survivors. Before the O(1) counter + compaction this was
+     quadratic in the wave size. *)
+  Test.make ~name:"sim/churn-10k-cancel+poll"
+    (Staged.stage (fun () ->
+         let sim = Sim.create () in
+         let fired = ref 0 in
+         let timers =
+           Array.init 10_000 (fun i ->
+               Sim.at sim
+                 (1.0 +. (float_of_int i *. 1e-4))
+                 (fun () -> incr fired))
+         in
+         let acc = ref 0 in
+         Array.iteri
+           (fun i h ->
+             if i mod 10 <> 0 then begin
+               Sim.cancel h;
+               acc := !acc + Sim.pending sim
+             end)
+           timers;
+         Sim.run_until_idle sim ();
+         assert (!fired = 1_000 && Sim.pending sim = 0);
+         ignore !acc))
+
 let micro_tests =
   [
     bench_sha256; bench_hmac; bench_merkle_build; bench_merkle_verify;
-    bench_merkle_multiproof; bench_gf_mul_slice; bench_rs_encode; bench_rs_decode; bench_plan;
+    bench_merkle_multiproof; bench_gf_mul_slice; bench_gf_xor_slice;
+    bench_gf16_mul_slice; bench_rs_encode; bench_rs_decode;
+    bench_rs16_encode; bench_rs16_decode; bench_plan;
     bench_chunker; bench_rebuild; bench_orderer; bench_aria; bench_pbft;
-    bench_sim;
+    bench_sim; bench_sim_churn;
   ]
 
 let run_micro ~quick () =
@@ -208,14 +277,42 @@ let run_micro ~quick () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-  |> List.sort compare
-  |> List.iter (fun (name, result) ->
-         match Analyze.OLS.estimates result with
-         | Some [ est ] ->
-             Printf.printf "  %-36s %12.1f ns/run\n" name est
-         | _ -> Printf.printf "  %-36s (no estimate)\n" name);
-  print_newline ()
+  let estimates =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort compare
+    |> List.filter_map (fun (name, result) ->
+           match Analyze.OLS.estimates result with
+           | Some [ est ] ->
+               Printf.printf "  %-40s %12.1f ns/run\n" name est;
+               Some { Bench_report.m_name = name; ns_per_run = est }
+           | _ ->
+               Printf.printf "  %-40s (no estimate)\n" name;
+               None)
+  in
+  print_newline ();
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Macro benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_macros ~quick () =
+  Printf.printf "=== macro benchmarks (YCSB-A, nationwide, %s mode) ===\n"
+    (if quick then "quick" else "full");
+  let macros =
+    List.map
+      (fun system ->
+        let m = Bench_report.run_macro ~quick ~system () in
+        Printf.printf
+          "  %-9s %8.2f ktps  %6.2fs wall  %5.2f sim-s/wall-s  %8.0f txns/wall-s\n%!"
+          m.Bench_report.system m.Bench_report.throughput_ktps
+          m.Bench_report.wall_s m.Bench_report.sim_s_per_wall_s
+          m.Bench_report.committed_txns_per_wall_s;
+        m)
+      Config.all_systems
+  in
+  print_newline ();
+  macros
 
 (* ------------------------------------------------------------------ *)
 (* Figure harness                                                      *)
@@ -234,12 +331,46 @@ let run_figures ~quick =
     Massbft_harness.Figures.all
 
 let () =
+  let argv = Array.to_list Sys.argv in
   let quick =
-    Array.exists (String.equal "--quick") Sys.argv
+    List.mem "--quick" argv
     ||
     match Sys.getenv_opt "MASSBFT_BENCH_QUICK" with
     | Some ("1" | "true" | "yes") -> true
     | _ -> false
   in
-  run_micro ~quick ();
-  run_figures ~quick
+  let figures = List.mem "--figures" argv in
+  let json_file =
+    let rec find = function
+      | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
+          Some next
+      | "--json" :: _ ->
+          let tm = Unix.localtime (Unix.time ()) in
+          Some
+            (Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+               (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let micros = run_micro ~quick () in
+  let macros = run_macros ~quick () in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let tm = Unix.localtime (Unix.time ()) in
+      let date =
+        Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      in
+      let doc =
+        Bench_report.to_json ~date
+          ~mode:(if quick then "quick" else "full")
+          ~micros ~macros
+      in
+      let oc = open_out file in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "wrote %s\n" file);
+  if figures then run_figures ~quick

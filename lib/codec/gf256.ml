@@ -36,20 +36,46 @@ let exp i = exp_table.(i mod 255)
 let log a =
   if a = 0 then invalid_arg "Gf256.log: log of zero" else log_table.(a)
 
-(* Per-coefficient 256-entry product table, built lazily per call; for
-   slices beyond ~1 KiB this beats per-byte log/exp lookups. *)
+(* Per-coefficient 256-entry product rows (klauspost-style), memoized
+   so repeated use of a coefficient — every shard of an encode reuses
+   its matrix row's coefficients — costs one table build total instead
+   of one per slice. At most 64 KiB across all 255 non-zero rows. *)
+let mul_rows = Array.make 256 Bytes.empty
+
 let mul_table c =
-  let t = Bytes.create 256 in
-  for i = 0 to 255 do
-    Bytes.unsafe_set t i (Char.unsafe_chr (mul c i))
+  let row = Array.unsafe_get mul_rows c in
+  if Bytes.length row <> 0 then row
+  else begin
+    let t = Bytes.create 256 in
+    for i = 0 to 255 do
+      Bytes.unsafe_set t i (Char.unsafe_chr (mul c i))
+    done;
+    mul_rows.(c) <- t;
+    t
+  end
+
+(* dst <- dst lxor src, 64 bits at a time with a byte-wise tail. XOR is
+   endianness-agnostic, so native-endian loads are safe. *)
+let xor_into src dst n =
+  let words = n lsr 3 in
+  for w = 0 to words - 1 do
+    let o = w lsl 3 in
+    Bytes.set_int64_ne dst o
+      (Int64.logxor (Bytes.get_int64_ne dst o) (Bytes.get_int64_ne src o))
   done;
-  t
+  for i = words lsl 3 to n - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get src i)
+         lxor Char.code (Bytes.unsafe_get dst i)))
+  done
 
 let mul_slice c src dst =
   let n = Bytes.length src in
   if Bytes.length dst <> n then
     invalid_arg "Gf256.mul_slice: length mismatch";
-  if c <> 0 then begin
+  if c = 1 then xor_into src dst n
+  else if c <> 0 then begin
     let t = mul_table c in
     for i = 0 to n - 1 do
       let p = Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)) in
@@ -63,6 +89,7 @@ let mul_slice_set c src dst =
   if Bytes.length dst <> n then
     invalid_arg "Gf256.mul_slice_set: length mismatch";
   if c = 0 then Bytes.fill dst 0 n '\x00'
+  else if c = 1 then Bytes.blit src 0 dst 0 n
   else begin
     let t = mul_table c in
     for i = 0 to n - 1 do

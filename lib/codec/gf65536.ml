@@ -47,9 +47,27 @@ let set16 b i v =
   Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff));
   Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
 
+(* dst <- dst lxor src, 64 bits at a time (see Gf256.xor_into): in
+   GF(2^16), multiplying by 1 is the identity, so the accumulate
+   collapses to a plain XOR regardless of symbol width. *)
+let xor_into src dst n =
+  let words = n lsr 3 in
+  for w = 0 to words - 1 do
+    let o = w lsl 3 in
+    Bytes.set_int64_ne dst o
+      (Int64.logxor (Bytes.get_int64_ne dst o) (Bytes.get_int64_ne src o))
+  done;
+  for i = words lsl 3 to n - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get src i)
+         lxor Char.code (Bytes.unsafe_get dst i)))
+  done
+
 let mul_slice c src dst =
   let n = check_pair src dst "Gf65536.mul_slice" in
-  if c <> 0 then begin
+  if c = 1 then xor_into src dst n
+  else if c <> 0 then begin
     let logc = log_table.(c) in
     let i = ref 0 in
     while !i < n do
@@ -65,6 +83,7 @@ let mul_slice c src dst =
 let mul_slice_set c src dst =
   let n = check_pair src dst "Gf65536.mul_slice_set" in
   if c = 0 then Bytes.fill dst 0 n '\x00'
+  else if c = 1 then Bytes.blit src 0 dst 0 n
   else begin
     let logc = log_table.(c) in
     let i = ref 0 in

@@ -44,6 +44,7 @@ type 'p t = {
   acks : (int, ISet.t) Hashtbl.t;  (* leader: per-index accept voters *)
   mutable acked_to_leader : ISet.t;  (* follower: indices already acked *)
   mutable commit_note_max : int;  (* leader-advertised commit watermark *)
+  mutable leader_hint : int option;  (* sender of cur_term leader traffic *)
   mutable trace : Trace.t;
   mutable tr_inst : int;  (* which global instance this replica is part of *)
 }
@@ -73,6 +74,7 @@ let create ?initial_leader ~ng ~me cb =
     acks = Hashtbl.create 64;
     acked_to_leader = ISet.empty;
     commit_note_max = 0;
+    leader_hint = initial_leader;
     trace = Trace.null;
     tr_inst = -1;
   }
@@ -122,6 +124,7 @@ let step_down t new_term =
   t.cur_term <- new_term;
   t.voted_for <- None;
   t.votes <- ISet.empty;
+  t.leader_hint <- None;
   set_role t Follower
 
 (* Advance the commit index through contiguous committed entries,
@@ -191,6 +194,7 @@ let propose t entry =
 
 let become_leader t =
   set_role t Leader;
+  t.leader_hint <- Some t.me;
   t.acked_to_leader <- ISet.empty;
   (* Learn where every follower's log ends, then ship it the missing
      suffix (Probe_reply handler below). *)
@@ -212,6 +216,7 @@ let heartbeat t =
 
 let start_election t =
   t.cur_term <- t.cur_term + 1;
+  t.leader_hint <- None;
   Trace.instant t.trace ~cat:"raft" ~gid:t.me
     ~args:[ ("inst", Trace.Int t.tr_inst); ("term", Trace.Int t.cur_term) ]
     "election";
@@ -230,6 +235,7 @@ let handle t ~from msg =
         if term > t.cur_term then step_down t term;
         if term = t.cur_term then begin
           if t.cur_role = Candidate then set_role t Follower;
+          t.leader_hint <- Some from;
           (* Conflict rule: a stale uncommitted suffix left by a dead
              leader is overwritten by a newer-term append at the same
              index (committed entries can never conflict thanks to the
@@ -267,6 +273,8 @@ let handle t ~from msg =
         end
     | Commit_note { term; index } ->
         if term > t.cur_term then step_down t term;
+        if term = t.cur_term && t.cur_role <> Leader then
+          t.leader_hint <- Some from;
         if term = t.cur_term && index > t.commit_note_max then begin
           t.commit_note_max <- index;
           follower_recheck_commit t
@@ -288,6 +296,7 @@ let handle t ~from msg =
         if term > t.cur_term then step_down t term;
         if term = t.cur_term then begin
           if t.cur_role = Candidate then set_role t Follower;
+          if t.cur_role <> Leader then t.leader_hint <- Some from;
           t.cb.send from
             (Probe_reply
                { term = t.cur_term; last_index = t.last_idx; commit_index = t.commit_idx })
@@ -322,9 +331,22 @@ let handle t ~from msg =
           end
         end
     | Timeout_now { term } ->
-        if term >= t.cur_term && t.cur_role <> Leader then start_election t
+        (* Leadership-transfer prompt. Only honor it when it comes from
+           the node currently believed to be this term's leader: a
+           single Byzantine sender must not be able to trigger spurious
+           elections (and with them term inflation and vote churn) by
+           spraying Timeout_now at followers. A higher-term Timeout_now
+           from an unknown sender still advances our term but does not
+           start a campaign. *)
+        if term > t.cur_term then step_down t term
+        else if
+          term = t.cur_term && t.cur_role <> Leader
+          && t.leader_hint = Some from
+        then start_election t
     | Replace { term; index; entry } ->
         if term > t.cur_term then step_down t term;
+        if term = t.cur_term && t.cur_role <> Leader then
+          t.leader_hint <- Some from;
         if term = t.cur_term then
           if index > t.last_idx then begin
             (* Not received yet: treat as a normal append. *)

@@ -42,7 +42,14 @@ let throughput_tps t ~duration =
   else float_of_int (Stats.Counter.get t.committed_txns) /. duration
 
 let mean_latency_ms t = 1000.0 *. Stats.Summary.mean t.latency_s
-let p99_latency_ms t = 1000.0 *. Stats.Summary.percentile t.latency_s 99.0
+
+(* A run that commits nothing has no latency distribution; report 0 at
+   this level (the result tables print the commit count alongside, so
+   the zero cannot masquerade as a real measurement). *)
+let p99_latency_ms t =
+  match Stats.Summary.percentile_opt t.latency_s 99.0 with
+  | Some p99 -> 1000.0 *. p99
+  | None -> 0.0
 
 let group_committed t gid =
   match Hashtbl.find_opt t.committed_per_group gid with

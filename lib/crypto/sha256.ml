@@ -27,18 +27,25 @@ type ctx = {
   w : int array; (* message schedule scratch *)
 }
 
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+    0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
+  |]
+
 let init () =
   {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
-        0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
-      |];
+    h = Array.copy iv;
     buf = Bytes.create block_size;
     buf_len = 0;
     total = 0;
     w = Array.make 64 0;
   }
+
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
 
 let mask = 0xffffffff
 let ( &. ) a b = a land b
@@ -132,22 +139,26 @@ let update ctx s =
 
 let finalize ctx =
   let bit_len = ctx.total * 8 in
-  (* Append 0x80, zero padding, and the 64-bit big-endian length. *)
-  let pad_len =
-    let rem = (ctx.total + 1 + 8) mod block_size in
-    if rem = 0 then 1 else 1 + (block_size - rem)
-  in
-  let tail = Bytes.make (pad_len + 8) '\x00' in
-  Bytes.set tail 0 '\x80';
+  (* Pad in the context's own block buffer — 0x80, zeros, then the
+     64-bit big-endian bit length — so finalization allocates nothing
+     beyond the returned digest. [buf_len] is always < 64 here. *)
+  let buf = ctx.buf in
+  let n = ctx.buf_len in
+  Bytes.set buf n '\x80';
+  if n + 1 + 8 > block_size then begin
+    (* No room for the length: close this block and pad a fresh one. *)
+    Bytes.fill buf (n + 1) (block_size - n - 1) '\x00';
+    compress ctx buf 0;
+    Bytes.fill buf 0 (block_size - 8) '\x00'
+  end
+  else Bytes.fill buf (n + 1) (block_size - 8 - (n + 1)) '\x00';
   for i = 0 to 7 do
-    Bytes.set tail
-      (pad_len + i)
+    Bytes.set buf
+      (block_size - 8 + i)
       (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
   done;
-  (* Bypass [total] bookkeeping for the padding itself. *)
-  let saved = ctx.total in
-  update_bytes ctx tail ~pos:0 ~len:(Bytes.length tail);
-  ctx.total <- saved;
+  compress ctx buf 0;
+  ctx.buf_len <- 0;
   let out = Bytes.create digest_size in
   for i = 0 to 7 do
     let v = ctx.h.(i) in
@@ -158,14 +169,21 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
+(* One-shot digests reuse a single scratch context: the replication
+   verify path hashes every chunk of every entry, and a fresh context
+   per call (8-word state + 64-byte block + 64-word schedule) was the
+   dominant allocation there. All simulation code is single-threaded
+   and [digest] never re-enters itself, so sharing is safe. *)
+let scratch = init ()
+
 let digest s =
-  let ctx = init () in
-  update ctx s;
-  finalize ctx
+  reset scratch;
+  update scratch s;
+  finalize scratch
 
 let digest_bytes b =
-  let ctx = init () in
-  update_bytes ctx b ~pos:0 ~len:(Bytes.length b);
-  finalize ctx
+  reset scratch;
+  update_bytes scratch b ~pos:0 ~len:(Bytes.length b);
+  finalize scratch
 
 let hex s = Massbft_util.Hexdump.encode (digest s)

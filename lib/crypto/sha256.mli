@@ -8,12 +8,18 @@ type ctx
 (** Incremental hashing context. *)
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Returns the context to its initial state, ready to hash a new
+    message. Callers on hot paths keep one context and [reset] it
+    between messages instead of allocating with {!init}. *)
+
 val update : ctx -> string -> unit
 val update_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
 
 val finalize : ctx -> string
-(** Returns the 32-byte digest. The context must not be reused after
-    finalization. *)
+(** Returns the 32-byte digest. After finalization the context holds no
+    pending input; call {!reset} before hashing the next message. *)
 
 val digest : string -> string
 (** One-shot hash of a string; 32 raw bytes. *)

@@ -1,0 +1,139 @@
+module Config = Massbft.Config
+module Engine = Massbft.Engine
+module Metrics = Massbft.Metrics
+module Stats = Massbft_util.Stats
+module W = Massbft_workload.Workload
+
+type micro = { m_name : string; ns_per_run : float }
+
+type macro = {
+  system : string;
+  workload : string;
+  wall_s : float;
+  sim_s : float;
+  sim_s_per_wall_s : float;
+  committed_txns : int;
+  committed_txns_per_wall_s : float;
+  throughput_ktps : float;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  commit_ratio : float;
+  wan_mb : float;
+}
+
+let schema_version = 1
+
+(* Quick mode mirrors the CI figure smoke (short windows, 1% workload
+   scale); full mode the figure harness proper. *)
+let windows ~quick = if quick then (1.0, 3.0) else (4.0, 12.0)
+
+let run_macro ?(quick = false) ~system () =
+  let warmup, duration = windows ~quick in
+  let cfg =
+    {
+      (Config.default ~system ~workload:W.Ycsb_a ()) with
+      Config.workload_scale = (if quick then 0.01 else 1.0);
+    }
+  in
+  let spec = Clusters.nationwide () in
+  let engine = ref None in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Runner.run ~warmup ~duration
+      ~on_engine:(fun e _ _ -> engine := Some e)
+      ~spec ~cfg ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let committed =
+    match !engine with
+    | None -> 0
+    | Some e -> Stats.Counter.get (Engine.metrics e).Metrics.committed_txns
+  in
+  let sim_s = warmup +. duration in
+  {
+    system = Config.system_name system;
+    workload = W.kind_name cfg.Config.workload;
+    wall_s;
+    sim_s;
+    sim_s_per_wall_s = (if wall_s > 0.0 then sim_s /. wall_s else 0.0);
+    committed_txns = committed;
+    committed_txns_per_wall_s =
+      (if wall_s > 0.0 then float_of_int committed /. wall_s else 0.0);
+    throughput_ktps = r.Runner.throughput_ktps;
+    mean_latency_ms = r.Runner.mean_latency_ms;
+    p99_latency_ms = r.Runner.p99_latency_ms;
+    commit_ratio = r.Runner.commit_ratio;
+    wan_mb = r.Runner.wan_mb;
+  }
+
+(* ---- JSON rendering ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let num ~ctx v =
+  if not (Float.is_finite v) then
+    invalid_arg
+      (Printf.sprintf "Bench_report.to_json: non-finite value for %s" ctx)
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.6g" v
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ",\n    " items ^ "]"
+
+let micro_json m =
+  obj
+    [
+      ("name", str m.m_name);
+      ("ns_per_run", num ~ctx:(m.m_name ^ ".ns_per_run") m.ns_per_run);
+    ]
+
+let macro_json m =
+  let n ctx v = num ~ctx:(m.system ^ "." ^ ctx) v in
+  obj
+    [
+      ("system", str m.system);
+      ("workload", str m.workload);
+      ("wall_s", n "wall_s" m.wall_s);
+      ("sim_s", n "sim_s" m.sim_s);
+      ("sim_s_per_wall_s", n "sim_s_per_wall_s" m.sim_s_per_wall_s);
+      ("committed_txns", string_of_int m.committed_txns);
+      ( "committed_txns_per_wall_s",
+        n "committed_txns_per_wall_s" m.committed_txns_per_wall_s );
+      ("throughput_ktps", n "throughput_ktps" m.throughput_ktps);
+      ("mean_latency_ms", n "mean_latency_ms" m.mean_latency_ms);
+      ("p99_latency_ms", n "p99_latency_ms" m.p99_latency_ms);
+      ("commit_ratio", n "commit_ratio" m.commit_ratio);
+      ("wan_mb", n "wan_mb" m.wan_mb);
+    ]
+
+let to_json ~date ~mode ~micros ~macros =
+  Printf.sprintf
+    "{\n\
+    \  \"schema_version\": %d,\n\
+    \  \"date\": %s,\n\
+    \  \"mode\": %s,\n\
+    \  \"micro\": %s,\n\
+    \  \"macro\": %s\n\
+     }\n"
+    schema_version (str date) (str mode)
+    (arr (List.map micro_json micros))
+    (arr (List.map macro_json macros))

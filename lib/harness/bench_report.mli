@@ -1,0 +1,48 @@
+(** Benchmark baseline reports ([BENCH_<date>.json]).
+
+    The bench executable records two kinds of entries:
+
+    - {e micro}: bechamel OLS estimates (nanoseconds per run) for the
+      named substrate hot paths;
+    - {e macro}: one full engine run per system on YCSB-A over the
+      nationwide cluster, pairing the simulated-side results (which are
+      deterministic for a fixed seed) with the wall-clock cost of
+      producing them.
+
+    The JSON is rendered here, by hand, so the schema lives in one
+    place and tests can validate it without a JSON parser dependency.
+    Rendering raises [Invalid_argument] on any non-finite float — a
+    NaN in a committed baseline would poison every later comparison. *)
+
+type micro = { m_name : string; ns_per_run : float }
+
+type macro = {
+  system : string;  (** e.g. ["MassBFT"] *)
+  workload : string;  (** e.g. ["YCSB-A"] *)
+  wall_s : float;  (** wall-clock seconds for the whole run *)
+  sim_s : float;  (** simulated seconds driven (warmup + measurement) *)
+  sim_s_per_wall_s : float;  (** simulator speed: [sim_s /. wall_s] *)
+  committed_txns : int;  (** Aria-committed, cluster-wide, whole run *)
+  committed_txns_per_wall_s : float;
+  throughput_ktps : float;  (** simulated-side, measurement window *)
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  commit_ratio : float;
+  wan_mb : float;
+}
+
+val run_macro : ?quick:bool -> system:Massbft.Config.system -> unit -> macro
+(** One engine run on YCSB-A over the 3×7 nationwide cluster. Quick
+    mode (1 s warmup + 3 s measurement at 1% workload scale) is the CI
+    smoke setting; full mode uses the figure-harness windows (4 s +
+    12 s at full scale). Simulated-side fields are deterministic:
+    two calls with the same parameters agree on everything except
+    [wall_s] and the two [*_per_wall_s] rates derived from it. *)
+
+val to_json :
+  date:string -> mode:string -> micros:micro list -> macros:macro list -> string
+(** The full report document. [date] is [YYYY-MM-DD]; [mode] is
+    ["quick"] or ["full"]. Raises [Invalid_argument] if any float is
+    not finite. *)
+
+val schema_version : int

@@ -40,6 +40,7 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ~spec ~cfg
      is bit-identical to one without observability. *)
   (match obs with
   | Some s ->
+      Sampler.watch_sim s sim;
       Sampler.watch_topology s topo;
       Engine.set_obs engine s;
       Sampler.attach s sim

@@ -111,6 +111,24 @@ let watch_topology t topo =
         (fun ~now:_ ~dt:_ -> float_of_int (Cpu.queue_depth cpu)))
     (Topology.nodes topo)
 
+let watch_sim t sim =
+  (* O(1) reads off the event loop itself: [Sim.pending] is maintained
+     incrementally, so polling it every tick costs nothing regardless
+     of queue depth. *)
+  add_probe t ~name:"massbft_sim_pending_events"
+    ~help:"Scheduled (uncancelled, unfired) events in the simulator queue"
+    ~labels:[]
+    (fun ~now:_ ~dt:_ -> float_of_int (Sim.pending sim));
+  let prev = ref (Sim.dispatched sim) in
+  add_probe t ~name:"massbft_sim_dispatch_rate"
+    ~help:"Events fired per simulated second during the sampling window"
+    ~labels:[]
+    (fun ~now:_ ~dt ->
+      let cur = Sim.dispatched sim in
+      let d = cur - !prev in
+      prev := cur;
+      if dt <= 0.0 then 0.0 else float_of_int d /. dt)
+
 (* ---- the tick loop ---- *)
 
 let attach t sim =

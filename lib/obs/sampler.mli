@@ -47,6 +47,13 @@ val watch_topology : t -> Massbft_sim.Topology.t -> unit
     [massbft_nic_backlog_seconds], plus [massbft_cpu_utilization]
     (resource-tagged) and [massbft_cpu_queue_depth]. *)
 
+val watch_sim : t -> Massbft_sim.Sim.t -> unit
+(** Registers the event-loop probes: [massbft_sim_pending_events] (the
+    incrementally-maintained live-event count — O(1) per tick) and
+    [massbft_sim_dispatch_rate] (events fired per simulated second over
+    the window). Neither is resource-tagged: queue depth is a health
+    signal, not a saturation fraction. *)
+
 val attach : t -> Massbft_sim.Sim.t -> unit
 (** Freezes the column set and schedules the recurring tick. May be
     called once; ticks with an empty window (e.g. a tick racing the

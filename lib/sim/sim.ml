@@ -1,14 +1,19 @@
 module Heap = Massbft_util.Heap
 module Trace = Massbft_trace.Trace
 
-type timer = { mutable cancelled : bool; mutable fired : bool }
+(* The timer handle carries a back-reference to its simulator so
+   [cancel] can maintain the live/garbage accounting without widening
+   the public [cancel : timer -> unit] signature. *)
+type timer = { mutable cancelled : bool; mutable fired : bool; owner : t }
 
-type event = { time : float; seq : int; handle : timer; fn : unit -> unit }
+and event = { time : float; seq : int; handle : timer; fn : unit -> unit }
 
-type t = {
+and t = {
   mutable clock : float;
   mutable next_seq : int;
   queue : event Heap.t;
+  mutable live : int;  (* scheduled, neither cancelled nor fired *)
+  mutable garbage : int;  (* cancelled events still sitting in the heap *)
   mutable trace : Trace.t;
   mutable dispatched : int;
   mutable last_trace_at : float;
@@ -23,6 +28,8 @@ let create () =
     clock = 0.0;
     next_seq = 0;
     queue = Heap.create ~cmp:compare_event;
+    live = 0;
+    garbage = 0;
     trace = Trace.null;
     dispatched = 0;
     last_trace_at = neg_infinity;
@@ -43,27 +50,49 @@ let at t time fn =
     invalid_arg
       (Printf.sprintf "Sim.at: scheduling in the past (%.9f < %.9f)" time
          t.clock);
-  let handle = { cancelled = false; fired = false } in
+  let handle = { cancelled = false; fired = false; owner = t } in
   Heap.push t.queue { time; seq = t.next_seq; handle; fn };
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   handle
 
 let after t delay fn =
   if delay < 0.0 then invalid_arg "Sim.after: negative delay";
   at t (t.clock +. delay) fn
 
-let cancel handle = handle.cancelled <- true
+(* Below this size an occasional linear pop-through of garbage is
+   cheaper than rebuilding; above it, compaction keeps pop cost and
+   memory proportional to live events. *)
+let compaction_min_size = 64
 
-let pending t =
-  List.length
-    (List.filter
-       (fun e -> not e.handle.cancelled)
-       (Heap.to_sorted_list t.queue))
+let cancel handle =
+  if not handle.cancelled && not handle.fired then begin
+    handle.cancelled <- true;
+    let t = handle.owner in
+    t.live <- t.live - 1;
+    t.garbage <- t.garbage + 1;
+    (* Lazy deletion with bounded slack: once cancelled entries are the
+       majority of the heap, evict them all in one O(n) rebuild. Each
+       rebuild is paid for by the >= n/2 cancellations since the last
+       one, so cancel stays amortized O(1) (plus the O(log n) saved on
+       every later pop). Pop order of survivors is untouched — the
+       (time, seq) comparator is a total order — so a compacted run
+       dispatches bit-identically to an uncompacted one. *)
+    if t.garbage > t.live && Heap.length t.queue >= compaction_min_size then begin
+      Heap.filter_in_place t.queue (fun e -> not e.handle.cancelled);
+      t.garbage <- 0
+    end
+  end
+
+let pending t = t.live
+let heap_size t = Heap.length t.queue
 
 let fire t e =
   t.clock <- e.time;
-  if not e.handle.cancelled then begin
+  if e.handle.cancelled then t.garbage <- t.garbage - 1
+  else begin
     e.handle.fired <- true;
+    t.live <- t.live - 1;
     t.dispatched <- t.dispatched + 1;
     if
       Trace.enabled t.trace
@@ -73,7 +102,7 @@ let fire t e =
       Trace.counter t.trace ~ts:t.clock ~cat:"sim" "dispatched"
         (float_of_int t.dispatched);
       Trace.counter t.trace ~ts:t.clock ~cat:"sim" "pending"
-        (float_of_int (Heap.length t.queue))
+        (float_of_int t.live)
     end;
     e.fn ()
   end

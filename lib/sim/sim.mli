@@ -34,10 +34,21 @@ val after : t -> float -> (unit -> unit) -> timer
 (** [after t delay f] schedules [f] in [delay >= 0] seconds. *)
 
 val cancel : timer -> unit
-(** Cancelling an already-fired or cancelled timer is a no-op. *)
+(** Cancelling an already-fired or cancelled timer is a no-op.
+    Cancelled events are lazily deleted: they stay in the queue until
+    popped, but once they outnumber the live events the queue compacts
+    them away in one O(n) pass, so cancel is amortized O(1) and queue
+    size tracks live events rather than lifetime scheduling volume. *)
 
 val pending : t -> int
-(** Number of scheduled (uncancelled) events. *)
+(** Number of scheduled (uncancelled, unfired) events. Maintained
+    incrementally — O(1), safe to poll from samplers and probes. *)
+
+val heap_size : t -> int
+(** Physical size of the underlying event heap, including cancelled
+    events awaiting compaction. Exposed so tests can assert the
+    lazy-deletion bound ([heap_size <= 2 * pending + slack]); use
+    {!pending} for the semantic count. *)
 
 val run : t -> until:float -> unit
 (** Executes events in timestamp order until the queue is empty or the

@@ -72,6 +72,31 @@ let clear t =
   t.data <- [||];
   t.size <- 0
 
+let filter_in_place t keep =
+  (* Compact the survivors to a prefix, then restore the heap property
+     bottom-up (Floyd): O(n) total, no allocation. *)
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    let x = t.data.(i) in
+    if keep x then begin
+      t.data.(!kept) <- x;
+      incr kept
+    end
+  done;
+  let old_size = t.size in
+  t.size <- !kept;
+  if t.size = 0 then t.data <- [||]
+  else begin
+    (* Alias the vacated tail to a live element so dropped values are
+       reclaimable, mirroring [pop]. *)
+    for i = t.size to old_size - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done
+  end
+
 let to_sorted_list t =
   let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
   let rec drain acc =

@@ -22,6 +22,13 @@ val pop_exn : 'a t -> 'a
 
 val clear : 'a t -> unit
 
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** [filter_in_place t keep] drops every element for which [keep] is
+    false and re-establishes the heap invariant, in O(n) time and
+    without allocating. The relative pop order of surviving elements is
+    unchanged (the comparator alone determines it). The simulator's
+    event queue uses this to evict lazily-deleted (cancelled) timers. *)
+
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructively lists the contents in ascending order; O(n log n),
     intended for tests and debugging. *)

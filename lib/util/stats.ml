@@ -38,8 +38,21 @@ module Summary = struct
 
   let count t = t.size
   let mean t = if t.size = 0 then 0.0 else t.sum /. float_of_int t.size
-  let min t = if t.size = 0 then 0.0 else t.lo
-  let max t = if t.size = 0 then 0.0 else t.hi
+
+  (* Extremes of an empty summary used to report 0.0, which silently
+     fabricated a plausible-looking row in figure output. The plain
+     accessors now raise, and the [_opt] variants let callers opt into
+     an explicit default. *)
+  let min_opt t = if t.size = 0 then None else Some t.lo
+  let max_opt t = if t.size = 0 then None else Some t.hi
+
+  let min t =
+    if t.size = 0 then invalid_arg "Stats.Summary.min: empty summary"
+    else t.lo
+
+  let max t =
+    if t.size = 0 then invalid_arg "Stats.Summary.max: empty summary"
+    else t.hi
 
   let stddev t =
     if t.size < 2 then 0.0
@@ -98,17 +111,21 @@ module Summary = struct
     end
 
   let percentile t p =
-    if t.size = 0 then 0.0
-    else begin
-      if p < 0.0 || p > 100.0 then
-        invalid_arg "Stats.Summary.percentile: p outside [0, 100]";
-      ensure_sorted t;
-      let rank =
-        int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) - 1
-      in
-      let rank = Stdlib.max 0 (Stdlib.min (t.size - 1) rank) in
-      t.samples.(rank)
-    end
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Summary.percentile: p outside [0, 100]";
+    if t.size = 0 then
+      invalid_arg "Stats.Summary.percentile: empty summary";
+    ensure_sorted t;
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) - 1
+    in
+    let rank = Stdlib.max 0 (Stdlib.min (t.size - 1) rank) in
+    t.samples.(rank)
+
+  let percentile_opt t p =
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Summary.percentile_opt: p outside [0, 100]";
+    if t.size = 0 then None else Some (percentile t p)
 
   let clear t =
     t.samples <- [||];

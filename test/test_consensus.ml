@@ -471,6 +471,34 @@ let test_raft_preferred_leader_transfer_back () =
   check_bool "usurper stepped aside" true (Raft.role replicas.(1) <> Raft.Leader);
   check_bool "term advanced past the usurper's" true (Raft.term replicas.(0) >= 3)
 
+let test_raft_rogue_timeout_now_ignored () =
+  (* Timeout_now is only a valid prompt from the node currently believed
+     to be the leader. A Byzantine follower spraying it must not be able
+     to force spurious elections (term inflation + vote churn). *)
+  let bus, replicas, _ = make_raft_cluster ~initial_leader:0 3 in
+  ignore (Raft.propose replicas.(0) "e1");
+  Bus.run bus;
+  let term_before = Raft.term replicas.(1) in
+  (* Replica 2 is a follower; its prompt must be ignored outright. *)
+  Raft.handle replicas.(1) ~from:2 (Raft.Timeout_now { term = term_before });
+  Bus.run bus;
+  check_int "term unchanged after rogue prompt" term_before
+    (Raft.term replicas.(1));
+  check_bool "no campaign started" true (Raft.role replicas.(1) = Raft.Follower);
+  check_bool "leader undisturbed" true (Raft.role replicas.(0) = Raft.Leader);
+  (* A higher-term rogue prompt may advance the term (any higher-term
+     message does) but still must not trigger a campaign. *)
+  Raft.handle replicas.(1) ~from:2 (Raft.Timeout_now { term = term_before + 5 });
+  Bus.run bus;
+  check_bool "no campaign at inflated term" true
+    (Raft.role replicas.(1) = Raft.Follower);
+  (* The legitimate path still works: the prompt from the believed
+     leader itself starts the campaign. *)
+  Raft.handle replicas.(2) ~from:0 (Raft.Timeout_now { term = term_before });
+  check_bool "prompt from the leader campaigns" true
+    (Raft.role replicas.(2) <> Raft.Follower
+    || Raft.term replicas.(2) > term_before)
+
 let test_raft_replace_uncommitted () =
   (* The unwedge primitive: a leader overwrites an uncommitted index and
      followers apply the replacement even when their copy has the same
@@ -594,6 +622,8 @@ let () =
           Alcotest.test_case "new leader resends tail" `Quick test_raft_new_leader_resends_tail;
           Alcotest.test_case "term supersedes leader" `Quick test_raft_term_supersedes_leader;
           Alcotest.test_case "preferred transfer-back" `Quick test_raft_preferred_leader_transfer_back;
+          Alcotest.test_case "rogue Timeout_now ignored" `Quick
+            test_raft_rogue_timeout_now_ignored;
           Alcotest.test_case "propose errors" `Quick test_raft_propose_errors;
           Alcotest.test_case "replace uncommitted" `Quick test_raft_replace_uncommitted;
           Alcotest.test_case "replace errors" `Quick test_raft_replace_errors;

@@ -120,6 +120,78 @@ let test_runner_deterministic () =
   check_float "same seed, same number" (go ()) (go ())
 
 (* ------------------------------------------------------------------ *)
+(* Bench report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Bench_report = Massbft_harness.Bench_report
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_bench_json_schema () =
+  let micro = { Bench_report.m_name = "sha256/4KiB"; ns_per_run = 1234.5 } in
+  let macro = Bench_report.run_macro ~quick:true ~system:Config.Baseline () in
+  let doc =
+    Bench_report.to_json ~date:"2026-08-07" ~mode:"quick" ~micros:[ micro ]
+      ~macros:[ macro ]
+  in
+  List.iter
+    (fun key ->
+      check_bool (key ^ " key present") true
+        (contains ~needle:("\"" ^ key ^ "\"") doc))
+    [
+      "schema_version"; "date"; "mode"; "micro"; "macro"; "name"; "ns_per_run";
+      "system"; "workload"; "wall_s"; "sim_s"; "sim_s_per_wall_s";
+      "committed_txns"; "committed_txns_per_wall_s"; "throughput_ktps";
+      "mean_latency_ms"; "p99_latency_ms"; "commit_ratio"; "wan_mb";
+    ];
+  check_bool "workload is YCSB-A" true
+    (contains ~needle:(W.kind_name W.Ycsb_a) doc);
+  (* Every macro value the report carries must be finite; the renderer
+     is the last line of defense against committing a NaN baseline. *)
+  List.iter
+    (fun (what, v) -> check_bool (what ^ " finite") true (Float.is_finite v))
+    [
+      ("wall_s", macro.Bench_report.wall_s);
+      ("sim_s", macro.Bench_report.sim_s);
+      ("sim_s_per_wall_s", macro.Bench_report.sim_s_per_wall_s);
+      ("committed_txns_per_wall_s", macro.Bench_report.committed_txns_per_wall_s);
+      ("throughput_ktps", macro.Bench_report.throughput_ktps);
+      ("mean_latency_ms", macro.Bench_report.mean_latency_ms);
+      ("p99_latency_ms", macro.Bench_report.p99_latency_ms);
+      ("commit_ratio", macro.Bench_report.commit_ratio);
+      ("wan_mb", macro.Bench_report.wan_mb);
+    ];
+  check_bool "non-finite rejected" true
+    (try
+       ignore
+         (Bench_report.to_json ~date:"2026-08-07" ~mode:"quick"
+            ~micros:[ { Bench_report.m_name = "bad"; ns_per_run = Float.nan } ]
+            ~macros:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bench_macro_deterministic () =
+  (* The simulated side of a macro entry is a pure function of the
+     seed: only the wall-clock fields may differ between two runs. *)
+  let a = Bench_report.run_macro ~quick:true ~system:Config.Baseline () in
+  let b = Bench_report.run_macro ~quick:true ~system:Config.Baseline () in
+  check_int "committed_txns" a.Bench_report.committed_txns
+    b.Bench_report.committed_txns;
+  check_float "sim_s" a.Bench_report.sim_s b.Bench_report.sim_s;
+  check_float "throughput_ktps" a.Bench_report.throughput_ktps
+    b.Bench_report.throughput_ktps;
+  check_float "mean_latency_ms" a.Bench_report.mean_latency_ms
+    b.Bench_report.mean_latency_ms;
+  check_float "p99_latency_ms" a.Bench_report.p99_latency_ms
+    b.Bench_report.p99_latency_ms;
+  check_float "commit_ratio" a.Bench_report.commit_ratio
+    b.Bench_report.commit_ratio;
+  check_float "wan_mb" a.Bench_report.wan_mb b.Bench_report.wan_mb
+
+(* ------------------------------------------------------------------ *)
 (* Figures (cheap ones; quick mode)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -196,6 +268,11 @@ let () =
           Alcotest.test_case "result sanity" `Quick test_runner_result_sanity;
           Alcotest.test_case "probe lighter" `Slow test_runner_probe_lighter_latency;
           Alcotest.test_case "determinism" `Quick test_runner_deterministic;
+        ] );
+      ( "bench_report",
+        [
+          Alcotest.test_case "json schema" `Quick test_bench_json_schema;
+          Alcotest.test_case "macro determinism" `Quick test_bench_macro_deterministic;
         ] );
       ( "figures",
         [

@@ -281,6 +281,32 @@ let test_fmt_float () =
 (* Sampler                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let test_sampler_watch_sim () =
+  (* The event-loop probes poll Sim.pending / Sim.dispatched without
+     scheduling anything themselves (beyond the sampler tick). *)
+  let sim = Sim.create () in
+  let reg = Registry.create () in
+  let s = Sampler.create ~period:0.5 reg in
+  Sampler.watch_sim s sim;
+  Sampler.attach s sim;
+  (* 10 work events spread over [0, 1]; one long-range timer keeps a
+     constant floor of pending work. *)
+  for i = 1 to 10 do
+    ignore (Sim.at sim (0.1 *. float_of_int i) (fun () -> ()))
+  done;
+  ignore (Sim.at sim 100.0 (fun () -> ()));
+  Sim.run sim ~until:2.0;
+  (match Sampler.column_index s ~name:"massbft_sim_pending_events" ~labels:[] with
+  | None -> Alcotest.fail "pending column missing"
+  | Some i ->
+      List.iter
+        (fun (_, row) ->
+          check_bool "pending >= long-range timer" true (row.(i) >= 1.0))
+        (Sampler.rows s));
+  match Sampler.column_mean s ~name:"massbft_sim_dispatch_rate" ~labels:[] with
+  | None -> Alcotest.fail "dispatch rate column missing"
+  | Some m -> check_bool (Printf.sprintf "rate positive (%f)" m) true (m > 0.0)
+
 let test_sampler_ticks_and_csv () =
   let sim = Sim.create () in
   let reg = Registry.create () in
@@ -432,7 +458,10 @@ let () =
           Alcotest.test_case "fmt_float" `Quick test_fmt_float;
         ] );
       ( "sampler",
-        [ Alcotest.test_case "ticks and csv" `Quick test_sampler_ticks_and_csv ] );
+        [
+          Alcotest.test_case "ticks and csv" `Quick test_sampler_ticks_and_csv;
+          Alcotest.test_case "watch_sim probes" `Quick test_sampler_watch_sim;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "observed run bit-identical" `Slow

@@ -95,7 +95,74 @@ let test_pending () =
   ignore (Sim.after sim 2.0 (fun () -> ()));
   check_int "two pending" 2 (Sim.pending sim);
   Sim.cancel a;
-  check_int "one after cancel" 1 (Sim.pending sim)
+  check_int "one after cancel" 1 (Sim.pending sim);
+  (* Double-cancel must not decrement twice. *)
+  Sim.cancel a;
+  check_int "idempotent cancel" 1 (Sim.pending sim);
+  Sim.run_until_idle sim ();
+  check_int "drained" 0 (Sim.pending sim)
+
+let test_pending_excludes_fired () =
+  let sim = Sim.create () in
+  let h = Sim.after sim 1.0 (fun () -> ()) in
+  ignore (Sim.after sim 2.0 (fun () -> ()));
+  Sim.run sim ~until:1.5;
+  check_int "fired event no longer pending" 1 (Sim.pending sim);
+  (* Cancelling an already-fired timer is a no-op on the counter. *)
+  Sim.cancel h;
+  check_int "cancel after fire is a no-op" 1 (Sim.pending sim)
+
+let test_cancel_compaction_bounds_heap () =
+  (* Regression for the lazy-deletion leak: schedule+cancel 100k timers
+     (the batch-timer / heartbeat / retry-lane pattern) and assert the
+     heap evicts the garbage instead of accumulating every cancelled
+     event until its deadline. *)
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let keepers = ref 0 in
+  for i = 0 to 99_999 do
+    let h =
+      Sim.after sim (1.0 +. (float_of_int i *. 1e-5)) (fun () -> incr fired)
+    in
+    (* Keep 1 in 100, cancel the rest — heartbeats that actually fire
+       are the rare case. *)
+    if i mod 100 <> 0 then Sim.cancel h else incr keepers
+  done;
+  check_int "live count exact" !keepers (Sim.pending sim);
+  check_bool
+    (Printf.sprintf "heap stays bounded (%d entries for %d live)"
+       (Sim.heap_size sim) (Sim.pending sim))
+    true
+    (Sim.heap_size sim <= (2 * Sim.pending sim) + 64);
+  Sim.run_until_idle sim ();
+  check_int "only keepers fired" !keepers !fired;
+  check_int "empty after run" 0 (Sim.heap_size sim)
+
+let test_churn_dispatch_order_unchanged () =
+  (* Compaction must not reorder or drop survivors: a run with heavy
+     cancellation churn dispatches exactly the uncancelled timers, in
+     (time, insertion) order — i.e. the observed schedule is
+     bit-identical to what an uncompacted queue would produce. *)
+  let sim = Sim.create () in
+  let rng = Massbft_util.Rng.create 42L in
+  let fired = ref [] in
+  let expected = ref [] in
+  for i = 0 to 9_999 do
+    let time = 1.0 +. Massbft_util.Rng.float rng 10.0 in
+    let h = Sim.at sim time (fun () -> fired := i :: !fired) in
+    if i mod 3 = 0 then Sim.cancel h else expected := (time, i) :: !expected
+  done;
+  Sim.run_until_idle sim ();
+  let expected_order =
+    List.map snd
+      (List.sort
+         (fun (ta, ia) (tb, ib) ->
+           let c = compare ta tb in
+           if c <> 0 then c else compare ia ib)
+         !expected)
+  in
+  Alcotest.(check (list int))
+    "survivors fire in (time, seq) order" expected_order (List.rev !fired)
 
 (* ------------------------------------------------------------------ *)
 (* Nic                                                                 *)
@@ -458,6 +525,12 @@ let () =
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
           Alcotest.test_case "pending count" `Quick test_pending;
+          Alcotest.test_case "pending excludes fired" `Quick
+            test_pending_excludes_fired;
+          Alcotest.test_case "100k cancels stay bounded" `Quick
+            test_cancel_compaction_bounds_heap;
+          Alcotest.test_case "churn keeps dispatch order" `Quick
+            test_churn_dispatch_order_unchanged;
         ] );
       ( "nic",
         [

@@ -237,6 +237,34 @@ let test_heap_to_sorted_list () =
   Alcotest.(check (list int)) "sorted view" [ 1; 2; 3 ] (Heap.to_sorted_list h);
   check_int "non-destructive" 3 (Heap.length h)
 
+let test_heap_filter_in_place () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 9; 4; 7; 2; 8; 1; 6; 3; 5; 0 ];
+  Heap.filter_in_place h (fun x -> x land 1 = 0);
+  check_int "evens kept" 5 (Heap.length h);
+  Alcotest.(check (list int))
+    "drain order preserved"
+    [ 0; 2; 4; 6; 8 ]
+    (List.init 5 (fun _ -> Heap.pop_exn h));
+  (* Filtering everything away leaves a usable empty heap. *)
+  List.iter (Heap.push h) [ 1; 2 ];
+  Heap.filter_in_place h (fun _ -> false);
+  check_bool "emptied" true (Heap.is_empty h);
+  Heap.push h 42;
+  check_bool "usable after emptying" true (Heap.pop h = Some 42)
+
+let prop_heap_filter =
+  QCheck.Test.make ~name:"filter_in_place = sort of filtered list"
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, k) ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      Heap.filter_in_place h (fun x -> x mod 3 <> k mod 3);
+      let expected =
+        List.sort compare (List.filter (fun x -> x mod 3 <> k mod 3) xs)
+      in
+      List.init (Heap.length h) (fun _ -> Heap.pop_exn h) = expected)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains any list in sorted order"
     QCheck.(list int)
@@ -283,9 +311,32 @@ let test_summary_basic () =
   Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.Summary.percentile s 100.0)
 
 let test_summary_empty () =
+  (* An empty summary has no extremes or percentiles: the accessors
+     raise instead of fabricating a 0.0 sample, and the _opt variants
+     return None. Only [mean] keeps its documented 0-on-empty. *)
   let s = Stats.Summary.create () in
   Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.Summary.mean s);
-  Alcotest.(check (float 0.0)) "p99 of empty" 0.0 (Stats.Summary.percentile s 99.0)
+  Alcotest.check_raises "min of empty raises"
+    (Invalid_argument "Stats.Summary.min: empty summary") (fun () ->
+      ignore (Stats.Summary.min s));
+  Alcotest.check_raises "max of empty raises"
+    (Invalid_argument "Stats.Summary.max: empty summary") (fun () ->
+      ignore (Stats.Summary.max s));
+  Alcotest.check_raises "p99 of empty raises"
+    (Invalid_argument "Stats.Summary.percentile: empty summary") (fun () ->
+      ignore (Stats.Summary.percentile s 99.0));
+  check_bool "min_opt None" true (Stats.Summary.min_opt s = None);
+  check_bool "max_opt None" true (Stats.Summary.max_opt s = None);
+  check_bool "percentile_opt None" true
+    (Stats.Summary.percentile_opt s 99.0 = None);
+  (* Bad p still raises even on an empty summary. *)
+  Alcotest.check_raises "percentile_opt domain"
+    (Invalid_argument "Stats.Summary.percentile_opt: p outside [0, 100]")
+    (fun () -> ignore (Stats.Summary.percentile_opt s 101.0));
+  (* After one add, everything reports that sample. *)
+  Stats.Summary.add s 7.0;
+  Alcotest.(check (float 1e-9)) "min after add" 7.0 (Stats.Summary.min s);
+  check_bool "max_opt after add" true (Stats.Summary.max_opt s = Some 7.0)
 
 let test_summary_percentile_after_add () =
   (* percentile sorts lazily; adding after a percentile call must not
@@ -473,8 +524,10 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
           Alcotest.test_case "to_sorted_list" `Quick test_heap_to_sorted_list;
+          Alcotest.test_case "filter_in_place" `Quick test_heap_filter_in_place;
           qt prop_heap_sorts;
           qt prop_heap_interleaved;
+          qt prop_heap_filter;
         ] );
       ( "stats",
         [
