@@ -13,6 +13,8 @@ module Obs_registry = Massbft_obs.Registry
 module Sampler = Massbft_obs.Sampler
 module Exposition = Massbft_obs.Exposition
 module Saturation = Massbft_obs.Saturation
+module Fault_spec = Massbft_faults.Fault_spec
+module Chaos = Massbft_faults.Chaos
 
 let system_conv =
   let parse s =
@@ -105,10 +107,30 @@ let run_cmd =
                  Prometheus text exposition by default, the JSON export \
                  for a .json destination, the per-tick CSV for .csv.")
   in
+  let faults_file =
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"FILE"
+           ~doc:"Inject the fault schedule in $(docv) (one event per line, \
+                 see DESIGN.md \"Fault model\"; times are absolute simulated \
+                 seconds, so the warm-up window precedes time warmup).")
+  in
   let action system workload nodes groups worldwide duration warmup scale seed
-      latency_probe trace_file metrics_file =
+      latency_probe trace_file metrics_file faults_file =
     let cfg, spec =
       experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
+    in
+    let faults =
+      Option.map
+        (fun file ->
+          let ic = open_in file in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          match Fault_spec.of_string text with
+          | schedule -> schedule
+          | exception Fault_spec.Parse_error msg ->
+              prerr_endline ("massbft: bad fault schedule: " ^ msg);
+              exit 1)
+        faults_file
     in
     let sink = Option.map (fun _ -> Trace.create ()) trace_file in
     let obs =
@@ -116,8 +138,9 @@ let run_cmd =
     in
     let r =
       if latency_probe then
-        Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ~spec ~cfg ()
-      else Runner.run ~duration ~warmup ?trace:sink ?obs ~spec ~cfg ()
+        Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ?faults
+          ~spec ~cfg ()
+      else Runner.run ~duration ~warmup ?trace:sink ?obs ?faults ~spec ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
     List.iter
@@ -156,7 +179,7 @@ let run_cmd =
     Term.(
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
-      $ latency_probe $ trace_file $ metrics_file)
+      $ latency_probe $ trace_file $ metrics_file $ faults_file)
 
 (* ---- trace ---- *)
 
@@ -275,6 +298,167 @@ let metrics_cmd =
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg $ period
       $ threshold $ out)
 
+(* ---- drill ---- *)
+
+let drill_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ]
+           ~doc:"Chaos seed: deterministically generates the fault schedule \
+                 (same seed, system and cluster shape => byte-identical \
+                 schedule and run).")
+  in
+  let seeds =
+    Arg.(value & opt (some int) None & info [ "seeds" ] ~docv:"N"
+           ~doc:"Campaign mode: run seeds 1..$(docv) instead of --seed.")
+  in
+  let all_systems =
+    Arg.(value & flag & info [ "all-systems" ]
+           ~doc:"Drill every system, not just --system.")
+  in
+  let duration =
+    Arg.(value & opt float 10.0 & info [ "duration"; "d" ]
+           ~doc:"Simulated seconds per run (extended automatically past the \
+                 schedule's heal time for the liveness verdict).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Short runs (8 simulated seconds) for CI smoke campaigns.")
+  in
+  let scale =
+    Arg.(value & opt float 0.01 & info [ "scale" ]
+           ~doc:"Workload keyspace scale in (0,1] (small by default: drills \
+                 test fault handling, not peak throughput).")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ]
+           ~doc:"Skip delta-debugging shrink of failing schedules.")
+  in
+  let artifacts =
+    Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR"
+           ~doc:"Write each failing schedule (and its shrunk form) to \
+                 $(docv)/fail-SYSTEM-seedS.faults for CI upload.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured trace of the (single-seed) drill and \
+                 write Chrome trace_event JSON to $(docv); fault injections \
+                 appear as 'fault'-category spans.")
+  in
+  let action system all_systems nodes groups worldwide scale seed seeds
+      duration quick no_shrink artifacts trace_file =
+    let duration = if quick then 8.0 else duration in
+    let cfg =
+      { (Config.default ~system ()) with Config.workload_scale = scale }
+    in
+    let spec =
+      if worldwide then Clusters.worldwide ~nodes_per_group:nodes ()
+      else Clusters.nationwide ~nodes_per_group:nodes ~groups ()
+    in
+    let save_artifact (r : Chaos.drill_result) =
+      match artifacts with
+      | None -> ()
+      | Some dir ->
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let file =
+            Filename.concat dir
+              (Printf.sprintf "fail-%s-seed%Ld.faults"
+                 (String.lowercase_ascii (Config.system_name r.Chaos.system))
+                 r.Chaos.seed)
+          in
+          let oc = open_out file in
+          Printf.fprintf oc "# %s\n# %s\n%s"
+            (Chaos.repro_line ~seed:r.Chaos.seed ~system:r.Chaos.system)
+            (String.concat "; "
+               (List.map Massbft_faults.Invariants.violation_to_string
+                  r.Chaos.outcome.Chaos.violations))
+            (Fault_spec.to_string r.Chaos.outcome.Chaos.schedule);
+          (match r.Chaos.shrunk with
+          | Some s ->
+              Printf.fprintf oc "# shrunk to %d event(s):\n%s"
+                (List.length s)
+                (String.concat ""
+                   (List.map
+                      (fun e -> "#   " ^ Fault_spec.event_to_string e ^ "\n")
+                      s))
+          | None -> ());
+          close_out oc;
+          Format.printf "artifact: wrote %s@." file
+    in
+    let report (r : Chaos.drill_result) =
+      Format.printf "%a@." Chaos.pp_drill r;
+      if Chaos.failed r.Chaos.outcome then begin
+        List.iter
+          (fun v ->
+            Format.printf "  violation: %s@."
+              (Massbft_faults.Invariants.violation_to_string v))
+          r.Chaos.outcome.Chaos.violations;
+        Format.printf "  schedule:@.";
+        List.iter
+          (fun e -> Format.printf "    %s@." (Fault_spec.event_to_string e))
+          r.Chaos.outcome.Chaos.schedule;
+        (match r.Chaos.shrunk with
+        | Some s ->
+            Format.printf "  shrunk to %d event(s):@." (List.length s);
+            List.iter
+              (fun e -> Format.printf "    %s@." (Fault_spec.event_to_string e))
+              s
+        | None -> ());
+        Format.printf "  repro: %s@."
+          (Chaos.repro_line ~seed:r.Chaos.seed ~system:r.Chaos.system);
+        save_artifact r
+      end
+    in
+    let failures =
+      match seeds with
+      | Some n ->
+          let seeds = List.init n (fun i -> Int64.of_int (i + 1)) in
+          let systems = if all_systems then Config.all_systems else [ system ] in
+          let c =
+            Chaos.campaign ~duration ~shrink_failures:(not no_shrink) ~systems
+              ~on_run:report ~spec ~cfg ~seeds ()
+          in
+          Format.printf "campaign: %d runs, %d failed@." c.Chaos.total
+            (List.length c.Chaos.failures);
+          List.length c.Chaos.failures
+      | None ->
+          let systems = if all_systems then Config.all_systems else [ system ] in
+          let sink = Option.map (fun _ -> Trace.create ()) trace_file in
+          let results =
+            List.map
+              (fun system ->
+                let r =
+                  Chaos.drill ~duration ~shrink_failures:(not no_shrink)
+                    ?trace:sink ~spec
+                    ~cfg:{ cfg with Config.system }
+                    ~seed:(Int64.of_int seed) ()
+                in
+                report r;
+                r)
+              systems
+          in
+          (match (trace_file, sink) with
+          | Some file, Some tr ->
+              Trace_export.write_chrome_json tr file;
+              Format.printf "trace: wrote %s (%d events retained, %d dropped)@."
+                file (Trace.length tr) (Trace.dropped tr)
+          | _ -> ());
+          List.length
+            (List.filter (fun r -> Chaos.failed r.Chaos.outcome) results)
+    in
+    if failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "drill"
+       ~doc:
+         "Chaos drill: generate a seeded random fault schedule, inject it, \
+          and check safety and liveness invariants; failing schedules are \
+          shrunk to a minimal reproducer. Exits nonzero on any violation.")
+    Term.(
+      const action $ system_arg $ all_systems $ nodes_arg $ groups_arg
+      $ worldwide_arg $ scale $ seed $ seeds $ duration $ quick $ no_shrink
+      $ artifacts $ trace_file)
+
 (* ---- figures ---- *)
 
 let figures_cmd =
@@ -346,6 +530,6 @@ let main =
        ~doc:
          "MassBFT: fast and scalable geo-distributed BFT consensus \
           (reproduction of the ICDE 2025 paper).")
-    [ run_cmd; trace_cmd; metrics_cmd; figures_cmd; list_cmd; plan_cmd ]
+    [ run_cmd; trace_cmd; metrics_cmd; drill_cmd; figures_cmd; list_cmd; plan_cmd ]
 
 let () = exit (Cmd.eval main)

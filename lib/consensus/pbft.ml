@@ -242,11 +242,24 @@ let maybe_complete_view_change t nv =
       reproposals
   end
 
-let start_view_change t =
-  let nv = t.cur_view + 1 in
+let start_view_change ?target t =
+  let nv =
+    match target with
+    | None -> t.cur_view + 1
+    | Some v -> max (t.cur_view + 1) v
+  in
   t.in_view_change <- true;
   broadcast_view_change t nv;
   maybe_complete_view_change t nv
+
+let in_view_change t = t.in_view_change
+let proposed t ~seq = ISet.mem seq t.proposed
+
+(* Post-recovery state transfer: a replica that was down while the
+   group moved on adopts the current view so it can vote again. Slot
+   vote state from the old view is voided lazily (see [slot]); decided
+   slots keep their digests. *)
+let rejoin t ~view = if view > t.cur_view then enter_view t view
 
 let handle t ~from msg =
   if from < 0 || from >= t.cfg.n || from = t.cfg.me then ()

@@ -79,6 +79,22 @@ val handle : t -> from:int -> msg -> unit
     ignored; the state machine is safe under arbitrary message
     reordering and duplication. *)
 
-val start_view_change : t -> unit
-(** Move to view v+1 and broadcast a view-change message. The embedder
-    calls this on a progress timeout. *)
+val start_view_change : ?target:int -> t -> unit
+(** Move to view [max (v+1) target] and broadcast a view-change
+    message. The embedder calls this on a progress timeout; it passes a
+    [target] past [v+1] to skip over views whose leaders it knows to be
+    crashed (repeated timeouts walk the target forward until a live
+    leader's view completes). *)
+
+val in_view_change : t -> bool
+(** True between a view-change broadcast and entering the new view;
+    {!propose} raises while set. *)
+
+val proposed : t -> seq:int -> bool
+(** Whether this leader already proposed [seq] in the current view
+    (including new-view reproposals) — {!propose} would raise. *)
+
+val rejoin : t -> view:int -> unit
+(** Post-recovery state transfer: adopt [view] if it is ahead of ours,
+    so a replica that was down while its group changed views can vote
+    again. Decided slots are kept; stale vote sets are voided. *)

@@ -128,11 +128,21 @@ let step_down t new_term =
   set_role t Follower
 
 (* Advance the commit index through contiguous committed entries,
-   firing on_commit in order. *)
+   firing on_commit in order. Only entries vouched for by the current
+   term's leader may commit: a replica that slept through an election
+   can hold a dead leader's uncommitted suffix at these indexes, and a
+   newer-term Commit_note must not commit that suffix before the new
+   leader's re-shipped entries have overwritten it (stored terms are
+   rewritten to the shipping leader's term on arrival, so term equality
+   is exactly that vouching). *)
 let advance_commit_to t target =
-  while t.commit_idx < target && Hashtbl.mem t.log (t.commit_idx + 1) do
-    t.commit_idx <- t.commit_idx + 1;
-    t.cb.on_commit ~index:t.commit_idx (fst (Hashtbl.find t.log t.commit_idx))
+  let continue = ref true in
+  while !continue && t.commit_idx < target do
+    match Hashtbl.find_opt t.log (t.commit_idx + 1) with
+    | Some (entry, term) when term = t.cur_term ->
+        t.commit_idx <- t.commit_idx + 1;
+        t.cb.on_commit ~index:t.commit_idx entry
+    | Some _ | None -> continue := false
   done
 
 (* Apply any buffered commit notes / leader-side majorities. *)
@@ -146,7 +156,9 @@ let leader_recheck_commit t =
     (* The leader's own copy counts as one replica. *)
     if Hashtbl.mem t.log next && ISet.cardinal votes + 1 >= majority t then begin
       advance_commit_to t next;
-      broadcast t (Commit_note { term = t.cur_term; index = next })
+      if t.commit_idx >= next then
+        broadcast t (Commit_note { term = t.cur_term; index = next })
+      else continue := false
     end
     else continue := false
   done
@@ -196,6 +208,17 @@ let become_leader t =
   set_role t Leader;
   t.leader_hint <- Some t.me;
   t.acked_to_leader <- ISet.empty;
+  (* The new leader now vouches for its inherited uncommitted suffix:
+     re-stamp it with the new term (it is re-shipped under that term
+     anyway) so the commit guard in [advance_commit_to] accepts it, and
+     drop ack sets collected under dead terms — every entry must be
+     re-acknowledged in this term before it can count toward a
+     majority. *)
+  for i = t.commit_idx + 1 to t.last_idx do
+    let entry, _ = Hashtbl.find t.log i in
+    Hashtbl.replace t.log i (entry, t.cur_term)
+  done;
+  Hashtbl.reset t.acks;
   (* Learn where every follower's log ends, then ship it the missing
      suffix (Probe_reply handler below). *)
   broadcast t (Probe { term = t.cur_term });

@@ -63,9 +63,17 @@ let form_batch t (l : leader) =
   in
   charge_cpu_parallel t l.l_addr verify_cost (fun () ->
       if alive t l.l_addr then
+        (* The acting leader may have crashed (or a view change started)
+           between forming the batch and the CPU finishing: proposing
+           would raise. A not-yet-proposed entry is re-proposed by the
+           engine's leader-migration sweep instead. *)
         match (node_of t l.l_addr).n_pbft with
-        | Some pbft -> Pbft.propose pbft ~seq ~digest
-        | None -> ())
+        | Some pbft
+          when Pbft.is_leader pbft
+               && (not (Pbft.in_view_change pbft))
+               && not (Pbft.proposed pbft ~seq) ->
+            Pbft.propose pbft ~seq ~digest
+        | Some _ | None -> ())
 
 let try_batch t (l : leader) =
   if

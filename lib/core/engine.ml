@@ -31,7 +31,7 @@ let dispatch t ~(src : Topology.addr) ~(dst : Topology.addr) m =
   | Copy_fwd { eid } -> content_event t node eid
   | Raft_m { inst; rmsg } -> Global_consensus.handle_raft_m t ~src ~dst ~inst rmsg
   | Accept_req { tag } -> Local_consensus.handle_accept_req t ~src ~dst tag
-  | Accept_vote { tag } -> Local_consensus.handle_accept_vote t ~dst tag
+  | Accept_vote { tag } -> Local_consensus.handle_accept_vote t ~src ~dst tag
   | Accept_note { eid } -> Local_consensus.handle_accept_note t ~dst eid
   | Recv_note { eid } -> Global_consensus.handle_recv_note t ~dst eid
   | Fetch_req { eid } -> Replication.handle_fetch_req t node ~src eid
@@ -110,7 +110,7 @@ let create sim topo cfg =
     Array.init ng (fun g ->
         {
           l_gid = g;
-          l_addr = leader_addr g;
+          l_addr = { Topology.g; n = 0 };
           l_rafts = [||];
           l_orderer = None;
           l_store = mk_store ();
@@ -144,6 +144,9 @@ let create sim topo cfg =
           l_fetch_q = Queue.create ();
           l_fetch_out = 0;
           l_stuck = Hashtbl.create 8;
+          l_vc_target = 0;
+          l_stall_seq = 0;
+          l_stall_ticks = 0;
         })
   in
   let t =
@@ -163,6 +166,7 @@ let create sim topo cfg =
       deliver = dispatch;
       on_leader_content = leader_content;
       started = false;
+      node_watch = false;
       trace = Trace.null;
     }
   in
@@ -233,13 +237,224 @@ let start t =
              Topology.crash_group t.topo g))
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Node-level crash / recovery and acting-leader migration             *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand the acting-leader role — and with it the leader record, the
+   group's *replicated* leader-side state (store, ledger, orderer, Raft
+   endpoints) — to the group's new PBFT view leader. Routing to the new
+   holder models leader discovery/redirect, which settles well under one
+   WAN RTT in a real deployment. The sweep below re-drives the proposer
+   pipeline for entries stranded by the crash:
+
+   - decided at this replica but never globally started (the old acting
+     leader died before seeing the decide): stamp [decided_at] and run
+     the global strategy now;
+   - never prepared anywhere (so absent from the New_view reproposals):
+     propose afresh in the new view. *)
+let migrate_leader t (l : leader) (na : Topology.addr) =
+  let old = l.l_addr in
+  l.l_addr <- na;
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~cat:"engine" ~gid:l.l_gid ~node:na.Topology.n
+      ~args:[ ("from", Trace.Int old.Topology.n) ]
+      "leader_migrated";
+  (* GeoBFT flow control: Recv_notes addressed to the dead leader are
+     gone for good (no global retransmission in direct broadcast), so
+     pending note rounds can never complete. Reset the proposer window
+     rather than let stranded slots throttle the group forever —
+     commitment itself was already stamped at send time. *)
+  if Config.global_of t.cfg.Config.system = Config.Direct_broadcast then begin
+    Entry_tbl.reset l.l_recv_notes;
+    l.l_in_flight <- 0;
+    (* Remote content that reached this node (via the group's LAN
+       forwarding) while it was a mere follower never saw the leader's
+       receive reaction: the round was never marked and the proposer was
+       never credited, wedging the round barrier here and the proposer's
+       window there. Run the reaction now for everything unprocessed —
+       marking is idempotent and a duplicate Recv_note can overshoot but
+       never re-hit the exactly-once equality threshold. *)
+    Entry_tbl.iter
+      (fun eid () ->
+        if eid.Types.gid <> l.l_gid && not (Entry_tbl.mem l.l_round_ready eid)
+        then t.strat.glob.g_on_content t l eid)
+      (node_of t na).n_content
+  end;
+  (match (node_of t na).n_pbft with
+  | None -> ()
+  | Some pbft ->
+      for seq = 1 to l.l_next_seq - 1 do
+        let eid = { Types.gid = l.l_gid; seq } in
+        match Entry_tbl.find_opt t.entries eid with
+        | None -> ()
+        | Some e ->
+            if e.committed_at = 0.0 then begin
+              match Pbft.decided pbft seq with
+              | Some _ ->
+                  if e.decided_at = 0.0 then begin
+                    e.decided_at <- now t;
+                    trace_entry t eid "decided" ~node:na.Topology.n;
+                    t.strat.glob.g_start t l e
+                  end
+              | None ->
+                  if
+                    Pbft.is_leader pbft
+                    && (not (Pbft.in_view_change pbft))
+                    && not (Pbft.proposed pbft ~seq)
+                  then Pbft.propose pbft ~seq ~digest:e.digest
+            end
+      done);
+  Batcher.try_batch t l
+
+(* One watchdog tick for one group: adopt a live replica that already
+   leads its PBFT view, or — when the acting leader is down — push the
+   survivors' view change toward the first view led by a live node
+   (repeated ticks walk the target past dead view leaders). *)
+let check_group_leadership t (l : leader) =
+  let g = l.l_gid in
+  let n = Topology.group_size t.topo g in
+  let live = List.filter (alive t) (Topology.group_nodes t.topo g) in
+  if List.length live >= Intmath.pbft_quorum n then begin
+    let live_leader =
+      List.find_opt
+        (fun a ->
+          match (node_of t a).n_pbft with
+          | Some p -> Pbft.is_leader p
+          | None -> false)
+        live
+    in
+    match live_leader with
+    | Some a ->
+        if not (Topology.addr_equal a l.l_addr) then migrate_leader t l a
+        else begin
+          (* Progress watchdog: the acting leader is alive, yet a
+             proposal below the batching frontier is stuck undecided —
+             the PBFT votes for it died in a crash window and nothing
+             retransmits them. Two consecutive stalled ticks drive the
+             group to its next live view; the New_view reproposals plus
+             the migration sweep then re-drive the stranded pipeline.
+             Decisions are final, so the last stall seq doubles as the
+             scan cursor. *)
+          match (node_of t a).n_pbft with
+          | None -> ()
+          | Some p ->
+              let rec scan seq =
+                if seq >= l.l_next_seq then 0
+                else if Pbft.decided p seq = None then seq
+                else scan (seq + 1)
+              in
+              let stuck = scan (max 1 l.l_stall_seq) in
+              if stuck = 0 then begin
+                l.l_stall_seq <- 0;
+                l.l_stall_ticks <- 0
+              end
+              else if stuck = l.l_stall_seq then begin
+                l.l_stall_ticks <- l.l_stall_ticks + 1;
+                if l.l_stall_ticks >= 2 then begin
+                  l.l_stall_ticks <- 0;
+                  let rec first_live_view v =
+                    let la = { Topology.g; n = Pbft.leader_of_view ~n ~view:v } in
+                    if alive t la then v else first_live_view (v + 1)
+                  in
+                  let target = first_live_view (Pbft.view p + 1) in
+                  List.iter
+                    (fun b ->
+                      match (node_of t b).n_pbft with
+                      | Some q -> Pbft.start_view_change ~target q
+                      | None -> ())
+                    live
+                end
+              end
+              else begin
+                l.l_stall_seq <- stuck;
+                l.l_stall_ticks <- 1
+              end
+        end
+    | None ->
+        if not (alive t l.l_addr) then begin
+          let maxv =
+            List.fold_left
+              (fun acc a ->
+                match (node_of t a).n_pbft with
+                | Some p -> max acc (Pbft.view p)
+                | None -> acc)
+              0 live
+          in
+          let rec first_live_view v =
+            let la = { Topology.g; n = Pbft.leader_of_view ~n ~view:v } in
+            if alive t la then v else first_live_view (v + 1)
+          in
+          let target = first_live_view (max (maxv + 1) l.l_vc_target) in
+          l.l_vc_target <- target;
+          List.iter
+            (fun a ->
+              match (node_of t a).n_pbft with
+              | Some p -> Pbft.start_view_change ~target p
+              | None -> ())
+            live
+        end
+  end
+
+(* Armed lazily on the first node-level crash/recovery: fault-free runs
+   schedule nothing, keeping their event streams bit-identical. *)
+let arm_node_watchdogs t =
+  if not t.node_watch then begin
+    t.node_watch <- true;
+    let period = t.cfg.Config.election_timeout_s in
+    Array.iter
+      (fun l ->
+        let rec tick () =
+          ignore
+            (Sim.after t.sim period (fun () ->
+                 check_group_leadership t l;
+                 tick ()))
+        in
+        tick ())
+      t.leaders
+  end
+
 let recover_group t g =
   (* Nodes come back up; the anti-entropy probes of the current
      instance-[g] leader catch the group's logs up, after which the
      leader hands instance [g] home via a Timeout_now (transfer-back,
      paper §V-C). No forced elections: a stale-log campaign could only
      depose the working takeover leader without being able to win. *)
-  Topology.recover_group t.topo g
+  Topology.recover_group t.topo g;
+  arm_node_watchdogs t
+
+let crash_group t g =
+  Topology.crash_group t.topo g;
+  arm_node_watchdogs t
+
+let crash_node t (a : Topology.addr) =
+  if not (Topology.valid_addr t.topo a) then
+    invalid_arg "Engine.crash_node: bad address";
+  Topology.crash t.topo a;
+  arm_node_watchdogs t
+
+let recover_node t (a : Topology.addr) =
+  if not (Topology.valid_addr t.topo a) then
+    invalid_arg "Engine.recover_node: bad address";
+  Topology.recover t.topo a;
+  (* Post-recovery state transfer: adopt the group's current view so the
+     replica votes in it rather than campaigning for a stale one. *)
+  (match (node_of t a).n_pbft with
+  | None -> ()
+  | Some p ->
+      let maxv =
+        List.fold_left
+          (fun acc b ->
+            if alive t b && not (Topology.addr_equal a b) then
+              match (node_of t b).n_pbft with
+              | Some q -> max acc (Pbft.view q)
+              | None -> acc
+            else acc)
+          0
+          (Topology.group_nodes t.topo a.Topology.g)
+      in
+      Pbft.rejoin p ~view:maxv);
+  arm_node_watchdogs t
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)
@@ -248,6 +463,29 @@ let recover_group t g =
 let metrics t = t.metrics
 let set_measure_from t at = t.metrics.Metrics.measure_from <- at
 let executed_ids t ~gid = List.rev t.leaders.(gid).l_executed_rev
+let now t = Node_ctx.now t
+let n_groups t = t.ng
+let group_size t g = Topology.group_size t.topo g
+let config t = t.cfg
+let acting_leader t ~gid = t.leaders.(gid).l_addr
+let node_alive t a = alive t a
+let executed_count t ~gid = t.leaders.(gid).l_executed_count
+let raft_instances t = Array.length t.leaders.(0).l_rafts
+
+let raft_commit_index t ~gid ~inst =
+  Raft.commit_index t.leaders.(gid).l_rafts.(inst)
+
+let replica_decided t ~g ~n ~seq =
+  match t.nodes.(g).(n).n_pbft with
+  | None -> None
+  | Some p -> Pbft.decided p seq
+
+let entry_digest t eid =
+  match Entry_tbl.find_opt t.entries eid with
+  | Some e -> Some e.digest
+  | None -> None
+
+let proposed_seqs t ~gid = t.leaders.(gid).l_next_seq - 1
 let store_fingerprint t = Kvstore.fingerprint t.shared_store
 let leader_store_fingerprint t ~gid = Kvstore.fingerprint t.leaders.(gid).l_store
 let ledger_of t ~gid = t.leaders.(gid).l_ledger

@@ -93,3 +93,50 @@ val debug_dump : t -> string
 val recover_group : t -> int -> unit
 (** Restore a crashed group's nodes (its Raft instances re-join on
     traffic; used by recovery experiments). *)
+
+val crash_group : t -> int -> unit
+(** Crash every node of the group now (the programmatic form of
+    [Config.crash_group_at]; the takeover machinery is identical). *)
+
+val crash_node : t -> Massbft_sim.Topology.addr -> unit
+(** Crash a single node. Crashing a group's acting leader arms the
+    engine's per-group liveness watchdogs (lazily, so fault-free runs
+    schedule nothing): survivors drive a PBFT view change past dead
+    view leaders, and the acting-leader role migrates to the new view's
+    leader, re-proposing any entries stranded by the crash. *)
+
+val recover_node : t -> Massbft_sim.Topology.addr -> unit
+(** Restore a single node. The replica adopts the group's current PBFT
+    view (post-recovery state transfer) so it can vote again. *)
+
+(** {1 Invariant-checker accessors}
+
+    Read-only views for {e external} safety checkers (massbft_faults):
+    polling them never changes a run. *)
+
+val now : t -> float
+val n_groups : t -> int
+val group_size : t -> int -> int
+val config : t -> Config.t
+val node_alive : t -> Massbft_sim.Topology.addr -> bool
+
+val acting_leader : t -> gid:int -> Massbft_sim.Topology.addr
+(** The node currently holding the group's acting-leader role. *)
+
+val executed_count : t -> gid:int -> int
+(** Entries executed at the group's leader so far (monotone). *)
+
+val raft_instances : t -> int
+(** Global Raft instances per leader (0 for GeoBFT). *)
+
+val raft_commit_index : t -> gid:int -> inst:int -> int
+(** Commit index of instance [inst] as seen by group [gid]'s leader. *)
+
+val replica_decided : t -> g:int -> n:int -> seq:int -> string option
+(** The digest node [(g,n)]'s PBFT replica decided at local sequence
+    [seq], if any. *)
+
+val entry_digest : t -> Types.entry_id -> string option
+
+val proposed_seqs : t -> gid:int -> int
+(** Highest local sequence number the group has formed a batch for. *)

@@ -133,7 +133,7 @@ let rec pump t (l : leader) =
          charged fire-and-forget. *)
       List.iter
         (fun a ->
-          if (not (is_leader_node a)) && alive t a then
+          if (not (is_acting_leader t a)) && alive t a then
             charge_cpu_parallel t a cost (fun () -> ()))
         (Topology.group_nodes t.topo l.l_gid);
       charge_cpu_parallel t l.l_addr cost (fun () ->

@@ -76,7 +76,7 @@ let ack_guard t (l : leader) inst ~index payload release =
                     if t.strat.ord.o_vts then
                       for j = 0 to t.ng - 1 do
                         if j <> l.l_gid then
-                          send t ~src:l.l_addr ~dst:(leader_addr j)
+                          send t ~src:l.l_addr ~dst:(leader_addr t j)
                             ~bytes:Types.vote_bytes (Accept_note { eid })
                       done)))
   | Ts { eid; _ } ->
@@ -182,7 +182,7 @@ let steward_propose t (l : leader) e =
 (* ------------------------------------------------------------------ *)
 
 let handle_raft_m t ~(src : Topology.addr) ~(dst : Topology.addr) ~inst rmsg =
-  if is_leader_node dst then begin
+  if is_acting_leader t dst then begin
     let l = t.leaders.(dst.Topology.g) in
     if inst < Array.length l.l_last_heard then
       l.l_last_heard.(inst) <- now t;
@@ -193,7 +193,7 @@ let handle_raft_m t ~(src : Topology.addr) ~(dst : Topology.addr) ~inst rmsg =
 (* Recv_notes are only ever emitted by the direct-broadcast strategy,
    so no configuration guard is needed here. *)
 let handle_recv_note t ~(dst : Topology.addr) eid =
-  if is_leader_node dst then begin
+  if is_acting_leader t dst then begin
     let l = t.leaders.(dst.Topology.g) in
     if eid.Types.gid = l.l_gid then begin
       let notes =
@@ -205,14 +205,20 @@ let handle_recv_note t ~(dst : Topology.addr) eid =
             r
       in
       incr notes;
-      if !notes >= t.ng - 1 then begin
+      (* Exactly-once on equality: duplicated deliveries (an injectable
+         fault) push the count past the threshold but can never make it
+         *equal* again, so the pipeline slot is released once. The
+         counter is kept (not removed) for the same reason. *)
+      if !notes = t.ng - 1 then begin
         let e = entry_of t eid in
         if e.committed_at = 0.0 then begin
           e.committed_at <- now t;
           trace_entry t eid "committed" ~node:0
         end;
-        l.l_in_flight <- l.l_in_flight - 1;
-        Entry_tbl.remove l.l_recv_notes eid;
+        (* The floor only matters after a leader migration reset the
+           window (a straggler round completing against the new leader
+           must not inflate it); fault-free runs never hit it. *)
+        if l.l_in_flight > 0 then l.l_in_flight <- l.l_in_flight - 1;
         Batcher.try_batch t l
       end
     end
@@ -253,7 +259,7 @@ let direct_broadcast =
            and mark the entry's round. *)
         if eid.Types.gid <> l.l_gid then
           send t ~src:l.l_addr
-            ~dst:(leader_addr eid.Types.gid)
+            ~dst:(leader_addr t eid.Types.gid)
             ~bytes:Types.vote_bytes (Recv_note { eid });
         Ordering.mark_round_ready t l eid);
     g_on_copy = (fun _ _ _ -> ());
@@ -267,13 +273,13 @@ let single_raft =
         if l.l_gid = 0 then steward_propose t l e
         else
           (* Forward the certified entry to the global leader group. *)
-          send ~bulk:true t ~src:l.l_addr ~dst:(leader_addr 0)
+          send ~bulk:true t ~src:l.l_addr ~dst:(leader_addr t 0)
             ~bytes:(copy_bytes t e.eid) (Copy { eid = e.eid }));
     g_on_content = (fun _ _ _ -> ());
     g_on_copy =
       (fun t node eid ->
         if
-          is_leader_node node.n_addr
+          is_acting_leader t node.n_addr
           && node.n_addr.Topology.g = 0
           && eid.Types.gid <> 0
         then steward_propose t t.leaders.(0) (entry_of t eid));
@@ -294,7 +300,7 @@ let install t ~n_inst =
               {
                 Raft.send =
                   (fun dst_g rmsg ->
-                    send t ~src:l.l_addr ~dst:(leader_addr dst_g)
+                    send t ~src:l.l_addr ~dst:(leader_addr t dst_g)
                       ~bytes:(raft_msg_bytes t rmsg)
                       (Raft_m { inst; rmsg }));
                 on_deliver = (fun ~index:_ p -> on_raft_deliver t l inst p);

@@ -22,14 +22,14 @@ let on_decide t (node : node) (cert : Pbft.certificate) =
   | Some e ->
       let addr = node.n_addr in
       content_event t node e.eid;
-      if is_leader_node addr && e.eid.Types.gid = addr.Topology.g then
+      if is_acting_leader t addr && e.eid.Types.gid = addr.Topology.g then
         if e.decided_at = 0.0 then begin
           e.decided_at <- now t;
-          trace_entry t e.eid "decided" ~node:0
+          trace_entry t e.eid "decided" ~node:addr.Topology.n
         end;
       (* Per-node dissemination (chunks / bijective copies). *)
       t.strat.repl.r_on_decide t node e;
-      if is_leader_node addr && addr.Topology.g = e.eid.Types.gid then
+      if is_acting_leader t addr && addr.Topology.g = e.eid.Types.gid then
         t.strat.glob.g_start t t.leaders.(addr.Topology.g) e
 
 let handle t (node : node) ~(src : Topology.addr) pm =
@@ -64,7 +64,10 @@ let accept_round t (l : leader) ~tag k =
   if quorum <= 1 then k ()
   else begin
     Hashtbl.replace l.l_accept_pending tag k;
-    Hashtbl.replace l.l_accept_votes tag (ref 1);
+    (* Votes are a set of voter node ids (the leader's own vote counts),
+       so duplicated deliveries cannot inflate the tally. *)
+    Hashtbl.replace l.l_accept_votes tag
+      (ref (ISet.singleton l.l_addr.Topology.n));
     broadcast_group t ~src:l.l_addr ~bytes:Types.vote_bytes (Accept_req { tag })
   end
 
@@ -72,17 +75,17 @@ let handle_accept_req t ~(src : Topology.addr) ~(dst : Topology.addr) tag =
   (* Follower's vote in the skip-prepare accept round. *)
   send t ~src:dst ~dst:src ~bytes:Types.vote_bytes (Accept_vote { tag })
 
-let handle_accept_vote t ~(dst : Topology.addr) tag =
-  if is_leader_node dst then begin
+let handle_accept_vote t ~(src : Topology.addr) ~(dst : Topology.addr) tag =
+  if is_acting_leader t dst then begin
     let l = t.leaders.(dst.Topology.g) in
     match Hashtbl.find_opt l.l_accept_votes tag with
     | None -> ()
     | Some votes ->
-        incr votes;
+        votes := ISet.add src.Topology.n !votes;
         let quorum =
           Intmath.pbft_quorum (Topology.group_size t.topo dst.Topology.g)
         in
-        if !votes >= quorum then begin
+        if ISet.cardinal !votes >= quorum then begin
           match Hashtbl.find_opt l.l_accept_pending tag with
           | Some k ->
               Hashtbl.remove l.l_accept_pending tag;
@@ -93,7 +96,7 @@ let handle_accept_vote t ~(dst : Topology.addr) tag =
   end
 
 let handle_accept_note t ~(dst : Topology.addr) eid =
-  if is_leader_node dst then begin
+  if is_acting_leader t dst then begin
     let l = t.leaders.(dst.Topology.g) in
     let notes =
       match Entry_tbl.find_opt l.l_accept_notes eid with

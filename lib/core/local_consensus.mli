@@ -18,7 +18,8 @@ val accept_round : t -> leader -> tag:string -> (unit -> unit) -> unit
 val handle_accept_req :
   t -> src:Topology.addr -> dst:Topology.addr -> string -> unit
 
-val handle_accept_vote : t -> dst:Topology.addr -> string -> unit
+val handle_accept_vote :
+  t -> src:Topology.addr -> dst:Topology.addr -> string -> unit
 val handle_accept_note : t -> dst:Topology.addr -> Types.entry_id -> unit
 
 val observe : Node_ctx.t -> Massbft_obs.Sampler.t -> unit

@@ -99,7 +99,12 @@ type node = {
 
 type leader = {
   l_gid : int;
-  l_addr : Topology.addr;
+  mutable l_addr : Topology.addr;
+      (* the node currently acting as the group's leader. Fixed at node 0
+         until a node-level crash of the acting leader drives a PBFT view
+         change, after which the engine migrates the role (and this
+         record — the group's replicated leader-side state) to the new
+         view's live leader. *)
   mutable l_rafts : rpayload Raft.t array;  (* per instance; may be empty *)
   mutable l_orderer : Orderer.t option;
   l_store : Kvstore.t;
@@ -116,7 +121,9 @@ type leader = {
   mutable l_executed_rev : Types.entry_id list;
   mutable l_executed_count : int;
   l_accept_pending : (string, unit -> unit) Hashtbl.t;
-  l_accept_votes : (string, int ref) Hashtbl.t;
+  l_accept_votes : (string, ISet.t ref) Hashtbl.t;
+      (* distinct voter node-ids per tag: duplicate deliveries (an
+         injectable fault) must not fake a quorum *)
   l_accept_notes : int ref Entry_tbl.t;
   l_ts_mark : (string, unit) Hashtbl.t;  (* Ts proposed, key inst|gid|seq *)
   l_ts_seen : (string, unit) Hashtbl.t;  (* Ts committed (first wins) *)
@@ -132,6 +139,16 @@ type leader = {
   mutable l_fetch_out : int;  (* outstanding fetch requests *)
   l_stuck : (string, int ref) Hashtbl.t;
       (* ticks a led instance's head-of-line entry has been unackable *)
+  mutable l_vc_target : int;
+      (* highest local view-change target the engine's liveness watchdog
+         has driven for this group (0 when never driven) *)
+  mutable l_stall_seq : int;
+      (* lowest proposed-but-undecided local sequence number at the last
+         watchdog tick (0 when none); also the scan cursor — decisions
+         below it are final *)
+  mutable l_stall_ticks : int;
+      (* consecutive watchdog ticks the same sequence number has been
+         stuck; two ticks drive a view change to recover lost votes *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -156,6 +173,9 @@ type t = {
   on_leader_content : t -> leader -> Types.entry_id -> unit;
       (* composed cross-stage reaction to content arriving at a leader *)
   mutable started : bool;
+  mutable node_watch : bool;
+      (* per-group local-liveness watchdogs armed (lazily, on the first
+         node-level crash/recover — fault-free runs schedule nothing) *)
   mutable trace : Trace.t;
 }
 
@@ -203,8 +223,15 @@ and ord_strategy = {
 
 let now t = Sim.now t.sim
 let node_of t (a : Topology.addr) = t.nodes.(a.Topology.g).(a.Topology.n)
-let leader_addr gid = { Topology.g = gid; n = 0 }
-let is_leader_node (a : Topology.addr) = a.Topology.n = 0
+
+(* Leader addressing is dynamic: node 0 by deployment convention, until
+   a crash of the acting leader migrates the role within the group.
+   Routing to the *current* holder models leader discovery/redirect,
+   which settles well under one WAN RTT in a real deployment. *)
+let leader_addr t gid = t.leaders.(gid).l_addr
+
+let is_acting_leader t (a : Topology.addr) =
+  Topology.addr_equal t.leaders.(a.Topology.g).l_addr a
 let alive t (a : Topology.addr) = Topology.alive t.topo a
 let cpu_of t (a : Topology.addr) = Topology.cpu t.topo a
 
@@ -271,7 +298,7 @@ let has_content node eid = Entry_tbl.mem node.n_content eid
 let content_event t (node : node) eid =
   if not (has_content node eid) then begin
     Entry_tbl.replace node.n_content eid ();
-    if is_leader_node node.n_addr then
+    if is_acting_leader t node.n_addr then
       t.on_leader_content t t.leaders.(node.n_addr.Topology.g) eid
   end
 

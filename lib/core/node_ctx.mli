@@ -68,7 +68,9 @@ type node = {
 
 type leader = {
   l_gid : int;
-  l_addr : Topology.addr;
+  mutable l_addr : Topology.addr;
+      (** the node currently acting as group leader; migrated by the
+          engine after a PBFT view change deposes a crashed leader *)
   mutable l_rafts : rpayload Raft.t array;
   mutable l_orderer : Orderer.t option;
   l_store : Kvstore.t;
@@ -85,7 +87,7 @@ type leader = {
   mutable l_executed_rev : Types.entry_id list;
   mutable l_executed_count : int;
   l_accept_pending : (string, unit -> unit) Hashtbl.t;
-  l_accept_votes : (string, int ref) Hashtbl.t;
+  l_accept_votes : (string, ISet.t ref) Hashtbl.t;
   l_accept_notes : int ref Entry_tbl.t;
   l_ts_mark : (string, unit) Hashtbl.t;
   l_ts_seen : (string, unit) Hashtbl.t;
@@ -100,6 +102,9 @@ type leader = {
   l_fetch_q : Types.entry_id Queue.t;
   mutable l_fetch_out : int;
   l_stuck : (string, int ref) Hashtbl.t;
+  mutable l_vc_target : int;
+  mutable l_stall_seq : int;
+  mutable l_stall_ticks : int;
 }
 
 type t = {
@@ -118,6 +123,7 @@ type t = {
   deliver : t -> src:Topology.addr -> dst:Topology.addr -> msg -> unit;
   on_leader_content : t -> leader -> Types.entry_id -> unit;
   mutable started : bool;
+  mutable node_watch : bool;
   mutable trace : Trace.t;
 }
 
@@ -148,8 +154,11 @@ and ord_strategy = {
 
 val now : t -> float
 val node_of : t -> Topology.addr -> node
-val leader_addr : int -> Topology.addr
-val is_leader_node : Topology.addr -> bool
+val leader_addr : t -> int -> Topology.addr
+(** The address currently acting as the group's leader (node 0 until a
+    view-change migration moves it). *)
+
+val is_acting_leader : t -> Topology.addr -> bool
 val alive : t -> Topology.addr -> bool
 val cpu_of : t -> Topology.addr -> Cpu.t
 val entry_of : t -> Types.entry_id -> entry

@@ -38,6 +38,16 @@ let append t ~gid ~seq ~txn_count ~payload_digest =
 let height t = t.len
 let blocks t = List.rev t.rev_blocks
 
+let blocks_from t ~height =
+  (* rev_blocks holds the newest first: the suffix from [height] is its
+     first [len - height] elements, reversed — O(new blocks), so a
+     poller re-reading only the growth stays cheap. *)
+  let rec take acc k l =
+    if k = 0 then acc
+    else match l with [] -> acc | b :: rest -> take (b :: acc) (k - 1) rest
+  in
+  if height >= t.len then [] else take [] (t.len - height) t.rev_blocks
+
 let verify t =
   let rec go prev = function
     | [] -> true

@@ -32,6 +32,11 @@ val head_hash : t -> string
 val blocks : t -> block list
 (** Oldest first. *)
 
+val blocks_from : t -> height:int -> block list
+(** The blocks at positions [height ..], oldest first — O(number
+    returned), so an incremental reader (the cross-chain invariant
+    poller) pays only for the growth since its last call. *)
+
 val verify : t -> bool
 (** Recomputes every hash and link; [false] if any block was tampered
     with. *)

@@ -1,0 +1,340 @@
+(* The seeded chaos fuzzer: generate a random-but-valid fault schedule
+   from an explicit Rng, run it against a deployment with the invariant
+   checkers attached, and — when a schedule kills an invariant — shrink
+   it by delta-debugging bisection to a minimal reproducer.
+
+   The generator is system-aware. Group crashes, WAN message drops and
+   partitions are only drawn for systems whose global phase can repair
+   arbitrary loss (per-group Raft: anti-entropy re-ships, takeover +
+   transfer-back per §V-C). GeoBFT has no global retransmission by
+   design (Table I: it cannot survive a group crash), and Steward's
+   single log stalls with its proposer, so for those systems the
+   generator sticks to recoverable faults: delays, duplication,
+   degradations, gray CPUs, and follower crashes. It also never crashes
+   more than f nodes of any group, and never leaves a fault unhealed —
+   so every generated schedule is one the system under test claims to
+   tolerate, and any invariant violation is a real bug. *)
+
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Engine = Massbft.Engine
+module Config = Massbft.Config
+module Trace = Massbft_trace.Trace
+module Registry = Massbft_obs.Registry
+module Rng = Massbft_util.Rng
+module Intmath = Massbft_util.Intmath
+module F = Fault_spec
+
+(* ------------------------------------------------------------------ *)
+(* Schedule generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Millisecond quantization keeps the text form round-trippable. *)
+let q t = Float.round (t *. 1000.0) /. 1000.0
+
+let gen_schedule rng ~(cfg : Config.t) ~(spec : Topology.spec) ~duration =
+  let gs = spec.Topology.group_sizes in
+  let ng = Array.length gs in
+  let heavy =
+    Config.global_of cfg.Config.system = Config.Per_group_raft && ng >= 3
+  in
+  let t_lo = 0.5 and t_hi = Float.max 1.0 (0.4 *. duration) in
+  let rt () = q (t_lo +. Rng.float rng (t_hi -. t_lo)) in
+  let win lo hi = q (lo +. Rng.float rng (hi -. lo)) in
+  let pick_g () = Rng.int rng ng in
+  let pick_link () =
+    let s = pick_g () in
+    (s, (s + 1 + Rng.int rng (ng - 1)) mod ng)
+  in
+  let cls () =
+    match Rng.int rng 3 with 0 -> F.Any | 1 -> F.Bulk | _ -> F.Control
+  in
+  (* Never more than f concurrently-faulty nodes per group; at most one
+     heavy fault (leader crash / group crash / partition) per schedule
+     so recoveries never compound. *)
+  let crashed = Array.make ng [] in
+  let heavy_used = ref false in
+  let events = ref [] in
+  let add at fault = events := { F.at; fault } :: !events in
+  let gen_slow_cpu () =
+    let g = pick_g () in
+    let n = Rng.int rng gs.(g) in
+    add (rt ())
+      (F.Slow_cpu
+         {
+           addr = { Topology.g; n };
+           factor = float_of_int (2 + Rng.int rng 6);
+           for_s = win 1.0 3.0;
+         })
+  in
+  let n_faults = 2 + Rng.int rng 4 in
+  for _ = 1 to n_faults do
+    match Rng.int rng (if heavy then 9 else 6) with
+    | 0 -> gen_slow_cpu ()
+    | 1 ->
+        add (rt ())
+          (F.Wan_degrade
+             {
+               g = pick_g ();
+               factor = float_of_int (5 + Rng.int rng 10) /. 20.0;
+               for_s = win 1.0 3.0;
+             })
+    | 2 ->
+        add (rt ())
+          (F.Lan_degrade
+             {
+               g = pick_g ();
+               factor = float_of_int (5 + Rng.int rng 10) /. 20.0;
+               for_s = win 1.0 2.0;
+             })
+    | 3 ->
+        let src_g, dst_g = pick_link () in
+        add (rt ())
+          (F.Link_delay
+             {
+               src_g;
+               dst_g;
+               add_s = float_of_int (20 + Rng.int rng 80) /. 1000.0;
+               cls = cls ();
+               for_s = win 1.0 2.0;
+             })
+    | 4 ->
+        let src_g, dst_g = pick_link () in
+        add (rt ())
+          (F.Link_dup
+             {
+               src_g;
+               dst_g;
+               copies = 1 + Rng.int rng 2;
+               every = 1 + Rng.int rng 3;
+               cls = cls ();
+               for_s = win 1.0 2.0;
+             })
+    | 5 ->
+        (* Follower crash + recover: allowed for every system. *)
+        let g = pick_g () in
+        let f = Intmath.pbft_f gs.(g) in
+        let candidates =
+          List.filter
+            (fun n -> not (List.mem n crashed.(g)))
+            (List.init (gs.(g) - 1) (fun i -> i + 1))
+        in
+        if List.length crashed.(g) < f && candidates <> [] then begin
+          let n = List.nth candidates (Rng.int rng (List.length candidates)) in
+          crashed.(g) <- n :: crashed.(g);
+          let at = rt () in
+          add at (F.Crash_node { Topology.g; n });
+          add (q (at +. win 1.0 2.0)) (F.Recover_node { Topology.g; n })
+        end
+        else gen_slow_cpu ()
+    | 6 ->
+        (* Acting-leader crash: exercises the PBFT view change and the
+           engine's leader migration. *)
+        let g = pick_g () in
+        if
+          (not !heavy_used)
+          && crashed.(g) = []
+          && Intmath.pbft_f gs.(g) >= 1
+        then begin
+          heavy_used := true;
+          crashed.(g) <- [ 0 ];
+          let at = rt () in
+          add at (F.Crash_node { Topology.g; n = 0 });
+          add (q (at +. win 2.0 3.5)) (F.Recover_node { Topology.g; n = 0 })
+        end
+        else gen_slow_cpu ()
+    | 7 ->
+        let g = pick_g () in
+        if (not !heavy_used) && crashed.(g) = [] then begin
+          heavy_used := true;
+          crashed.(g) <- List.init gs.(g) (fun n -> n);
+          let at = rt () in
+          add at (F.Crash_group g);
+          add (q (at +. win 1.0 2.0)) (F.Recover_group g)
+        end
+        else gen_slow_cpu ()
+    | _ ->
+        if not !heavy_used then begin
+          heavy_used := true;
+          if Rng.bool rng then
+            add (rt ())
+              (F.Partition { groups = [ pick_g () ]; for_s = win 0.5 1.5 })
+          else
+            let src_g, dst_g = pick_link () in
+            add (rt ())
+              (F.Link_drop
+                 {
+                   src_g;
+                   dst_g;
+                   every = 1 + Rng.int rng 4;
+                   cls = cls ();
+                   for_s = win 0.5 1.5;
+                 })
+        end
+        else gen_slow_cpu ()
+  done;
+  F.sorted (List.rev !events)
+
+(* ------------------------------------------------------------------ *)
+(* Running one schedule                                                *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  schedule : F.schedule;
+  violations : Invariants.violation list;
+  executed : int;
+  injected : int;
+  ran_until : float;
+}
+
+let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
+    ?registry ~(spec : Topology.spec) ~(cfg : Config.t) schedule =
+  (* Recovering from a healed group crash legitimately spans several
+     election timeouts (takeover, catch-up, transfer-back), so the
+     default stall bound scales with the configured timeout rather than
+     asserting a fixed number. *)
+  let liveness_bound_s =
+    match liveness_bound_s with
+    | Some b -> b
+    | None -> Float.max 3.0 (4.0 *. cfg.Config.election_timeout_s)
+  in
+  (* Each run allocates a full cluster; keep long campaigns flat. *)
+  Gc.compact ();
+  let sim = Sim.create () in
+  let topo = Topology.create sim spec in
+  let engine = Engine.create sim topo cfg in
+  (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
+  let inj = Injector.create ?trace ?registry ~spec ~schedule engine sim topo in
+  let heal = F.heal_time schedule in
+  let inv =
+    Invariants.create ~liveness_bound_s ~heal_by:heal engine sim
+  in
+  Engine.start engine;
+  Injector.arm inj;
+  Invariants.attach inv;
+  (* Run past the heal point far enough for the liveness watchdog to
+     have a verdict. *)
+  let until =
+    if Float.is_finite heal then
+      Float.max duration (heal +. liveness_bound_s +. 1.5)
+    else duration
+  in
+  Sim.run sim ~until;
+  Invariants.finalize inv;
+  {
+    schedule;
+    violations = Invariants.violations inv;
+    executed = Engine.entries_executed_total engine;
+    injected = Injector.injected_total inj;
+    ran_until = until;
+  }
+
+let failed outcome = outcome.violations <> []
+
+(* ------------------------------------------------------------------ *)
+(* Schedule shrinking (delta debugging)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Classic ddmin over the event list: try dropping ever-finer chunks,
+   keeping any reduction that still fails. [fails] is the oracle —
+   normally a full re-run, but tests may substitute any predicate. *)
+let shrink ~fails schedule =
+  let drop_chunk lst ~start ~len =
+    List.filteri (fun i _ -> i < start || i >= start + len) lst
+  in
+  let rec go n sched =
+    let len = List.length sched in
+    if len <= 1 then sched
+    else begin
+      let n = min n len in
+      let chunk = (len + n - 1) / n in
+      let rec try_chunks start =
+        if start >= len then None
+        else
+          let reduced = drop_chunk sched ~start ~len:chunk in
+          if reduced <> [] && fails reduced then Some reduced
+          else try_chunks (start + chunk)
+      in
+      match try_chunks 0 with
+      | Some reduced -> go (max 2 (n - 1)) reduced
+      | None -> if n >= len then sched else go (min len (2 * n)) sched
+    end
+  in
+  if fails schedule then go 2 schedule else schedule
+
+(* ------------------------------------------------------------------ *)
+(* Drill and campaign                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let repro_line ~seed ~(system : Config.system) =
+  Printf.sprintf "massbft drill --seed %Ld --system %s" seed
+    (String.lowercase_ascii (Config.system_name system))
+
+type drill_result = {
+  seed : int64;
+  system : Config.system;
+  outcome : outcome;
+  shrunk : F.schedule option;
+      (* minimal failing schedule, when the original failed *)
+}
+
+let drill ?duration ?liveness_bound_s ?trace ?registry ?(shrink_failures = true)
+    ~spec ~cfg ~seed () =
+  let rng = Rng.create seed in
+  let gen_duration = Option.value ~default:10.0 duration in
+  let schedule = gen_schedule rng ~cfg ~spec ~duration:gen_duration in
+  let outcome =
+    run_schedule ?duration ?liveness_bound_s ?trace ?registry ~spec ~cfg
+      schedule
+  in
+  let shrunk =
+    if failed outcome && shrink_failures then
+      Some
+        (shrink
+           ~fails:(fun s ->
+             failed
+               (run_schedule ?duration ?liveness_bound_s ~spec ~cfg s))
+           schedule)
+    else None
+  in
+  { seed; system = cfg.Config.system; outcome; shrunk }
+
+type campaign_result = {
+  total : int;
+  results : drill_result list;  (* in run order *)
+  failures : drill_result list;
+}
+
+let campaign ?duration ?liveness_bound_s ?(shrink_failures = false)
+    ?(systems = Config.all_systems) ?on_run ~spec ~cfg ~seeds () =
+  let results =
+    List.concat_map
+      (fun system ->
+        List.map
+          (fun seed ->
+            let r =
+              drill ?duration ?liveness_bound_s ~shrink_failures ~spec
+                ~cfg:{ cfg with Config.system } ~seed ()
+            in
+            (match on_run with Some f -> f r | None -> ());
+            r)
+          seeds)
+      systems
+  in
+  {
+    total = List.length results;
+    results;
+    failures = List.filter (fun r -> failed r.outcome) results;
+  }
+
+let pp_drill fmt r =
+  let status =
+    if failed r.outcome then
+      Printf.sprintf "FAIL (%d violations)" (List.length r.outcome.violations)
+    else "ok"
+  in
+  Format.fprintf fmt "%-9s seed=%-6Ld faults=%-2d executed=%-5d %s"
+    (Config.system_name r.system)
+    r.seed
+    (List.length r.outcome.schedule)
+    r.outcome.executed status

@@ -1,0 +1,105 @@
+(** Seeded chaos fuzzer: random fault-schedule generation, campaign
+    driving, and delta-debugging shrink of failing schedules.
+
+    Everything is deterministic in the seed: the same seed against the
+    same config and cluster spec generates a byte-identical schedule and
+    a result-identical run, so a campaign failure is reproducible as
+    [massbft drill --seed S --system SYS] (see {!repro_line}).
+
+    The generator is system-aware: group crashes, WAN drops and
+    partitions are only drawn for systems whose global phase retransmits
+    (per-group Raft); it crashes at most f nodes per group and heals
+    every fault it injects, so a generated schedule is always within the
+    system's claimed fault tolerance and any invariant violation is a
+    real bug. *)
+
+val gen_schedule :
+  Massbft_util.Rng.t ->
+  cfg:Massbft.Config.t ->
+  spec:Massbft_sim.Topology.spec ->
+  duration:float ->
+  Fault_spec.schedule
+(** Draw a schedule of 2–6 faults landing in [0.5, 0.4*duration], all
+    healed within a few seconds after. Times are millisecond-quantized
+    so the text form round-trips exactly. *)
+
+type outcome = {
+  schedule : Fault_spec.schedule;
+  violations : Invariants.violation list;
+  executed : int;  (** entries executed across all groups *)
+  injected : int;  (** fault events applied *)
+  ran_until : float;  (** simulated seconds *)
+}
+
+val run_schedule :
+  ?duration:float ->
+  ?liveness_bound_s:float ->
+  ?trace:Massbft_trace.Trace.t ->
+  ?registry:Massbft_obs.Registry.t ->
+  spec:Massbft_sim.Topology.spec ->
+  cfg:Massbft.Config.t ->
+  Fault_spec.schedule ->
+  outcome
+(** Build a fresh deployment, arm the injector and the invariant
+    checkers, and run for [duration] (default 10.0) simulated seconds —
+    extended past the schedule's heal time when needed so the liveness
+    watchdog gets a verdict. [liveness_bound_s] defaults to
+    [max 3.0 (4 * election_timeout_s)]: post-heal recovery from a group
+    outage legitimately spans several election timeouts (takeover,
+    catch-up, transfer-back). *)
+
+val failed : outcome -> bool
+
+val shrink :
+  fails:(Fault_spec.schedule -> bool) -> Fault_spec.schedule -> Fault_spec.schedule
+(** ddmin: a 1-minimal-ish sub-schedule still satisfying [fails]
+    (dropping any tried chunk makes it pass). Returns the input
+    unchanged if it does not fail. *)
+
+type drill_result = {
+  seed : int64;
+  system : Massbft.Config.system;
+  outcome : outcome;
+  shrunk : Fault_spec.schedule option;
+      (** minimal failing schedule, when the original failed *)
+}
+
+val drill :
+  ?duration:float ->
+  ?liveness_bound_s:float ->
+  ?trace:Massbft_trace.Trace.t ->
+  ?registry:Massbft_obs.Registry.t ->
+  ?shrink_failures:bool ->
+  spec:Massbft_sim.Topology.spec ->
+  cfg:Massbft.Config.t ->
+  seed:int64 ->
+  unit ->
+  drill_result
+(** One fuzzing round: generate from [seed], run, and (by default)
+    shrink on failure. *)
+
+type campaign_result = {
+  total : int;
+  results : drill_result list;  (** in run order *)
+  failures : drill_result list;
+}
+
+val campaign :
+  ?duration:float ->
+  ?liveness_bound_s:float ->
+  ?shrink_failures:bool ->
+  ?systems:Massbft.Config.system list ->
+  ?on_run:(drill_result -> unit) ->
+  spec:Massbft_sim.Topology.spec ->
+  cfg:Massbft.Config.t ->
+  seeds:int64 list ->
+  unit ->
+  campaign_result
+(** Every system (default: all seven) times every seed, overriding
+    [cfg]'s system per run. [shrink_failures] defaults to false here —
+    campaigns report; {!drill} reproduces and shrinks. *)
+
+val repro_line : seed:int64 -> system:Massbft.Config.system -> string
+(** The one-liner that reproduces a campaign failure. *)
+
+val pp_drill : Format.formatter -> drill_result -> unit

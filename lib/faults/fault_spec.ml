@@ -1,0 +1,379 @@
+(* The fault-schedule DSL: typed fault specs with a stable one-line
+   text form, so a failing chaos schedule travels as a few readable
+   lines (a CI artifact, a bug report, a `massbft drill` repro) and
+   parses back into exactly the same injection. *)
+
+module Topology = Massbft_sim.Topology
+
+type service_class = Any | Bulk | Control
+
+let class_name = function Any -> "any" | Bulk -> "bulk" | Control -> "control"
+
+let class_of_name = function
+  | "any" -> Some Any
+  | "bulk" -> Some Bulk
+  | "control" -> Some Control
+  | _ -> None
+
+type fault =
+  | Crash_node of Topology.addr
+  | Recover_node of Topology.addr
+  | Crash_group of int
+  | Recover_group of int
+  | Partition of { groups : int list; for_s : float }
+  | Link_drop of {
+      src_g : int;
+      dst_g : int;
+      every : int;
+      cls : service_class;
+      for_s : float;
+    }
+  | Link_delay of {
+      src_g : int;
+      dst_g : int;
+      add_s : float;
+      cls : service_class;
+      for_s : float;
+    }
+  | Link_dup of {
+      src_g : int;
+      dst_g : int;
+      copies : int;
+      every : int;
+      cls : service_class;
+      for_s : float;
+    }
+  | Wan_degrade of { g : int; factor : float; for_s : float }
+  | Lan_degrade of { g : int; factor : float; for_s : float }
+  | Slow_cpu of { addr : Topology.addr; factor : float; for_s : float }
+
+type event = { at : float; fault : fault }
+type schedule = event list
+
+let kind_name = function
+  | Crash_node _ -> "crash_node"
+  | Recover_node _ -> "recover_node"
+  | Crash_group _ -> "crash_group"
+  | Recover_group _ -> "recover_group"
+  | Partition _ -> "partition"
+  | Link_drop _ -> "link_drop"
+  | Link_delay _ -> "link_delay"
+  | Link_dup _ -> "link_dup"
+  | Wan_degrade _ -> "wan_degrade"
+  | Lan_degrade _ -> "lan_degrade"
+  | Slow_cpu _ -> "slow_cpu"
+
+(* %g keeps the text form compact and round-trips every value the
+   generator emits (times quantized to 1 ms, small factors). *)
+let fl = Printf.sprintf "%g"
+
+let addr_str (a : Topology.addr) =
+  Printf.sprintf "g%d/n%d" a.Topology.g a.Topology.n
+
+let fault_to_string = function
+  | Crash_node a -> "crash-node " ^ addr_str a
+  | Recover_node a -> "recover-node " ^ addr_str a
+  | Crash_group g -> Printf.sprintf "crash-group g%d" g
+  | Recover_group g -> Printf.sprintf "recover-group g%d" g
+  | Partition { groups; for_s } ->
+      Printf.sprintf "partition %s for %s"
+        (String.concat ","
+           (List.map (fun g -> Printf.sprintf "g%d" g) groups))
+        (fl for_s)
+  | Link_drop { src_g; dst_g; every; cls; for_s } ->
+      Printf.sprintf "link-drop g%d->g%d every %d class %s for %s" src_g dst_g
+        every (class_name cls) (fl for_s)
+  | Link_delay { src_g; dst_g; add_s; cls; for_s } ->
+      Printf.sprintf "link-delay g%d->g%d add %s class %s for %s" src_g dst_g
+        (fl add_s) (class_name cls) (fl for_s)
+  | Link_dup { src_g; dst_g; copies; every; cls; for_s } ->
+      Printf.sprintf "link-dup g%d->g%d copies %d every %d class %s for %s"
+        src_g dst_g copies every (class_name cls) (fl for_s)
+  | Wan_degrade { g; factor; for_s } ->
+      Printf.sprintf "wan-degrade g%d factor %s for %s" g (fl factor)
+        (fl for_s)
+  | Lan_degrade { g; factor; for_s } ->
+      Printf.sprintf "lan-degrade g%d factor %s for %s" g (fl factor)
+        (fl for_s)
+  | Slow_cpu { addr; factor; for_s } ->
+      Printf.sprintf "slow-cpu %s factor %s for %s" (addr_str addr)
+        (fl factor) (fl for_s)
+
+let event_to_string { at; fault } =
+  Printf.sprintf "@%s %s" (fl at) (fault_to_string fault)
+
+let to_string sched =
+  String.concat "" (List.map (fun e -> event_to_string e ^ "\n") sched)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "bad %s %S" what s
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "bad %s %S" what s
+
+let parse_gid s =
+  if String.length s >= 2 && s.[0] = 'g' then
+    parse_int "group" (String.sub s 1 (String.length s - 1))
+  else fail "bad group %S (expected gN)" s
+
+let parse_addr s =
+  match String.index_opt s '/' with
+  | Some i
+    when i >= 2
+         && s.[0] = 'g'
+         && String.length s > i + 2
+         && s.[i + 1] = 'n' ->
+      let g = parse_int "group" (String.sub s 1 (i - 1)) in
+      let n =
+        parse_int "node" (String.sub s (i + 2) (String.length s - i - 2))
+      in
+      { Topology.g; n }
+  | _ -> fail "bad address %S (expected gG/nN)" s
+
+let parse_link s =
+  match
+    String.index_opt s '-' |> Option.map (fun i -> (i, String.length s))
+  with
+  | Some (i, len) when len > i + 2 && s.[i + 1] = '>' ->
+      ( parse_gid (String.sub s 0 i),
+        parse_gid (String.sub s (i + 2) (len - i - 2)) )
+  | _ -> fail "bad link %S (expected gA->gB)" s
+
+let parse_class s =
+  match class_of_name s with
+  | Some c -> c
+  | None -> fail "bad service class %S" s
+
+(* [key v key v ...] pairs after the fault's positional arguments. *)
+let rec kw_args = function
+  | [] -> []
+  | [ k ] -> fail "missing value for %S" k
+  | k :: v :: rest -> (k, v) :: kw_args rest
+
+let kw what args k =
+  match List.assoc_opt k args with
+  | Some v -> v
+  | None -> fail "%s: missing %S" what k
+
+let fault_of_tokens = function
+  | [ "crash-node"; a ] -> Crash_node (parse_addr a)
+  | [ "recover-node"; a ] -> Recover_node (parse_addr a)
+  | [ "crash-group"; g ] -> Crash_group (parse_gid g)
+  | [ "recover-group"; g ] -> Recover_group (parse_gid g)
+  | "partition" :: groups :: rest ->
+      let args = kw_args rest in
+      Partition
+        {
+          groups =
+            List.map parse_gid (String.split_on_char ',' groups);
+          for_s = parse_float "duration" (kw "partition" args "for");
+        }
+  | "link-drop" :: link :: rest ->
+      let src_g, dst_g = parse_link link in
+      let args = kw_args rest in
+      Link_drop
+        {
+          src_g;
+          dst_g;
+          every = parse_int "every" (kw "link-drop" args "every");
+          cls = parse_class (kw "link-drop" args "class");
+          for_s = parse_float "duration" (kw "link-drop" args "for");
+        }
+  | "link-delay" :: link :: rest ->
+      let src_g, dst_g = parse_link link in
+      let args = kw_args rest in
+      Link_delay
+        {
+          src_g;
+          dst_g;
+          add_s = parse_float "delay" (kw "link-delay" args "add");
+          cls = parse_class (kw "link-delay" args "class");
+          for_s = parse_float "duration" (kw "link-delay" args "for");
+        }
+  | "link-dup" :: link :: rest ->
+      let src_g, dst_g = parse_link link in
+      let args = kw_args rest in
+      Link_dup
+        {
+          src_g;
+          dst_g;
+          copies = parse_int "copies" (kw "link-dup" args "copies");
+          every = parse_int "every" (kw "link-dup" args "every");
+          cls = parse_class (kw "link-dup" args "class");
+          for_s = parse_float "duration" (kw "link-dup" args "for");
+        }
+  | "wan-degrade" :: g :: rest ->
+      let args = kw_args rest in
+      Wan_degrade
+        {
+          g = parse_gid g;
+          factor = parse_float "factor" (kw "wan-degrade" args "factor");
+          for_s = parse_float "duration" (kw "wan-degrade" args "for");
+        }
+  | "lan-degrade" :: g :: rest ->
+      let args = kw_args rest in
+      Lan_degrade
+        {
+          g = parse_gid g;
+          factor = parse_float "factor" (kw "lan-degrade" args "factor");
+          for_s = parse_float "duration" (kw "lan-degrade" args "for");
+        }
+  | "slow-cpu" :: a :: rest ->
+      let args = kw_args rest in
+      Slow_cpu
+        {
+          addr = parse_addr a;
+          factor = parse_float "factor" (kw "slow-cpu" args "factor");
+          for_s = parse_float "duration" (kw "slow-cpu" args "for");
+        }
+  | tok :: _ -> fail "unknown fault %S" tok
+  | [] -> fail "empty fault"
+
+let event_of_string line =
+  match
+    List.filter
+      (fun s -> s <> "")
+      (String.split_on_char ' ' (String.trim line))
+  with
+  | at :: rest when String.length at > 1 && at.[0] = '@' ->
+      {
+        at = parse_float "time" (String.sub at 1 (String.length at - 1));
+        fault = fault_of_tokens rest;
+      }
+  | _ -> fail "bad event line %S (expected \"@TIME FAULT ...\")" line
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  |> List.map event_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Validation and schedule queries                                     *)
+(* ------------------------------------------------------------------ *)
+
+let validate ~(group_sizes : int array) sched =
+  let ng = Array.length group_sizes in
+  let check_g what g =
+    if g < 0 || g >= ng then Error (Printf.sprintf "%s: group %d out of range" what g)
+    else Ok ()
+  in
+  let check_addr what (a : Topology.addr) =
+    match check_g what a.Topology.g with
+    | Error _ as e -> e
+    | Ok () ->
+        if a.Topology.n < 0 || a.Topology.n >= group_sizes.(a.Topology.g) then
+          Error
+            (Printf.sprintf "%s: node %s out of range" what (addr_str a))
+        else Ok ()
+  in
+  let check_pos what v =
+    if v > 0.0 && Float.is_finite v then Ok ()
+    else Error (Printf.sprintf "%s: duration must be positive" what)
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let check_fault f =
+    let what = kind_name f in
+    match f with
+    | Crash_node a | Recover_node a -> check_addr what a
+    | Crash_group g | Recover_group g -> check_g what g
+    | Partition { groups; for_s } ->
+        check_pos what for_s >>= fun () ->
+        if groups = [] then Error "partition: empty group list"
+        else
+          List.fold_left
+            (fun acc g -> acc >>= fun () -> check_g what g)
+            (Ok ()) groups
+    | Link_drop { src_g; dst_g; every; for_s; _ } ->
+        check_g what src_g >>= fun () ->
+        check_g what dst_g >>= fun () ->
+        check_pos what for_s >>= fun () ->
+        if every < 1 then Error "link-drop: every must be >= 1"
+        else if src_g = dst_g then Error "link-drop: WAN links only"
+        else Ok ()
+    | Link_delay { src_g; dst_g; add_s; for_s; _ } ->
+        check_g what src_g >>= fun () ->
+        check_g what dst_g >>= fun () ->
+        check_pos what for_s >>= fun () ->
+        if add_s <= 0.0 || not (Float.is_finite add_s) then
+          Error "link-delay: add must be positive"
+        else if src_g = dst_g then Error "link-delay: WAN links only"
+        else Ok ()
+    | Link_dup { src_g; dst_g; copies; every; for_s; _ } ->
+        check_g what src_g >>= fun () ->
+        check_g what dst_g >>= fun () ->
+        check_pos what for_s >>= fun () ->
+        if copies < 1 then Error "link-dup: copies must be >= 1"
+        else if every < 1 then Error "link-dup: every must be >= 1"
+        else if src_g = dst_g then Error "link-dup: WAN links only"
+        else Ok ()
+    | Wan_degrade { g; factor; for_s } | Lan_degrade { g; factor; for_s } ->
+        check_g what g >>= fun () ->
+        check_pos what for_s >>= fun () ->
+        if factor > 0.0 && factor <= 1.0 then Ok ()
+        else Error (what ^ ": factor must be in (0, 1]")
+    | Slow_cpu { addr; factor; for_s } ->
+        check_addr what addr >>= fun () ->
+        check_pos what for_s >>= fun () ->
+        if factor >= 1.0 && Float.is_finite factor then Ok ()
+        else Error "slow-cpu: factor must be >= 1"
+  in
+  List.fold_left
+    (fun acc { at; fault } ->
+      acc >>= fun () ->
+      if at < 0.0 || not (Float.is_finite at) then
+        Error (Printf.sprintf "%s: negative time" (kind_name fault))
+      else check_fault fault)
+    (Ok ()) sched
+
+(* When has every injected fault healed? Crashes heal at their matching
+   recover event (infinity if never recovered — disables the liveness
+   watchdog); window faults heal when their window closes. *)
+let heal_time sched =
+  let recover_at pred from =
+    List.fold_left
+      (fun acc { at; fault } ->
+        if at >= from && pred fault then Float.min acc at else acc)
+      infinity sched
+  in
+  List.fold_left
+    (fun acc { at; fault } ->
+      let healed =
+        match fault with
+        | Crash_node a ->
+            recover_at
+              (function
+                | Recover_node b -> Topology.addr_equal a b | _ -> false)
+              at
+        | Crash_group g ->
+            recover_at
+              (function Recover_group g' -> g = g' | _ -> false)
+              at
+        | Recover_node _ | Recover_group _ -> at
+        | Partition { for_s; _ }
+        | Link_drop { for_s; _ }
+        | Link_delay { for_s; _ }
+        | Link_dup { for_s; _ }
+        | Wan_degrade { for_s; _ }
+        | Lan_degrade { for_s; _ }
+        | Slow_cpu { for_s; _ } ->
+            at +. for_s
+      in
+      Float.max acc healed)
+    0.0 sched
+
+let sorted sched =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) sched

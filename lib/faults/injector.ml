@@ -1,0 +1,252 @@
+(* Applies a fault schedule to a running deployment at scheduled sim
+   times. Node/group crashes go through the engine (which owns the
+   leader-migration machinery); link faults interpose on the topology's
+   send path through its single fault hook; degradations reconfigure
+   NIC bandwidths and CPU speed factors, healing back to nominal when
+   their window closes.
+
+   Everything is armed up front ([arm]) as plain simulator events, so a
+   run with an injector replays bit-identically from the same seed and
+   schedule. With an empty schedule, [arm] schedules nothing and
+   installs no hook — the run is indistinguishable from a fault-free
+   one. *)
+
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Cpu = Massbft_sim.Cpu
+module Engine = Massbft.Engine
+module Trace = Massbft_trace.Trace
+module Registry = Massbft_obs.Registry
+module F = Fault_spec
+
+(* A link fault currently in force; [count] numbers the matching
+   messages so [every]-gated faults hit a deterministic subsequence. *)
+type active = { af : F.fault; count : int ref }
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  engine : Engine.t;
+  spec : Topology.spec;
+  schedule : F.schedule;
+  trace : Trace.t;
+  registry : Registry.t option;
+  kind_counters : (string, Registry.counter) Hashtbl.t;
+  mutable active : active list;
+  mutable injected : int;
+  mutable armed : bool;
+}
+
+let create ?(trace = Trace.null) ?registry ~spec ~schedule engine sim topo =
+  (match F.validate ~group_sizes:spec.Topology.group_sizes schedule with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Injector.create: " ^ e));
+  {
+    sim;
+    topo;
+    engine;
+    spec;
+    schedule = F.sorted schedule;
+    trace;
+    registry;
+    kind_counters = Hashtbl.create 11;
+    active = [];
+    injected = 0;
+    armed = false;
+  }
+
+let schedule t = t.schedule
+let injected_total t = t.injected
+
+let count_injection t fault =
+  t.injected <- t.injected + 1;
+  match t.registry with
+  | None -> ()
+  | Some reg ->
+      let kind = F.kind_name fault in
+      let c =
+        match Hashtbl.find_opt t.kind_counters kind with
+        | Some c -> c
+        | None ->
+            (* Register each kind's series once; the same (name, labels)
+               pair may only be registered once per registry. *)
+            let c =
+              Registry.counter reg ~name:"massbft_faults_injected_total"
+                ~help:"Fault events applied by the chaos injector"
+                [ ("kind", kind) ]
+            in
+            Hashtbl.replace t.kind_counters kind c;
+            c
+      in
+      Registry.inc c
+
+(* ------------------------------------------------------------------ *)
+(* The link-fault hook                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let class_match cls ~bulk =
+  match cls with F.Any -> true | F.Bulk -> bulk | F.Control -> not bulk
+
+let dup_spacing_s = 0.001
+
+(* First applicable active fault wins; [every]-gated faults count every
+   matching message but only act on the [every]-th. *)
+let decide a ~(src : Topology.addr) ~(dst : Topology.addr) ~bulk =
+  match a.af with
+  | F.Partition { groups; _ } ->
+      let inside g = List.mem g groups in
+      if inside src.Topology.g <> inside dst.Topology.g then
+        Some Topology.Net_drop
+      else None
+  | F.Link_drop { src_g; dst_g; every; cls; _ } ->
+      if
+        src.Topology.g = src_g
+        && dst.Topology.g = dst_g
+        && class_match cls ~bulk
+      then begin
+        incr a.count;
+        if !(a.count) mod every = 0 then Some Topology.Net_drop else None
+      end
+      else None
+  | F.Link_delay { src_g; dst_g; add_s; cls; _ } ->
+      if
+        src.Topology.g = src_g
+        && dst.Topology.g = dst_g
+        && class_match cls ~bulk
+      then Some (Topology.Net_delay add_s)
+      else None
+  | F.Link_dup { src_g; dst_g; copies; every; cls; _ } ->
+      if
+        src.Topology.g = src_g
+        && dst.Topology.g = dst_g
+        && class_match cls ~bulk
+      then begin
+        incr a.count;
+        if !(a.count) mod every = 0 then
+          Some (Topology.Net_dup { copies; spacing_s = dup_spacing_s })
+        else None
+      end
+      else None
+  | _ -> None
+
+let hook t : Topology.fault_hook =
+ fun ~src ~dst ~bulk ~bytes:_ ->
+  let rec scan = function
+    | [] -> None
+    | a :: rest -> (
+        match decide a ~src ~dst ~bulk with
+        | Some _ as f -> f
+        | None -> scan rest)
+  in
+  scan t.active
+
+let is_link_fault = function
+  | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ -> true
+  | _ -> false
+
+let add_active t fault =
+  t.active <- t.active @ [ { af = fault; count = ref 0 } ]
+
+let remove_active t fault =
+  let rec drop_first = function
+    | [] -> []
+    | a :: rest -> if a.af == fault then rest else a :: drop_first rest
+  in
+  t.active <- drop_first t.active
+
+(* ------------------------------------------------------------------ *)
+(* Apply / heal                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let group_nodes t g = Topology.group_nodes t.topo g
+
+let apply t fault =
+  match fault with
+  | F.Crash_node a -> Engine.crash_node t.engine a
+  | F.Recover_node a -> Engine.recover_node t.engine a
+  | F.Crash_group g -> Engine.crash_group t.engine g
+  | F.Recover_group g -> Engine.recover_group t.engine g
+  | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ ->
+      add_active t fault
+  | F.Wan_degrade { g; factor; _ } ->
+      List.iter
+        (fun a ->
+          Topology.set_wan_bandwidth t.topo a
+            (t.spec.Topology.wan_bps *. factor))
+        (group_nodes t g)
+  | F.Lan_degrade { g; factor; _ } ->
+      List.iter
+        (fun a ->
+          Topology.set_lan_bandwidth t.topo a
+            (t.spec.Topology.lan_bps *. factor))
+        (group_nodes t g)
+  | F.Slow_cpu { addr; factor; _ } ->
+      Cpu.set_speed_factor (Topology.cpu t.topo addr) factor
+
+(* Windows heal back to nominal (overlapping degradations of the same
+   resource therefore heal together — the generator never overlaps
+   them). *)
+let heal t fault =
+  match fault with
+  | F.Crash_node _ | F.Recover_node _ | F.Crash_group _ | F.Recover_group _
+    ->
+      ()
+  | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ ->
+      remove_active t fault
+  | F.Wan_degrade { g; _ } ->
+      List.iter
+        (fun a ->
+          Topology.set_wan_bandwidth t.topo a t.spec.Topology.wan_bps)
+        (group_nodes t g)
+  | F.Lan_degrade { g; _ } ->
+      List.iter
+        (fun a ->
+          Topology.set_lan_bandwidth t.topo a t.spec.Topology.lan_bps)
+        (group_nodes t g)
+  | F.Slow_cpu { addr; _ } ->
+      Cpu.set_speed_factor (Topology.cpu t.topo addr) 1.0
+
+let window_of = function
+  | F.Partition { for_s; _ }
+  | F.Link_drop { for_s; _ }
+  | F.Link_delay { for_s; _ }
+  | F.Link_dup { for_s; _ }
+  | F.Wan_degrade { for_s; _ }
+  | F.Lan_degrade { for_s; _ }
+  | F.Slow_cpu { for_s; _ } ->
+      Some for_s
+  | F.Crash_node _ | F.Recover_node _ | F.Crash_group _ | F.Recover_group _
+    ->
+      None
+
+let arm t =
+  if t.armed then invalid_arg "Injector.arm: already armed";
+  t.armed <- true;
+  if List.exists (fun { F.fault; _ } -> is_link_fault fault) t.schedule then
+    Topology.set_fault_hook t.topo (Some (hook t));
+  List.iter
+    (fun { F.at; fault } ->
+      ignore
+        (Sim.at t.sim
+           (Float.max at (Sim.now t.sim))
+           (fun () ->
+             count_injection t fault;
+             match window_of fault with
+             | None ->
+                 Trace.instant t.trace ~cat:"fault"
+                   (F.kind_name fault)
+                   ~args:[ ("spec", Trace.Str (F.fault_to_string fault)) ];
+                 apply t fault
+             | Some for_s ->
+                 let span =
+                   Trace.span_begin t.trace ~cat:"fault"
+                     (F.kind_name fault)
+                     ~args:
+                       [ ("spec", Trace.Str (F.fault_to_string fault)) ]
+                 in
+                 apply t fault;
+                 ignore
+                   (Sim.after t.sim for_s (fun () ->
+                        heal t fault;
+                        Trace.span_end t.trace span)))))
+    t.schedule

@@ -1,0 +1,61 @@
+(** Safety invariant checkers over a running engine.
+
+    A checker polls read-only engine accessors — attaching one never
+    changes what a run commits — and records violations of:
+
+    - {b cross_chain}: no two groups build different block hashes at
+      the same global ledger height;
+    - {b replica_prefix}: no two PBFT replicas of a group decide
+      different digests at the same local sequence number, and decided
+      digests match the proposer's entry;
+    - {b raft_monotone}: each leader's view of each global Raft
+      instance's commit index never goes backwards;
+    - {b liveness}: once every injected fault has healed, executed
+      entries keep advancing within a bound (a watchdog — reported at
+      most once per run);
+
+    plus, at {!finalize}: per-group ledger hash-chain integrity and
+    execution determinism (equal-height ledgers must yield equal
+    database fingerprints). *)
+
+type violation = { at : float; check : string; detail : string }
+
+exception Violation of violation
+(** Raised by checks when [fail_fast] was set. *)
+
+val violation_to_string : violation -> string
+
+type t
+
+val create :
+  ?liveness_bound_s:float ->
+  ?heal_by:float ->
+  ?fail_fast:bool ->
+  Massbft.Engine.t ->
+  Massbft_sim.Sim.t ->
+  t
+(** [liveness_bound_s] (default 3.0) is the maximum tolerated progress
+    gap after [heal_by] (default 0.0 — pass
+    [Fault_spec.heal_time schedule]; an infinite [heal_by], e.g. from a
+    never-recovered crash, disables the liveness watchdog entirely).
+    With [fail_fast] (default false) the first violation raises
+    {!Violation} out of the simulation instead of only recording. *)
+
+val attach : ?period:float -> t -> unit
+(** Polls {!check_now} every [period] (default 0.25) simulated seconds
+    for the rest of the run. *)
+
+val check_now : t -> unit
+(** One polling pass, incremental over the growth since the last. *)
+
+val finalize : t -> unit
+(** End-of-run pass: a last {!check_now}, ledger verification, and the
+    execution-determinism comparison. Call after the simulation. *)
+
+val violations : t -> violation list
+(** Oldest first. *)
+
+val ok : t -> bool
+
+val checks_run : t -> int
+(** Polling passes completed (diagnostics). *)

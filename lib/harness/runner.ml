@@ -6,6 +6,7 @@ module Metrics = Massbft.Metrics
 module Stats = Massbft_util.Stats
 module Sampler = Massbft_obs.Sampler
 module Saturation = Massbft_obs.Saturation
+module Injector = Massbft_faults.Injector
 
 type result = {
   system : Config.system;
@@ -27,8 +28,8 @@ type result = {
   binding_resource : string option;
 }
 
-let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ~spec ~cfg
-    () =
+let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
+    ~spec ~cfg () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
@@ -48,6 +49,15 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ~spec ~cfg
   Engine.start engine;
   Engine.set_measure_from engine warmup;
   (match on_engine with Some f -> f engine sim topo | None -> ());
+  (* Fault schedules arm through the same injector as the chaos fuzzer;
+     [?faults:None] (or an empty schedule) arms nothing and the run
+     stays bit-identical to a fault-free build. *)
+  (match faults with
+  | Some schedule when schedule <> [] ->
+      let registry = Option.map Sampler.registry obs in
+      Injector.arm
+        (Injector.create ?trace ?registry ~spec ~schedule engine sim topo)
+  | Some _ | None -> ());
   ignore
     (Sim.at sim warmup (fun () ->
          Topology.reset_traffic_baseline topo;
@@ -111,9 +121,9 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ~spec ~cfg
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
 let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?on_engine
-    ~spec ~cfg () =
+    ?faults ~spec ~cfg () =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
-  run ~duration ~warmup ?trace ?obs ?on_engine ~spec ~cfg:probe_cfg ()
+  run ~duration ~warmup ?trace ?obs ?on_engine ?faults ~spec ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

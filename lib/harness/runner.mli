@@ -34,6 +34,7 @@ val run :
   ?trace:Massbft_trace.Trace.t ->
   ?obs:Massbft_obs.Sampler.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
+  ?faults:Massbft_faults.Fault_spec.schedule ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->
@@ -51,7 +52,11 @@ val run :
     metrics are independent — pass either, both, or neither.
     [on_engine] runs after [Engine.start] and before the clock moves —
     the hook for experiment-specific setup (bandwidth degradation,
-    recovery schedules...). *)
+    recovery schedules...). [faults] arms a
+    {!Massbft_faults.Injector} over the schedule (times are absolute
+    simulated seconds, so faults meant for the measurement window must
+    land after [warmup]); omitting it — or passing [[]] — arms nothing
+    and the run is bit-identical to a fault-free one. *)
 
 val run_latency_probe :
   ?duration:float ->
@@ -59,6 +64,7 @@ val run_latency_probe :
   ?trace:Massbft_trace.Trace.t ->
   ?obs:Massbft_obs.Sampler.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
+  ?faults:Massbft_faults.Fault_spec.schedule ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->

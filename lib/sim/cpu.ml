@@ -5,6 +5,7 @@ type t = {
   cores : float array; (* per-core next-free time *)
   mutable busy : float;
   mutable in_flight : int; (* submitted, completion not yet fired *)
+  mutable speed_factor : float; (* >= 1 stretches every submitted task *)
   mutable trace : Trace.t;
   mutable tr_gid : int;
   mutable tr_node : int;
@@ -17,6 +18,7 @@ let create sim ~cores =
     cores = Array.make cores 0.0;
     busy = 0.0;
     in_flight = 0;
+    speed_factor = 1.0;
     trace = Trace.null;
     tr_gid = -1;
     tr_node = -1;
@@ -34,8 +36,16 @@ let earliest_core t =
   done;
   !best
 
+let set_speed_factor t f =
+  if f < 1.0 || not (Float.is_finite f) then
+    invalid_arg "Cpu.set_speed_factor: factor must be finite and >= 1";
+  t.speed_factor <- f
+
+let speed_factor t = t.speed_factor
+
 let submit t ~seconds k =
   if seconds < 0.0 then invalid_arg "Cpu.submit: negative duration";
+  let seconds = seconds *. t.speed_factor in
   let core = earliest_core t in
   let now = Sim.now t.sim in
   let start = Float.max now t.cores.(core) in

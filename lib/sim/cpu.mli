@@ -12,7 +12,18 @@ val create : Sim.t -> cores:int -> t
 val submit : t -> seconds:float -> (unit -> unit) -> unit
 (** [submit t ~seconds k] enqueues a task needing [seconds] of
     single-core compute; [k] runs at its completion. Tasks start in FIFO
-    order on the earliest-free core. *)
+    order on the earliest-free core. The cost is stretched by the
+    current {!set_speed_factor} at submission time. *)
+
+val set_speed_factor : t -> float -> unit
+(** Gray-failure hook: stretch every subsequently submitted task by
+    [factor] (a degraded node computing at [1/factor] speed). Must be
+    finite and [>= 1]; [1.0] (the default and the exact-identity
+    multiplier) restores nominal speed. Tasks already on a core keep
+    their original cost — the factor models the machine slowing down,
+    not history rewriting. *)
+
+val speed_factor : t -> float
 
 val set_trace : t -> Massbft_trace.Trace.t -> gid:int -> node:int -> unit
 (** Attaches a trace sink and this CPU's owning node. Every subsequent

@@ -23,12 +23,23 @@ type node_state = {
   mutable up : bool;
 }
 
+type send_fault =
+  | Net_drop
+  | Net_delay of float
+  | Net_dup of { copies : int; spacing_s : float }
+
+type fault_hook = src:addr -> dst:addr -> bulk:bool -> bytes:int -> send_fault option
+
 type t = {
   sim : Sim.t;
   spec : spec;
   nodes : node_state array array;
   mutable wan_baseline : int;
   mutable lan_baseline : int;
+  mutable fault_hook : fault_hook option;
+  mutable faults_dropped : int;
+  mutable faults_delayed : int;
+  mutable faults_duplicated : int;
   mutable trace : Trace.t;
 }
 
@@ -53,7 +64,18 @@ let create sim spec =
   let nodes =
     Array.map (fun size -> Array.init size (fun _ -> mk_node ())) spec.group_sizes
   in
-  { sim; spec; nodes; wan_baseline = 0; lan_baseline = 0; trace = Trace.null }
+  {
+    sim;
+    spec;
+    nodes;
+    wan_baseline = 0;
+    lan_baseline = 0;
+    fault_hook = None;
+    faults_dropped = 0;
+    faults_delayed = 0;
+    faults_duplicated = 0;
+    trace = Trace.null;
+  }
 
 let sim t = t.sim
 let n_groups t = Array.length t.nodes
@@ -109,6 +131,16 @@ let set_wan_bandwidth t a bps =
   Nic.set_bandwidth s.wan_up bps;
   Nic.set_bandwidth s.wan_down bps
 
+let set_lan_bandwidth t a bps =
+  let s = state t a in
+  Nic.set_bandwidth s.lan_up bps;
+  Nic.set_bandwidth s.lan_down bps
+
+let set_fault_hook t hook = t.fault_hook <- hook
+let faults_dropped t = t.faults_dropped
+let faults_delayed t = t.faults_delayed
+let faults_duplicated t = t.faults_duplicated
+
 (* Local processing latency for a loopback delivery: one event-loop hop,
    effectively immediate but strictly causal. *)
 let loopback_latency = 1e-6
@@ -121,30 +153,65 @@ let send ?(bulk = false) t ~src ~dst ~bytes k =
     ignore
       (Sim.after t.sim loopback_latency (fun () -> if dst_state.up then k ()))
   else begin
-    let up, down, one_way =
-      if src.g = dst.g then
-        (src_state.lan_up, dst_state.lan_down, t.spec.lan_rtt /. 2.0)
-      else begin
-        let rtt = t.spec.rtt src.g dst.g in
-        if rtt < 0.0 then invalid_arg "Topology.send: negative WAN rtt";
-        (src_state.wan_up, dst_state.wan_down, rtt /. 2.0)
-      end
+    (* Injected link faults (chaos testing). The hook is [None] outside
+       fault experiments, so the fault-free path costs one match. A
+       dropped message vanishes at the sender's egress (no bandwidth is
+       consumed); a delay stretches propagation; a duplicate re-delivers
+       the payload after the original (receive-side duplication — the
+       NIC serialized it once, as with a transport-level retransmit). *)
+    let verdict =
+      match t.fault_hook with
+      | None -> None
+      | Some hook -> hook ~src ~dst ~bulk ~bytes
     in
-    (* Store-and-forward: uplink serialization, propagation, downlink
-       serialization, then delivery (if the receiver is still up). *)
-    Nic.transmit ~bulk up ~bytes (fun () ->
-        if Trace.enabled t.trace then begin
-          let tnow = Sim.now t.sim in
-          Trace.span t.trace ~cat:"net" ~gid:src.g ~node:src.n
-            ~args:
-              [ ("dst", Trace.Str (addr_to_string dst));
-                ("bytes", Trace.Int bytes) ]
-            ~b:tnow ~e:(tnow +. one_way) "propagate"
-        end;
-        ignore
-          (Sim.after t.sim one_way (fun () ->
-               Nic.transmit ~bulk down ~bytes (fun () ->
-                   if dst_state.up then k ()))))
+    match verdict with
+    | Some Net_drop -> t.faults_dropped <- t.faults_dropped + 1
+    | (None | Some (Net_delay _) | Some (Net_dup _)) as verdict ->
+        let extra_delay, dup =
+          match verdict with
+          | Some (Net_delay d) when d > 0.0 ->
+              t.faults_delayed <- t.faults_delayed + 1;
+              (d, None)
+          | Some (Net_dup { copies; spacing_s }) when copies > 0 ->
+              t.faults_duplicated <- t.faults_duplicated + 1;
+              (0.0, Some (copies, Float.max spacing_s loopback_latency))
+          | _ -> (0.0, None)
+        in
+        let up, down, one_way =
+          if src.g = dst.g then
+            (src_state.lan_up, dst_state.lan_down, t.spec.lan_rtt /. 2.0)
+          else begin
+            let rtt = t.spec.rtt src.g dst.g in
+            if rtt < 0.0 then invalid_arg "Topology.send: negative WAN rtt";
+            (src_state.wan_up, dst_state.wan_down, rtt /. 2.0)
+          end
+        in
+        let one_way = one_way +. extra_delay in
+        (* Store-and-forward: uplink serialization, propagation, downlink
+           serialization, then delivery (if the receiver is still up). *)
+        Nic.transmit ~bulk up ~bytes (fun () ->
+            if Trace.enabled t.trace then begin
+              let tnow = Sim.now t.sim in
+              Trace.span t.trace ~cat:"net" ~gid:src.g ~node:src.n
+                ~args:
+                  [ ("dst", Trace.Str (addr_to_string dst));
+                    ("bytes", Trace.Int bytes) ]
+                ~b:tnow ~e:(tnow +. one_way) "propagate"
+            end;
+            ignore
+              (Sim.after t.sim one_way (fun () ->
+                   Nic.transmit ~bulk down ~bytes (fun () ->
+                       let deliver () = if dst_state.up then k () in
+                       deliver ();
+                       match dup with
+                       | None -> ()
+                       | Some (copies, spacing) ->
+                           for i = 1 to copies do
+                             ignore
+                               (Sim.after t.sim
+                                  (spacing *. float_of_int i)
+                                  deliver)
+                           done))))
   end
 
 let sum_over t f =

@@ -68,6 +68,43 @@ val cores : t -> int
 val set_wan_bandwidth : t -> addr -> float -> unit
 (** Reconfigures one node's WAN up and down links (Figure 14). *)
 
+val set_lan_bandwidth : t -> addr -> float -> unit
+(** Reconfigures one node's LAN up and down links (degradation
+    experiments; takes effect for subsequent transmissions, like
+    {!Nic.set_bandwidth}). *)
+
+(** {1 Link fault injection}
+
+    The chaos layer interposes on {!send} through a single optional
+    hook, consulted once per non-loopback message before the sender's
+    NIC. With no hook installed (the default) the send path is
+    unchanged — fault-free runs stay bit-identical. *)
+
+type send_fault =
+  | Net_drop  (** vanish at the sender's egress; no bandwidth consumed *)
+  | Net_delay of float  (** add seconds to the propagation leg *)
+  | Net_dup of { copies : int; spacing_s : float }
+      (** re-deliver the payload [copies] extra times after the
+          original, [spacing_s] apart (receive-side duplication: the
+          NIC serializes the bytes once, as with a transport-level
+          retransmit). Each extra delivery is still gated on the
+          destination being up at its own delivery time. *)
+
+type fault_hook = src:addr -> dst:addr -> bulk:bool -> bytes:int -> send_fault option
+
+val set_fault_hook : t -> fault_hook option -> unit
+(** Installs (or clears) the link-fault hook. The hook must be
+    deterministic for reproducible runs — decide from its arguments and
+    its own seeded state, never from wall-clock or global randomness. *)
+
+val faults_dropped : t -> int
+(** Messages dropped by the hook since creation. *)
+
+val faults_delayed : t -> int
+
+val faults_duplicated : t -> int
+(** Messages the hook duplicated (original deliveries, not copies). *)
+
 val wan_bytes_sent : t -> int
 (** Total bytes accepted by all WAN uplinks since creation. *)
 

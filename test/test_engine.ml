@@ -300,6 +300,106 @@ let test_recovery_transfer_back () =
   check_bool "progress after recovery" true (List.length late >= 3)
 
 (* ------------------------------------------------------------------ *)
+(* Node-level crashes: PBFT view change and leader migration           *)
+(* ------------------------------------------------------------------ *)
+
+let group_committed eng g =
+  Massbft.Metrics.group_committed (Engine.metrics eng) g
+
+let test_leader_crash_view_change_resumes () =
+  (* Crash group 1's acting leader mid-run. The survivors must drive a
+     PBFT view change past the dead leader within a few election
+     timeouts, migrate the acting-leader role, and resume committing
+     the group's own proposals. *)
+  let at_crash = ref 0 in
+  let eng, _, topo =
+    run_engine ~until:12.0
+      ~before_run:(fun eng sim _ ->
+        ignore
+          (Sim.at sim 2.0 (fun () ->
+               at_crash := group_committed eng 1;
+               Engine.crash_node eng { Topology.g = 1; n = 0 })))
+      ()
+  in
+  check_bool "committed before the crash" true (!at_crash > 0);
+  check_bool
+    (Printf.sprintf "group 1 resumed committing (%d -> %d)" !at_crash
+       (group_committed eng 1))
+    true
+    (group_committed eng 1 > !at_crash);
+  let leader = Engine.acting_leader eng ~gid:1 in
+  check_bool "leadership migrated off the dead node" true
+    (leader.Topology.n <> 0);
+  check_bool "new leader is alive" true (Topology.alive topo leader);
+  (* The other groups never depended on the dead replica. *)
+  prefix_agree "agreement with a migrated leader"
+    (Engine.executed_ids eng ~gid:0)
+    (Engine.executed_ids eng ~gid:2)
+
+let test_leader_crash_then_rejoin () =
+  (* The crashed ex-leader recovers: it adopts the group's current view
+     (post-recovery state transfer) and serves as a follower — the
+     migrated leadership stays where the view change put it. *)
+  let eng, _, topo =
+    run_engine ~until:14.0
+      ~before_run:(fun eng sim _ ->
+        ignore
+          (Sim.at sim 2.0 (fun () ->
+               Engine.crash_node eng { Topology.g = 1; n = 0 }));
+        ignore
+          (Sim.at sim 7.0 (fun () ->
+               Engine.recover_node eng { Topology.g = 1; n = 0 })))
+      ()
+  in
+  check_bool "ex-leader is back up" true
+    (Topology.alive topo { Topology.g = 1; n = 0 });
+  check_bool "leadership stays migrated" true
+    ((Engine.acting_leader eng ~gid:1).Topology.n <> 0);
+  check_bool "group keeps committing" true (group_committed eng 1 > 0);
+  prefix_agree "agreement after rejoin"
+    (Engine.executed_ids eng ~gid:0)
+    (Engine.executed_ids eng ~gid:1)
+
+let test_follower_crash_no_migration () =
+  (* Losing f non-leader replicas must not disturb leadership: PBFT
+     still has its 2f+1 quorum and the acting leader keeps its role. *)
+  let eng, _, _ =
+    run_engine ~until:8.0
+      ~before_run:(fun eng sim _ ->
+        ignore
+          (Sim.at sim 2.0 (fun () ->
+               Engine.crash_node eng { Topology.g = 0; n = 2 })))
+      ()
+  in
+  check_int "leadership undisturbed" 0 (Engine.acting_leader eng ~gid:0).Topology.n;
+  check_bool "group 0 commits through the follower crash" true
+    (group_committed eng 0 > 200)
+
+let test_leader_crash_every_system () =
+  (* Every system's local layer is PBFT, so an acting-leader crash must
+     be survivable everywhere — including systems whose *global* layer
+     has no fault tolerance (GeoBFT's note collection and Steward's
+     single Raft log both follow the proposer-group leader address). *)
+  List.iter
+    (fun system ->
+      let at_crash = ref 0 in
+      let eng, _, _ =
+        run_engine ~until:12.0 ~cfg:(small_cfg ~system ())
+          ~before_run:(fun eng sim _ ->
+            ignore
+              (Sim.at sim 2.0 (fun () ->
+                   at_crash := group_committed eng 1;
+                   Engine.crash_node eng { Topology.g = 1; n = 0 })))
+          ()
+      in
+      check_bool
+        (Printf.sprintf "%s: group 1 resumes after leader crash (%d -> %d)"
+           (Config.system_name system) !at_crash (group_committed eng 1))
+        true
+        (group_committed eng 1 > !at_crash))
+    Config.all_systems
+
+(* ------------------------------------------------------------------ *)
 (* Heterogeneous configurations                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -612,6 +712,14 @@ let () =
           Alcotest.test_case "group crash takeover" `Slow test_group_crash_massbft_recovers_via_takeover;
           Alcotest.test_case "geobft stalls on crash" `Slow test_group_crash_geobft_stalls;
           Alcotest.test_case "recovery transfer-back" `Slow test_recovery_transfer_back;
+          Alcotest.test_case "leader crash view change" `Slow
+            test_leader_crash_view_change_resumes;
+          Alcotest.test_case "leader crash then rejoin" `Slow
+            test_leader_crash_then_rejoin;
+          Alcotest.test_case "follower crash no migration" `Slow
+            test_follower_crash_no_migration;
+          Alcotest.test_case "leader crash every system" `Slow
+            test_leader_crash_every_system;
         ] );
       ( "extensions",
         [

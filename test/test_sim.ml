@@ -460,6 +460,135 @@ let test_crash_group () =
   Topology.recover_group topo 1;
   check_bool "recovered" true (Topology.alive topo { g = 1; n = 2 })
 
+(* In-flight delivery semantics at crash/recover boundaries: liveness
+   is gated on the receiver's state at *delivery* time (a restart-then-
+   arrive packet reaches the recovered process), while the sender only
+   gates egress — bytes already serialized stay in flight. The fault
+   injector and the engine's recovery logic both rely on exactly these
+   semantics. *)
+
+let test_crash_then_recover_before_arrival_delivers () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  (* 100 KB at 20 Mbps: 0.04 s uplink + propagation + 0.04 s downlink,
+     so delivery lands well after 0.08 s. *)
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:100_000
+    (fun () -> incr delivered);
+  ignore (Sim.after sim 0.010 (fun () -> Topology.crash topo { g = 1; n = 0 }));
+  ignore (Sim.after sim 0.050 (fun () -> Topology.recover topo { g = 1; n = 0 }));
+  Sim.run_until_idle sim ();
+  check_int "recovered receiver gets the in-flight message" 1 !delivered
+
+let test_sender_crash_keeps_egressed_bytes_in_flight () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:100_000
+    (fun () -> incr delivered);
+  ignore (Sim.after sim 0.010 (fun () -> Topology.crash topo { g = 0; n = 0 }));
+  Sim.run_until_idle sim ();
+  check_int "already-egressed message still delivers" 1 !delivered;
+  (* But new sends from the crashed node are suppressed at the source. *)
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:10
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "post-crash send suppressed" 1 !delivered
+
+(* ---- injected link faults through the fault hook ---- *)
+
+let test_fault_hook_drop () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.set_fault_hook topo
+    (Some (fun ~src:_ ~dst:_ ~bulk ~bytes:_ ->
+         if bulk then Some Topology.Net_drop else None));
+  Topology.send ~bulk:true topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 }
+    ~bytes:50_000
+    (fun () -> incr delivered);
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:50_000
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "bulk dropped, control through" 1 !delivered;
+  check_int "drop counted" 1 (Topology.faults_dropped topo);
+  (* A dropped message vanishes at the sender's egress: no bandwidth. *)
+  check_int "dropped message consumes no bandwidth" 50_000
+    (Topology.wan_bytes_sent topo)
+
+let test_fault_hook_delay () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let plain = ref 0.0 and delayed = ref 0.0 in
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:10
+    (fun () -> plain := Sim.now sim);
+  Sim.run_until_idle sim ();
+  let t0 = Sim.now sim in
+  Topology.set_fault_hook topo
+    (Some (fun ~src:_ ~dst:_ ~bulk:_ ~bytes:_ -> Some (Topology.Net_delay 0.5)));
+  Topology.send topo ~src:{ g = 0; n = 1 } ~dst:{ g = 1; n = 1 } ~bytes:10
+    (fun () -> delayed := Sim.now sim -. t0);
+  Sim.run_until_idle sim ();
+  check_int "delay counted" 1 (Topology.faults_delayed topo);
+  (* Identical message, +0.5 s of injected propagation. *)
+  check_float "delayed by 0.5 s" (!plain +. 0.5) !delayed
+
+let test_fault_hook_dup () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.set_fault_hook topo
+    (Some (fun ~src:_ ~dst:_ ~bulk:_ ~bytes:_ ->
+         Some (Topology.Net_dup { copies = 2; spacing_s = 0.001 })));
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:10
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "original + 2 copies" 3 !delivered;
+  check_int "one duplication event" 1 (Topology.faults_duplicated topo);
+  (* Receive-side duplication: the NIC serialized the payload once. *)
+  check_int "duplicate copies are free on the wire" 10
+    (Topology.wan_bytes_sent topo)
+
+let test_fault_hook_skips_loopback () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.set_fault_hook topo
+    (Some (fun ~src:_ ~dst:_ ~bulk:_ ~bytes:_ -> Some Topology.Net_drop));
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 0; n = 0 } ~bytes:10
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "loopback is not a link" 1 !delivered;
+  check_int "no drop counted" 0 (Topology.faults_dropped topo)
+
+let test_fault_hook_uninstall () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim (spec ()) in
+  let delivered = ref 0 in
+  Topology.set_fault_hook topo
+    (Some (fun ~src:_ ~dst:_ ~bulk:_ ~bytes:_ -> Some Topology.Net_drop));
+  Topology.set_fault_hook topo None;
+  Topology.send topo ~src:{ g = 0; n = 0 } ~dst:{ g = 1; n = 0 } ~bytes:10
+    (fun () -> incr delivered);
+  Sim.run_until_idle sim ();
+  check_int "healed link delivers" 1 !delivered
+
+let test_cpu_speed_factor () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~cores:1 in
+  let done1 = ref 0.0 and done2 = ref 0.0 in
+  Cpu.set_speed_factor cpu 2.0;
+  Cpu.submit cpu ~seconds:1.0 (fun () -> done1 := Sim.now sim);
+  (* Restoring 1.0 must not rewrite the already-queued task's cost. *)
+  Cpu.set_speed_factor cpu 1.0;
+  Cpu.submit cpu ~seconds:1.0 (fun () -> done2 := Sim.now sim);
+  Sim.run_until_idle sim ();
+  check_float "stretched task" 2.0 !done1;
+  check_float "nominal task queues behind it" 3.0 !done2;
+  Alcotest.check_raises "factor below 1 rejected"
+    (Invalid_argument "Cpu.set_speed_factor: factor must be finite and >= 1")
+    (fun () -> Cpu.set_speed_factor cpu 0.5)
+
 let test_topology_backlog_includes_control () =
   let sim = Sim.create () in
   let topo = Topology.create sim (spec ()) in
@@ -568,6 +697,18 @@ let () =
             test_topology_backlog_includes_control;
           Alcotest.test_case "crash mid-flight" `Quick test_crash_mid_flight;
           Alcotest.test_case "crash group" `Quick test_crash_group;
+          Alcotest.test_case "recover before arrival delivers" `Quick
+            test_crash_then_recover_before_arrival_delivers;
+          Alcotest.test_case "sender crash keeps egressed bytes" `Quick
+            test_sender_crash_keeps_egressed_bytes_in_flight;
+          Alcotest.test_case "fault hook drop" `Quick test_fault_hook_drop;
+          Alcotest.test_case "fault hook delay" `Quick test_fault_hook_delay;
+          Alcotest.test_case "fault hook dup" `Quick test_fault_hook_dup;
+          Alcotest.test_case "fault hook skips loopback" `Quick
+            test_fault_hook_skips_loopback;
+          Alcotest.test_case "fault hook uninstall" `Quick
+            test_fault_hook_uninstall;
+          Alcotest.test_case "cpu speed factor" `Quick test_cpu_speed_factor;
           Alcotest.test_case "self send" `Quick test_self_send;
           Alcotest.test_case "bandwidth override" `Quick test_bandwidth_override;
           Alcotest.test_case "traffic baseline reset" `Quick test_traffic_baseline_reset;
