@@ -15,6 +15,50 @@ module Exposition = Massbft_obs.Exposition
 module Saturation = Massbft_obs.Saturation
 module Fault_spec = Massbft_faults.Fault_spec
 module Chaos = Massbft_faults.Chaos
+module Adv_spec = Massbft_adversary.Adv_spec
+module Evidence = Massbft_adversary.Evidence
+module Topology = Massbft_sim.Topology
+
+(* Schedule/plan files come from users and CI artifacts: every way they
+   can be wrong must end in a one-line diagnostic, not a backtrace. *)
+let read_file_or_die ~what file =
+  match open_in file with
+  | exception Sys_error e ->
+      prerr_endline (Printf.sprintf "massbft: cannot read %s: %s" what e);
+      exit 1
+  | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      text
+
+let parse_faults_or_die ~(spec : Topology.spec) file =
+  let text = read_file_or_die ~what:"fault schedule" file in
+  match Fault_spec.of_string text with
+  | exception Fault_spec.Parse_error msg ->
+      prerr_endline ("massbft: bad fault schedule: " ^ msg);
+      exit 1
+  | schedule -> (
+      match
+        Fault_spec.validate ~group_sizes:spec.Topology.group_sizes schedule
+      with
+      | Ok () -> schedule
+      | Error msg ->
+          prerr_endline ("massbft: bad fault schedule: " ^ msg);
+          exit 1)
+
+let parse_adversary_or_die ~(spec : Topology.spec) file =
+  let text = read_file_or_die ~what:"adversary plan" file in
+  match Adv_spec.of_string text with
+  | exception Adv_spec.Parse_error msg ->
+      prerr_endline ("massbft: bad adversary plan: " ^ msg);
+      exit 1
+  | plan -> (
+      match Adv_spec.validate ~group_sizes:spec.Topology.group_sizes plan with
+      | Ok () -> plan
+      | Error msg ->
+          prerr_endline ("massbft: bad adversary plan: " ^ msg);
+          exit 1)
 
 let system_conv =
   let parse s =
@@ -113,25 +157,19 @@ let run_cmd =
                  see DESIGN.md \"Fault model\"; times are absolute simulated \
                  seconds, so the warm-up window precedes time warmup).")
   in
+  let adversary_file =
+    Arg.(value & opt (some string) None & info [ "adversary" ] ~docv:"FILE"
+           ~doc:"Arm the Byzantine adversary plan in $(docv) (one strategy \
+                 per line, see DESIGN.md \"Adversary model\"; absolute \
+                 simulated seconds, like --faults).")
+  in
   let action system workload nodes groups worldwide duration warmup scale seed
-      latency_probe trace_file metrics_file faults_file =
+      latency_probe trace_file metrics_file faults_file adversary_file =
     let cfg, spec =
       experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
     in
-    let faults =
-      Option.map
-        (fun file ->
-          let ic = open_in file in
-          let len = in_channel_length ic in
-          let text = really_input_string ic len in
-          close_in ic;
-          match Fault_spec.of_string text with
-          | schedule -> schedule
-          | exception Fault_spec.Parse_error msg ->
-              prerr_endline ("massbft: bad fault schedule: " ^ msg);
-              exit 1)
-        faults_file
-    in
+    let faults = Option.map (parse_faults_or_die ~spec) faults_file in
+    let adversary = Option.map (parse_adversary_or_die ~spec) adversary_file in
     let sink = Option.map (fun _ -> Trace.create ()) trace_file in
     let obs =
       Option.map (fun _ -> Sampler.create (Obs_registry.create ())) metrics_file
@@ -139,8 +177,10 @@ let run_cmd =
     let r =
       if latency_probe then
         Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ?faults
-          ~spec ~cfg ()
-      else Runner.run ~duration ~warmup ?trace:sink ?obs ?faults ~spec ~cfg ()
+          ?adversary ~spec ~cfg ()
+      else
+        Runner.run ~duration ~warmup ?trace:sink ?obs ?faults ?adversary ~spec
+          ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
     List.iter
@@ -179,7 +219,8 @@ let run_cmd =
     Term.(
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
-      $ latency_probe $ trace_file $ metrics_file $ faults_file)
+      $ latency_probe $ trace_file $ metrics_file $ faults_file
+      $ adversary_file)
 
 (* ---- trace ---- *)
 
@@ -307,9 +348,66 @@ let drill_cmd =
                  (same seed, system and cluster shape => byte-identical \
                  schedule and run).")
   in
+  let seed_range_conv =
+    let parse s =
+      let err () =
+        Error
+          (`Msg (Printf.sprintf "bad seed range %S (expected N or A..B)" s))
+      in
+      match String.index_opt s '.' with
+      | None -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok (1, n)
+          | _ -> err ())
+      | Some i when i + 1 < String.length s && s.[i + 1] = '.' -> (
+          let a = String.sub s 0 i in
+          let b = String.sub s (i + 2) (String.length s - i - 2) in
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b when a <= b -> Ok (a, b)
+          | _ -> err ())
+      | Some _ -> err ()
+    in
+    Arg.conv (parse, fun fmt (a, b) -> Format.fprintf fmt "%d..%d" a b)
+  in
   let seeds =
-    Arg.(value & opt (some int) None & info [ "seeds" ] ~docv:"N"
-           ~doc:"Campaign mode: run seeds 1..$(docv) instead of --seed.")
+    Arg.(value & opt (some seed_range_conv) None & info [ "seeds" ]
+           ~docv:"RANGE"
+           ~doc:"Campaign mode: run a seed range instead of --seed; $(docv) \
+                 is either N (meaning 1..N) or A..B inclusive.")
+  in
+  let strategies_conv =
+    let parse s =
+      let names =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      if names = [] then Error (`Msg "empty strategy list")
+      else
+        match
+          List.find_opt
+            (fun n -> not (List.mem n Adv_spec.kind_names))
+            names
+        with
+        | Some bad ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown strategy %S (known: %s)" bad
+                    (String.concat ", " Adv_spec.kind_names)))
+        | None -> Ok names
+    in
+    Arg.conv
+      (parse, fun fmt l -> Format.pp_print_string fmt (String.concat "," l))
+  in
+  let adversaries =
+    Arg.(value & opt (some strategies_conv) None & info [ "adversary" ]
+           ~docv:"STRAT[,STRAT...]"
+           ~doc:"Drill Byzantine adversary strategies instead of random \
+                 benign faults: each strategy becomes a campaign axis point \
+                 whose generated plan (plus any trigger faults) runs per \
+                 system and seed. A run passes when it upholds every \
+                 invariant, or when each safety violation is pinned on a \
+                 provably-equivocating node by a verified \
+                 conflicting-signed-message evidence pair.")
   in
   let all_systems =
     Arg.(value & flag & info [ "all-systems" ]
@@ -345,7 +443,7 @@ let drill_cmd =
                  appear as 'fault'-category spans.")
   in
   let action system all_systems nodes groups worldwide scale seed seeds
-      duration quick no_shrink artifacts trace_file =
+      adversaries duration quick no_shrink artifacts trace_file =
     let duration = if quick then 8.0 else duration in
     let cfg =
       { (Config.default ~system ()) with Config.workload_scale = scale }
@@ -354,21 +452,32 @@ let drill_cmd =
       if worldwide then Clusters.worldwide ~nodes_per_group:nodes ()
       else Clusters.nationwide ~nodes_per_group:nodes ~groups ()
     in
+    (* An adversary run is bad only when a violation lacks a verified
+       evidence pair: a caught-and-provable equivocation is the
+       accountability machinery succeeding, a silent or unprovable one
+       is a real bug. Plain fault runs keep the strict criterion. *)
+    let bad (r : Chaos.drill_result) =
+      Chaos.failed r.Chaos.outcome
+      && (r.Chaos.strategy = None
+         || not (Chaos.accountable r.Chaos.outcome))
+    in
+    let artifact_stem (r : Chaos.drill_result) =
+      Printf.sprintf "fail-%s%s-seed%Ld"
+        (String.lowercase_ascii (Config.system_name r.Chaos.system))
+        (match r.Chaos.strategy with None -> "" | Some s -> "-" ^ s)
+        r.Chaos.seed
+    in
     let save_artifact (r : Chaos.drill_result) =
       match artifacts with
       | None -> ()
       | Some dir ->
           (try Unix.mkdir dir 0o755
            with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-          let file =
-            Filename.concat dir
-              (Printf.sprintf "fail-%s-seed%Ld.faults"
-                 (String.lowercase_ascii (Config.system_name r.Chaos.system))
-                 r.Chaos.seed)
-          in
+          let file = Filename.concat dir (artifact_stem r ^ ".faults") in
           let oc = open_out file in
           Printf.fprintf oc "# %s\n# %s\n%s"
-            (Chaos.repro_line ~seed:r.Chaos.seed ~system:r.Chaos.system)
+            (Chaos.repro_line ?adversary:r.Chaos.strategy ~seed:r.Chaos.seed
+               ~system:r.Chaos.system ())
             (String.concat "; "
                (List.map Massbft_faults.Invariants.violation_to_string
                   r.Chaos.outcome.Chaos.violations))
@@ -383,7 +492,37 @@ let drill_cmd =
                       s))
           | None -> ());
           close_out oc;
-          Format.printf "artifact: wrote %s@." file
+          Format.printf "artifact: wrote %s@." file;
+          (* The adversary plan reproduces through `run --adversary`,
+             so it ships as its own loadable file. *)
+          (if r.Chaos.outcome.Chaos.adversary <> [] then begin
+             let afile = Filename.concat dir (artifact_stem r ^ ".adversary") in
+             let oc = open_out afile in
+             Printf.fprintf oc "%s"
+               (Adv_spec.to_string r.Chaos.outcome.Chaos.adversary);
+             (match r.Chaos.shrunk_adversary with
+             | Some p ->
+                 Printf.fprintf oc "# shrunk to %d event(s):\n%s"
+                   (List.length p)
+                   (String.concat ""
+                      (List.map
+                         (fun e -> "#   " ^ Adv_spec.event_to_string e ^ "\n")
+                         p))
+             | None -> ());
+             close_out oc;
+             Format.printf "artifact: wrote %s@." afile
+           end);
+          match r.Chaos.outcome.Chaos.evidence with
+          | [] -> ()
+          | pairs ->
+              let efile = Filename.concat dir (artifact_stem r ^ ".evidence") in
+              let oc = open_out efile in
+              List.iter
+                (fun p -> output_string oc (Evidence.pair_to_string p))
+                pairs;
+              close_out oc;
+              Format.printf "artifact: wrote %s (%d conflict pairs)@." efile
+                (List.length pairs)
     in
     let report (r : Chaos.drill_result) =
       Format.printf "%a@." Chaos.pp_drill r;
@@ -393,6 +532,29 @@ let drill_cmd =
             Format.printf "  violation: %s@."
               (Massbft_faults.Invariants.violation_to_string v))
           r.Chaos.outcome.Chaos.violations;
+        (match r.Chaos.outcome.Chaos.evidence with
+        | [] -> ()
+        | pairs ->
+            Format.printf "  evidence: %d verified conflict pair(s)%s@."
+              (List.length pairs)
+              (if Chaos.accountable r.Chaos.outcome then
+                 " — every violation accounted for"
+               else ""));
+        if r.Chaos.outcome.Chaos.adversary <> [] then begin
+          Format.printf "  adversary:@.";
+          List.iter
+            (fun e -> Format.printf "    %s@." (Adv_spec.event_to_string e))
+            r.Chaos.outcome.Chaos.adversary;
+          match r.Chaos.shrunk_adversary with
+          | Some p ->
+              Format.printf "  adversary shrunk to %d event(s):@."
+                (List.length p);
+              List.iter
+                (fun e ->
+                  Format.printf "    %s@." (Adv_spec.event_to_string e))
+                p
+          | None -> ()
+        end;
         Format.printf "  schedule:@.";
         List.iter
           (fun e -> Format.printf "    %s@." (Fault_spec.event_to_string e))
@@ -405,36 +567,55 @@ let drill_cmd =
               s
         | None -> ());
         Format.printf "  repro: %s@."
-          (Chaos.repro_line ~seed:r.Chaos.seed ~system:r.Chaos.system);
+          (Chaos.repro_line ?adversary:r.Chaos.strategy ~seed:r.Chaos.seed
+             ~system:r.Chaos.system ());
         save_artifact r
       end
     in
     let failures =
       match seeds with
-      | Some n ->
-          let seeds = List.init n (fun i -> Int64.of_int (i + 1)) in
+      | Some (lo, hi) ->
+          let seeds =
+            List.init (hi - lo + 1) (fun i -> Int64.of_int (lo + i))
+          in
           let systems = if all_systems then Config.all_systems else [ system ] in
           let c =
             Chaos.campaign ~duration ~shrink_failures:(not no_shrink) ~systems
+              ~adversaries:(Option.value ~default:[] adversaries)
               ~on_run:report ~spec ~cfg ~seeds ()
           in
-          Format.printf "campaign: %d runs, %d failed@." c.Chaos.total
-            (List.length c.Chaos.failures);
-          List.length c.Chaos.failures
+          let hard = List.filter bad c.Chaos.results in
+          Format.printf "campaign: %d runs, %d failed%s@." c.Chaos.total
+            (List.length hard)
+            (let accounted =
+               List.length c.Chaos.failures - List.length hard
+             in
+             if accounted > 0 then
+               Printf.sprintf " (+%d accountable, evidence on file)" accounted
+             else "");
+          List.length hard
       | None ->
           let systems = if all_systems then Config.all_systems else [ system ] in
+          let axis =
+            match adversaries with
+            | None -> [ None ]
+            | Some l -> List.map Option.some l
+          in
           let sink = Option.map (fun _ -> Trace.create ()) trace_file in
           let results =
-            List.map
+            List.concat_map
               (fun system ->
-                let r =
-                  Chaos.drill ~duration ~shrink_failures:(not no_shrink)
-                    ?trace:sink ~spec
-                    ~cfg:{ cfg with Config.system }
-                    ~seed:(Int64.of_int seed) ()
-                in
-                report r;
-                r)
+                List.map
+                  (fun adversary ->
+                    let r =
+                      Chaos.drill ~duration ~shrink_failures:(not no_shrink)
+                        ?trace:sink ?adversary ~spec
+                        ~cfg:{ cfg with Config.system }
+                        ~seed:(Int64.of_int seed) ()
+                    in
+                    report r;
+                    r)
+                  axis)
               systems
           in
           (match (trace_file, sink) with
@@ -443,21 +624,22 @@ let drill_cmd =
               Format.printf "trace: wrote %s (%d events retained, %d dropped)@."
                 file (Trace.length tr) (Trace.dropped tr)
           | _ -> ());
-          List.length
-            (List.filter (fun r -> Chaos.failed r.Chaos.outcome) results)
+          List.length (List.filter bad results)
     in
     if failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "drill"
        ~doc:
-         "Chaos drill: generate a seeded random fault schedule, inject it, \
-          and check safety and liveness invariants; failing schedules are \
-          shrunk to a minimal reproducer. Exits nonzero on any violation.")
+         "Chaos drill: generate a seeded random fault schedule (or, with \
+          --adversary, a Byzantine strategy plan), inject it, and check \
+          safety and liveness invariants; failing schedules and plans are \
+          shrunk to minimal reproducers. Exits nonzero on any violation a \
+          verified evidence pair cannot account for.")
     Term.(
       const action $ system_arg $ all_systems $ nodes_arg $ groups_arg
-      $ worldwide_arg $ scale $ seed $ seeds $ duration $ quick $ no_shrink
-      $ artifacts $ trace_file)
+      $ worldwide_arg $ scale $ seed $ seeds $ adversaries $ duration $ quick
+      $ no_shrink $ artifacts $ trace_file)
 
 (* ---- figures ---- *)
 

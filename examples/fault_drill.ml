@@ -6,11 +6,15 @@
 
    The crash and the recovery are ordinary fault-schedule lines (the
    same DSL `massbft drill` shrinks failures into and `massbft run
-   --faults FILE` replays), applied by the injector; Byzantine content
-   tampering is a config knob because tampering is what nodes *say*,
-   not what the fabric does. The invariant checkers ride along: if a
-   tampered chunk ever reached a ledger, or the survivors diverged,
-   the drill would end with a violation report instead of a timeline.
+   --faults FILE` replays), applied by the injector. The tampering is
+   an adversary plan in the strategy DSL (`massbft run --adversary
+   FILE` replays these too): a message-level interposer on each
+   compromised node rewrites the chunks it sends, exactly what the
+   node *says* rather than what the fabric does. The invariant
+   checkers ride along, aware of which nodes are compromised: if a
+   tampered chunk ever reached a ledger, or the honest survivors
+   diverged, the drill would end with a violation report instead of a
+   timeline.
 
    Run with:  dune exec examples/fault_drill.exe *)
 
@@ -22,6 +26,8 @@ module Stats = Massbft_util.Stats
 module Fault_spec = Massbft_faults.Fault_spec
 module Injector = Massbft_faults.Injector
 module Invariants = Massbft_faults.Invariants
+module Adv_spec = Massbft_adversary.Adv_spec
+module Adversary = Massbft_adversary.Adversary
 
 let byz_at = 6.0
 let crash_at = 12.0
@@ -36,6 +42,21 @@ let schedule =
         @%g recover-group g0\n"
        crash_at recover_at)
 
+(* Two colluders per data center (f = 2 with seven nodes per group)
+   start rewriting the chunks they disseminate at [byz_at] and never
+   stop: `for 39` keeps the windows open to the end of the run. *)
+let adversary =
+  Adv_spec.of_string
+    (Printf.sprintf
+       "# two tampering colluders per data center\n\
+        @%g tamper node:g0/n5 for 39\n\
+        @%g tamper node:g0/n6 for 39\n\
+        @%g tamper node:g1/n5 for 39\n\
+        @%g tamper node:g1/n6 for 39\n\
+        @%g tamper node:g2/n5 for 39\n\
+        @%g tamper node:g2/n6 for 39\n"
+       byz_at byz_at byz_at byz_at byz_at byz_at)
+
 let () =
   let sim = Sim.create () in
   let spec = Massbft_harness.Clusters.nationwide () in
@@ -49,18 +70,24 @@ let () =
       (* Modest batches: smaller entries let the recovered data center
          re-stream its crash gap within this demo's window. *)
       max_batch = 100;
-      byzantine_per_group = 2;
-      byzantine_from_s = byz_at;
       election_timeout_s = 1.0;
     }
   in
   let engine = Engine.create sim topo cfg in
   let inj = Injector.create ~spec ~schedule engine sim topo in
+  let adv = Adversary.create ~spec ~plan:adversary engine sim in
+  (* heal_by stays at the fault schedule's horizon: the tampering never
+     heals, and the point of the drill is that liveness returns anyway
+     once the crashed data center is restored. *)
   let inv =
-    Invariants.create ~heal_by:(Fault_spec.heal_time schedule) engine sim
+    Invariants.create
+      ~heal_by:(Fault_spec.heal_time schedule)
+      ~compromised:(Adversary.is_compromised adv)
+      engine sim
   in
   Engine.start engine;
   Injector.arm inj;
+  Adversary.arm adv;
   Invariants.attach inv;
   Sim.run sim ~until;
   Invariants.finalize inv;
@@ -86,10 +113,13 @@ let () =
       Printf.printf "%5.0fs  %7.1f ktps  %s\n" t (rate /. 1000.0) event)
     (Stats.Timeseries.rate_series m.Massbft.Metrics.txn_rate);
 
+  Printf.printf "\ntampered sends rewritten by the adversary: %d\n"
+    (Adversary.injected_total adv);
+
   (* The checkers watched the whole run: cross-group chain agreement,
-     replica prefix agreement, monotone commit indexes, post-heal
-     liveness, ledger integrity, execution determinism. *)
-  Printf.printf "\ninvariant checks: %d polls, %s\n"
+     honest-replica prefix agreement, monotone commit indexes,
+     post-heal liveness, ledger integrity, execution determinism. *)
+  Printf.printf "invariant checks: %d polls, %s\n"
     (Invariants.checks_run inv)
     (if Invariants.ok inv then "all green" else "VIOLATIONS:");
   List.iter

@@ -167,6 +167,7 @@ let create sim topo cfg =
       on_leader_content = leader_content;
       started = false;
       node_watch = false;
+      adv_hook = None;
       trace = Trace.null;
     }
   in
@@ -413,6 +414,17 @@ let arm_node_watchdogs t =
         tick ())
       t.leaders
   end
+
+(* The Byzantine-adversary interposer (massbft_adversary) installs its
+   message-rewriting hook here. [None] restores the exact fault-free
+   send path. *)
+let set_adversary t hook = t.adv_hook <- hook
+
+(* Public arming for the adversary engine: an active Byzantine strategy
+   (withheld pre-prepares, equivocation) can stall PBFT slots without
+   any node ever crashing, so recovery needs the same per-group progress
+   watchdogs a crash would have armed. *)
+let arm_watchdogs t = arm_node_watchdogs t
 
 let recover_group t g =
   (* Nodes come back up; the anti-entropy probes of the current

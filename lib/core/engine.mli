@@ -60,6 +60,21 @@ val start : t -> unit
 (** Arms the batch timers, heartbeats and fault injectors. Run the
     simulation with {!Massbft_sim.Sim.run}. *)
 
+val set_adversary : t -> Node_ctx.adv_hook option -> unit
+(** Installs (or removes, with [None]) the Byzantine-adversary message
+    interposer on the engine's typed send path. The hook sees every
+    protocol message at its send site and may rewrite, fork, withhold,
+    replay or delay it per destination (massbft_adversary compiles
+    strategy plans into such hooks). With no hook installed the send
+    path is exactly the fault-free one. *)
+
+val arm_watchdogs : t -> unit
+(** Arms the per-group liveness watchdogs the engine normally arms
+    lazily on the first node-level crash. An active Byzantine strategy
+    can stall PBFT slots without crashing anyone, so adversary drills
+    arm them explicitly; idempotent, and fault-free runs that never call
+    it schedule nothing. *)
+
 val metrics : t -> Metrics.t
 
 val set_measure_from : t -> float -> unit

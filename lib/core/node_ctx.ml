@@ -61,6 +61,27 @@ type msg =
   | Fetch_req of { eid : Types.entry_id }
 
 (* ------------------------------------------------------------------ *)
+(* The adversary interposer seam                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the topology's fault hook — which sees only sizes and can
+   merely drop, delay or duplicate — this hook (massbft_adversary) sees
+   the typed message and may rewrite it per destination: forged digests,
+   per-peer forks (equivocation), withheld or replayed protocol
+   messages. [None] leaves the send on the exact fault-free path; the
+   field itself is [None] outside adversary drills, so unconfigured runs
+   are bit-identical to builds without the seam. *)
+type adv_delivery = { adv_msg : msg; adv_delay_s : float }
+
+type adv_hook =
+  src:Topology.addr ->
+  dst:Topology.addr ->
+  bulk:bool ->
+  bytes:int ->
+  msg ->
+  adv_delivery list option
+
+(* ------------------------------------------------------------------ *)
 (* Entry registry and per-node state                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -176,6 +197,8 @@ type t = {
   mutable node_watch : bool;
       (* per-group local-liveness watchdogs armed (lazily, on the first
          node-level crash/recover — fault-free runs schedule nothing) *)
+  mutable adv_hook : adv_hook option;
+      (* the adversary interposer; [None] outside adversary drills *)
   mutable trace : Trace.t;
 }
 
@@ -248,8 +271,26 @@ let copy_bytes t eid =
   e.size + Types.certificate_bytes ~n:(Topology.group_size t.topo eid.Types.gid)
 
 let send ?(bulk = false) t ~src ~dst ~bytes m =
-  Topology.send ~bulk t.topo ~src ~dst ~bytes (fun () ->
-      t.deliver t ~src ~dst m)
+  let ship m =
+    Topology.send ~bulk t.topo ~src ~dst ~bytes (fun () ->
+        t.deliver t ~src ~dst m)
+  in
+  match t.adv_hook with
+  | None -> ship m
+  | Some hook -> (
+      match hook ~src ~dst ~bulk ~bytes m with
+      | None -> ship m
+      | Some ds ->
+          (* An empty list withholds the message; a delayed delivery
+             holds the rewritten message back before it even reaches the
+             sender's NIC (the attacker chooses when to emit). *)
+          List.iter
+            (fun { adv_msg; adv_delay_s } ->
+              if adv_delay_s <= 0.0 then ship adv_msg
+              else
+                ignore
+                  (Sim.after t.sim adv_delay_s (fun () -> ship adv_msg)))
+            ds)
 
 let broadcast_group ?(bulk = false) t ~src ~bytes m =
   List.iter

@@ -37,6 +37,23 @@ type msg =
   | Recv_note of { eid : Types.entry_id }
   | Fetch_req of { eid : Types.entry_id }
 
+(** One delivery an adversary hook substitutes for an intercepted send:
+    the (possibly rewritten) message, emitted after [adv_delay_s] extra
+    seconds at the sender (0 = immediately). *)
+type adv_delivery = { adv_msg : msg; adv_delay_s : float }
+
+(** The adversary interposer seam (massbft_adversary): sees every typed
+    message at the send site and may rewrite it per destination. [None]
+    leaves the send on the exact fault-free path; [Some []] withholds
+    the message; multiple deliveries replay it. *)
+type adv_hook =
+  src:Topology.addr ->
+  dst:Topology.addr ->
+  bulk:bool ->
+  bytes:int ->
+  msg ->
+  adv_delivery list option
+
 type entry = {
   eid : Types.entry_id;
   digest : string;
@@ -124,6 +141,7 @@ type t = {
   on_leader_content : t -> leader -> Types.entry_id -> unit;
   mutable started : bool;
   mutable node_watch : bool;
+  mutable adv_hook : adv_hook option;
   mutable trace : Trace.t;
 }
 

@@ -24,6 +24,9 @@ module Registry = Massbft_obs.Registry
 module Rng = Massbft_util.Rng
 module Intmath = Massbft_util.Intmath
 module F = Fault_spec
+module A = Massbft_adversary.Adv_spec
+module Adversary = Massbft_adversary.Adversary
+module Evidence = Massbft_adversary.Evidence
 
 (* ------------------------------------------------------------------ *)
 (* Schedule generation                                                 *)
@@ -176,19 +179,115 @@ let gen_schedule rng ~(cfg : Config.t) ~(spec : Topology.spec) ~duration =
   F.sorted (List.rev !events)
 
 (* ------------------------------------------------------------------ *)
+(* Adversary-plan generation (the campaign's third axis)               *)
+(* ------------------------------------------------------------------ *)
+
+(* One named strategy drawn into a concrete timed plan, with any
+   trigger faults the strategy needs to bite (split-votes only matters
+   while a view change is in flight, so it rides on a leader
+   crash+recover). Each plan compromises exactly one node per target
+   group — within every group's f >= 1 tolerance — so, as with fault
+   generation, a safety violation under a generated plan is a real bug.
+   Liveness inside the attack window is not promised (a Byzantine
+   leader may stall its group); windows always close, and the liveness
+   watchdog only judges the post-heal run. *)
+let gen_adversary rng ~(cfg : Config.t) ~(spec : Topology.spec) ~duration
+    ~strategy =
+  ignore cfg;
+  let gs = spec.Topology.group_sizes in
+  let ng = Array.length gs in
+  let t_lo = 0.5 and t_hi = Float.max 1.0 (0.4 *. duration) in
+  let rt () = q (t_lo +. Rng.float rng (t_hi -. t_lo)) in
+  let win lo hi = q (lo +. Rng.float rng (hi -. lo)) in
+  let g = Rng.int rng ng in
+  let at = rt () in
+  let for_s = win 1.5 3.0 in
+  let follower () = { Topology.g; n = 1 + Rng.int rng (gs.(g) - 1) } in
+  match strategy with
+  | "equivocate" ->
+      ([ { A.at; strategy = A.Equivocate { target = A.Leader g; for_s } } ], [])
+  | "equivocate-raft" ->
+      ( [
+          {
+            A.at;
+            strategy = A.Equivocate_raft { target = A.Leader g; for_s };
+          };
+        ],
+        [] )
+  | "withhold" ->
+      ([ { A.at; strategy = A.Withhold { target = A.Leader g; for_s } } ], [])
+  | "split-votes" ->
+      (* The compromised follower forks its view-change votes across
+         the recovery the leader crash forces. *)
+      let n = follower () in
+      ( [ { A.at; strategy = A.Split_votes { target = A.Node n; for_s } } ],
+        F.sorted
+          [
+            { F.at; fault = F.Crash_node { Topology.g; n = 0 } };
+            {
+              F.at = q (at +. win 1.5 2.5);
+              fault = F.Recover_node { Topology.g; n = 0 };
+            };
+          ] )
+  | "replay" ->
+      ( [
+          {
+            A.at;
+            strategy =
+              A.Replay
+                {
+                  target = A.Leader g;
+                  copies = 1 + Rng.int rng 2;
+                  gap_s = q (float_of_int (50 + Rng.int rng 200) /. 1000.0);
+                  for_s;
+                };
+          };
+        ],
+        [] )
+  | "delay-valid" ->
+      ( [
+          {
+            A.at;
+            strategy =
+              A.Delay_valid
+                {
+                  target = A.Node (follower ());
+                  add_s = q (float_of_int (50 + Rng.int rng 250) /. 1000.0);
+                  for_s;
+                };
+          };
+        ],
+        [] )
+  | "tamper" ->
+      ( [
+          {
+            A.at;
+            strategy = A.Tamper { target = A.Node (follower ()); for_s };
+          };
+        ],
+        [] )
+  | s -> invalid_arg ("Chaos.gen_adversary: unknown strategy " ^ s)
+
+(* ------------------------------------------------------------------ *)
 (* Running one schedule                                                *)
 (* ------------------------------------------------------------------ *)
 
 type outcome = {
   schedule : F.schedule;
+  adversary : A.plan;
   violations : Invariants.violation list;
+  unaccountable : Invariants.violation list;
+      (* violations not backed by a verified conflicting-signed pair *)
+  evidence : Evidence.pair list;
   executed : int;
   injected : int;
+  adv_injected : int;
   ran_until : float;
 }
 
 let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
-    ?registry ~(spec : Topology.spec) ~(cfg : Config.t) schedule =
+    ?registry ?(adversary = []) ~(spec : Topology.spec) ~(cfg : Config.t)
+    schedule =
   (* Recovering from a healed group crash legitimately spans several
      election timeouts (takeover, catch-up, transfer-back), so the
      default stall bound scales with the configured timeout rather than
@@ -205,12 +304,23 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   let engine = Engine.create sim topo cfg in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
   let inj = Injector.create ?trace ?registry ~spec ~schedule engine sim topo in
-  let heal = F.heal_time schedule in
+  let adv =
+    match adversary with
+    | [] -> None
+    | plan -> Some (Adversary.create ?trace ?registry ~spec ~plan engine sim)
+  in
+  let heal = Float.max (F.heal_time schedule) (A.heal_time adversary) in
   let inv =
-    Invariants.create ~liveness_bound_s ~heal_by:heal engine sim
+    match adv with
+    | None -> Invariants.create ~liveness_bound_s ~heal_by:heal engine sim
+    | Some a ->
+        Invariants.create ~liveness_bound_s ~heal_by:heal
+          ~compromised:(Adversary.is_compromised a)
+          ~evidence:(Adversary.evidence a) engine sim
   in
   Engine.start engine;
   Injector.arm inj;
+  (match adv with Some a -> Adversary.arm a | None -> ());
   Invariants.attach inv;
   (* Run past the heal point far enough for the liveness watchdog to
      have a verdict. *)
@@ -221,15 +331,40 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   in
   Sim.run sim ~until;
   Invariants.finalize inv;
+  let violations = Invariants.violations inv in
+  let unaccountable =
+    (* A violation is accounted for when it carries a conflict pair
+       that verifies against the run's evidence log — the adversary was
+       caught red-handed, not the protocol silently broken. Without an
+       adversary every violation is unaccountable. *)
+    List.filter
+      (fun (v : Invariants.violation) ->
+        match (v.Invariants.evidence, adv) with
+        | Some p, Some a -> not (Evidence.verify (Adversary.evidence a) p)
+        | _ -> true)
+      violations
+  in
   {
     schedule;
-    violations = Invariants.violations inv;
+    adversary;
+    violations;
+    unaccountable;
+    evidence =
+      (match adv with
+      | Some a -> Evidence.conflicts (Adversary.evidence a)
+      | None -> []);
     executed = Engine.entries_executed_total engine;
     injected = Injector.injected_total inj;
+    adv_injected = (match adv with Some a -> Adversary.injected_total a | None -> 0);
     ran_until = until;
   }
 
 let failed outcome = outcome.violations <> []
+
+(* The CI pass criterion under an adversary: every run either upholds
+   all invariants or pins each violation on a provably-equivocating
+   node. *)
+let accountable outcome = outcome.unaccountable = []
 
 (* ------------------------------------------------------------------ *)
 (* Schedule shrinking (delta debugging)                                *)
@@ -266,38 +401,76 @@ let shrink ~fails schedule =
 (* Drill and campaign                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let repro_line ~seed ~(system : Config.system) =
-  Printf.sprintf "massbft drill --seed %Ld --system %s" seed
+let repro_line ?adversary ~seed ~(system : Config.system) () =
+  Printf.sprintf "massbft drill --seed %Ld --system %s%s" seed
     (String.lowercase_ascii (Config.system_name system))
+    (match adversary with
+    | None -> ""
+    | Some s -> " --adversary " ^ s)
 
 type drill_result = {
   seed : int64;
   system : Config.system;
+  strategy : string option;  (* adversary axis point, if any *)
   outcome : outcome;
   shrunk : F.schedule option;
       (* minimal failing schedule, when the original failed *)
+  shrunk_adversary : A.plan option;
+      (* minimal failing adversary plan, when one was in play *)
 }
 
 let drill ?duration ?liveness_bound_s ?trace ?registry ?(shrink_failures = true)
-    ~spec ~cfg ~seed () =
+    ?adversary ~spec ~cfg ~seed () =
   let rng = Rng.create seed in
   let gen_duration = Option.value ~default:10.0 duration in
-  let schedule = gen_schedule rng ~cfg ~spec ~duration:gen_duration in
+  (* With an adversary strategy the drill goes all-in on it: the fault
+     schedule carries only the strategy's trigger faults, so the attack
+     window never compounds with unrelated random faults into a
+     scenario beyond the system's claimed tolerance. *)
+  let schedule, plan =
+    match adversary with
+    | None -> (gen_schedule rng ~cfg ~spec ~duration:gen_duration, [])
+    | Some strategy ->
+        let plan, triggers =
+          gen_adversary rng ~cfg ~spec ~duration:gen_duration ~strategy
+        in
+        (triggers, plan)
+  in
   let outcome =
-    run_schedule ?duration ?liveness_bound_s ?trace ?registry ~spec ~cfg
-      schedule
+    run_schedule ?duration ?liveness_bound_s ?trace ?registry ~adversary:plan
+      ~spec ~cfg schedule
   in
-  let shrunk =
-    if failed outcome && shrink_failures then
-      Some
-        (shrink
-           ~fails:(fun s ->
-             failed
-               (run_schedule ?duration ?liveness_bound_s ~spec ~cfg s))
-           schedule)
-    else None
+  let rerun ~schedule ~plan =
+    failed
+      (run_schedule ?duration ?liveness_bound_s ~adversary:plan ~spec ~cfg
+         schedule)
   in
-  { seed; system = cfg.Config.system; outcome; shrunk }
+  let shrunk, shrunk_adversary =
+    if failed outcome && shrink_failures then begin
+      (* ddmin each axis in turn: first the adversary plan against the
+         full trigger schedule, then the schedule under the minimal
+         plan. *)
+      let min_plan =
+        if plan = [] then []
+        else shrink ~fails:(fun p -> rerun ~schedule ~plan:p) plan
+      in
+      let min_sched =
+        if schedule = [] then []
+        else shrink ~fails:(fun s -> rerun ~schedule:s ~plan:min_plan) schedule
+      in
+      ( Some min_sched,
+        (match adversary with None -> None | Some _ -> Some min_plan) )
+    end
+    else (None, None)
+  in
+  {
+    seed;
+    system = cfg.Config.system;
+    strategy = adversary;
+    outcome;
+    shrunk;
+    shrunk_adversary;
+  }
 
 type campaign_result = {
   total : int;
@@ -306,19 +479,31 @@ type campaign_result = {
 }
 
 let campaign ?duration ?liveness_bound_s ?(shrink_failures = false)
-    ?(systems = Config.all_systems) ?on_run ~spec ~cfg ~seeds () =
+    ?(systems = Config.all_systems) ?(adversaries = []) ?on_run ~spec ~cfg
+    ~seeds () =
+  (* The third axis: systems x seeds x adversary strategies. An empty
+     strategy list keeps the classic two-axis fault campaign. *)
+  let axis =
+    match adversaries with
+    | [] -> [ None ]
+    | strategies -> List.map Option.some strategies
+  in
   let results =
     List.concat_map
       (fun system ->
-        List.map
-          (fun seed ->
-            let r =
-              drill ?duration ?liveness_bound_s ~shrink_failures ~spec
-                ~cfg:{ cfg with Config.system } ~seed ()
-            in
-            (match on_run with Some f -> f r | None -> ());
-            r)
-          seeds)
+        List.concat_map
+          (fun adversary ->
+            List.map
+              (fun seed ->
+                let r =
+                  drill ?duration ?liveness_bound_s ~shrink_failures
+                    ?adversary ~spec
+                    ~cfg:{ cfg with Config.system } ~seed ()
+                in
+                (match on_run with Some f -> f r | None -> ());
+                r)
+              seeds)
+          axis)
       systems
   in
   {
@@ -330,11 +515,16 @@ let campaign ?duration ?liveness_bound_s ?(shrink_failures = false)
 let pp_drill fmt r =
   let status =
     if failed r.outcome then
-      Printf.sprintf "FAIL (%d violations)" (List.length r.outcome.violations)
+      Printf.sprintf "FAIL (%d violations%s)"
+        (List.length r.outcome.violations)
+        (if r.outcome.unaccountable = [] then ", all evidenced" else "")
     else "ok"
   in
-  Format.fprintf fmt "%-9s seed=%-6Ld faults=%-2d executed=%-5d %s"
+  Format.fprintf fmt "%-9s seed=%-6Ld %s=%-2d executed=%-5d %s"
     (Config.system_name r.system)
     r.seed
-    (List.length r.outcome.schedule)
+    (match r.strategy with
+    | None -> "faults"
+    | Some s -> s)
+    (List.length r.outcome.schedule + List.length r.outcome.adversary)
     r.outcome.executed status

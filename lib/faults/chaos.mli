@@ -23,11 +23,34 @@ val gen_schedule :
     healed within a few seconds after. Times are millisecond-quantized
     so the text form round-trips exactly. *)
 
+val gen_adversary :
+  Massbft_util.Rng.t ->
+  cfg:Massbft.Config.t ->
+  spec:Massbft_sim.Topology.spec ->
+  duration:float ->
+  strategy:string ->
+  Massbft_adversary.Adv_spec.plan * Fault_spec.schedule
+(** Draw a concrete timed plan for one named strategy (a member of
+    {!Massbft_adversary.Adv_spec.kind_names}), plus any trigger faults
+    the strategy needs to bite (split-votes rides on a leader
+    crash+recover). Plans compromise exactly one node per target group —
+    within every group's tolerance — so a safety violation under a
+    generated plan is a real bug. Raises [Invalid_argument] on an
+    unknown strategy name. *)
+
 type outcome = {
   schedule : Fault_spec.schedule;
+  adversary : Massbft_adversary.Adv_spec.plan;
   violations : Invariants.violation list;
+  unaccountable : Invariants.violation list;
+      (** violations not backed by a verified conflicting-signed pair
+          (without an adversary: all of them) *)
+  evidence : Massbft_adversary.Evidence.pair list;
+      (** every conflict the accountability log caught, violations or
+          not *)
   executed : int;  (** entries executed across all groups *)
   injected : int;  (** fault events applied *)
+  adv_injected : int;  (** messages the adversary interfered with *)
   ran_until : float;  (** simulated seconds *)
 }
 
@@ -36,6 +59,7 @@ val run_schedule :
   ?liveness_bound_s:float ->
   ?trace:Massbft_trace.Trace.t ->
   ?registry:Massbft_obs.Registry.t ->
+  ?adversary:Massbft_adversary.Adv_spec.plan ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   Fault_spec.schedule ->
@@ -50,18 +74,27 @@ val run_schedule :
 
 val failed : outcome -> bool
 
-val shrink :
-  fails:(Fault_spec.schedule -> bool) -> Fault_spec.schedule -> Fault_spec.schedule
-(** ddmin: a 1-minimal-ish sub-schedule still satisfying [fails]
-    (dropping any tried chunk makes it pass). Returns the input
-    unchanged if it does not fail. *)
+val accountable : outcome -> bool
+(** No unaccountable violations: the run either upheld every invariant
+    or pinned each violation on a provably-equivocating node via a
+    verified conflicting-signed-message pair. The CI pass criterion for
+    adversary campaigns. *)
+
+val shrink : fails:('a list -> bool) -> 'a list -> 'a list
+(** ddmin: a 1-minimal-ish sub-list still satisfying [fails] (dropping
+    any tried chunk makes it pass). Returns the input unchanged if it
+    does not fail. Works over fault schedules and adversary plans
+    alike. *)
 
 type drill_result = {
   seed : int64;
   system : Massbft.Config.system;
+  strategy : string option;  (** adversary axis point, if any *)
   outcome : outcome;
   shrunk : Fault_spec.schedule option;
       (** minimal failing schedule, when the original failed *)
+  shrunk_adversary : Massbft_adversary.Adv_spec.plan option;
+      (** minimal failing adversary plan, when one was in play *)
 }
 
 val drill :
@@ -70,13 +103,17 @@ val drill :
   ?trace:Massbft_trace.Trace.t ->
   ?registry:Massbft_obs.Registry.t ->
   ?shrink_failures:bool ->
+  ?adversary:string ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   seed:int64 ->
   unit ->
   drill_result
 (** One fuzzing round: generate from [seed], run, and (by default)
-    shrink on failure. *)
+    shrink on failure. With [adversary] (a strategy name) the round
+    runs that strategy's generated plan plus its trigger faults instead
+    of a random fault schedule; on failure both the plan and the
+    schedule are ddmin-shrunk. *)
 
 type campaign_result = {
   total : int;
@@ -89,17 +126,21 @@ val campaign :
   ?liveness_bound_s:float ->
   ?shrink_failures:bool ->
   ?systems:Massbft.Config.system list ->
+  ?adversaries:string list ->
   ?on_run:(drill_result -> unit) ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   seeds:int64 list ->
   unit ->
   campaign_result
-(** Every system (default: all seven) times every seed, overriding
+(** Every system (default: all seven) times every seed — times every
+    [adversaries] strategy when the third axis is given, overriding
     [cfg]'s system per run. [shrink_failures] defaults to false here —
     campaigns report; {!drill} reproduces and shrinks. *)
 
-val repro_line : seed:int64 -> system:Massbft.Config.system -> string
+val repro_line :
+  ?adversary:string -> seed:int64 -> system:Massbft.Config.system -> unit ->
+  string
 (** The one-liner that reproduces a campaign failure. *)
 
 val pp_drill : Format.formatter -> drill_result -> unit

@@ -69,11 +69,14 @@ let count_injection t fault =
         | Some c -> c
         | None ->
             (* Register each kind's series once; the same (name, labels)
-               pair may only be registered once per registry. *)
+               pair may only be registered once per registry. The
+               strategy label distinguishes benign fault injections
+               from adversary interference, which shares the family
+               with strategy=<adversary kind>. *)
             let c =
               Registry.counter reg ~name:"massbft_faults_injected_total"
                 ~help:"Fault events applied by the chaos injector"
-                [ ("kind", kind) ]
+                [ ("kind", kind); ("strategy", "fault") ]
             in
             Hashtbl.replace t.kind_counters kind c;
             c

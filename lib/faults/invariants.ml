@@ -19,14 +19,29 @@
 module Sim = Massbft_sim.Sim
 module Engine = Massbft.Engine
 module Types = Massbft.Types
+module Topology = Massbft_sim.Topology
 module Ledger = Massbft_exec.Ledger
+module Evidence = Massbft_adversary.Evidence
 
-type violation = { at : float; check : string; detail : string }
+type violation = {
+  at : float;
+  check : string;
+  detail : string;
+  evidence : Evidence.pair option;
+      (* accountability: the conflicting signed messages proving which
+         node caused this, when an adversary evidence log has one *)
+}
 
 exception Violation of violation
 
 let violation_to_string v =
-  Printf.sprintf "[%.3fs] %s: %s" v.at v.check v.detail
+  Printf.sprintf "[%.3fs] %s: %s%s" v.at v.check v.detail
+    (match v.evidence with
+    | None -> ""
+    | Some p ->
+        Printf.sprintf " [evidence: %s equivocated on %s g%d seq %d]"
+          p.Evidence.first.Evidence.e_signer p.Evidence.first.Evidence.e_kind
+          p.Evidence.first.Evidence.e_gid p.Evidence.first.Evidence.e_seq)
 
 type t = {
   engine : Engine.t;
@@ -34,6 +49,10 @@ type t = {
   fail_fast : bool;
   liveness_bound_s : float;
   heal_by : float;
+  compromised : Topology.addr -> bool;
+      (* under an adversary, safety is only promised among honest
+         replicas — Byzantine nodes may decide anything *)
+  evidence : Evidence.log option;
   mutable violations : violation list; (* newest first *)
   (* cross_chain: the reference hash chain (first group to reach a
      height defines it) and each group's checked-prefix cursor *)
@@ -53,7 +72,7 @@ type t = {
 }
 
 let create ?(liveness_bound_s = 3.0) ?(heal_by = 0.0) ?(fail_fast = false)
-    engine sim =
+    ?(compromised = fun _ -> false) ?evidence engine sim =
   let ng = Engine.n_groups engine in
   {
     engine;
@@ -61,6 +80,8 @@ let create ?(liveness_bound_s = 3.0) ?(heal_by = 0.0) ?(fail_fast = false)
     fail_fast;
     liveness_bound_s;
     heal_by;
+    compromised;
+    evidence;
     violations = [];
     ref_hashes = [||];
     ref_len = 0;
@@ -74,10 +95,27 @@ let create ?(liveness_bound_s = 3.0) ?(heal_by = 0.0) ?(fail_fast = false)
     checks_run = 0;
   }
 
-let record t check detail =
-  let v = { at = Sim.now t.sim; check; detail } in
+let record ?evidence t check detail =
+  let v = { at = Sim.now t.sim; check; detail; evidence } in
   t.violations <- v :: t.violations;
   if t.fail_fast then raise (Violation v)
+
+(* The conflicting signed pair for a consensus slot, if the adversary's
+   evidence log caught one — slot-exact when possible, else any
+   conflict (an equivocation elsewhere can still poison derived state
+   such as the merged chain). *)
+let slot_evidence t ~gid ~seq =
+  match t.evidence with
+  | None -> None
+  | Some log -> (
+      match Evidence.conflict_for log ~gid ~seq with
+      | Some _ as p -> p
+      | None -> Evidence.first_conflict log)
+
+let any_evidence t =
+  match t.evidence with
+  | None -> None
+  | Some log -> Evidence.first_conflict log
 
 let ensure_cap t n =
   if n > Array.length t.ref_hashes then begin
@@ -96,7 +134,9 @@ let check_cross_chain t =
         let h = t.cursors.(g) + i in
         if h < t.ref_len then begin
           if not (String.equal b.Ledger.block_hash t.ref_hashes.(h)) then
-            record t "cross_chain"
+            record
+              ?evidence:(slot_evidence t ~gid:b.Ledger.gid ~seq:b.Ledger.seq)
+              t "cross_chain"
               (Printf.sprintf
                  "group %d's block at height %d (g%d seq %d) differs from \
                   the chain first built at that height"
@@ -115,6 +155,12 @@ let check_replica_prefix t =
   let ng = Engine.n_groups t.engine in
   for g = 0 to ng - 1 do
     let n = Engine.group_size t.engine g in
+    (* BFT safety is only promised among honest replicas: a Byzantine
+       node may decide anything, and when the proposer itself may be
+       compromised its entry registry is not an oracle either. *)
+    let honest = Array.init n (fun i -> not (t.compromised { Topology.g; n = i })) in
+    let n_honest = Array.fold_left (fun a h -> if h then a + 1 else a) 0 honest in
+    let group_clean = n_honest = n in
     let top = Engine.proposed_seqs t.engine ~gid:g in
     let seq = ref (t.agreed.(g) + 1) in
     let advancing = ref true in
@@ -124,31 +170,35 @@ let check_replica_prefix t =
       let decided = ref 0 in
       let first = ref None in
       for node = 0 to n - 1 do
-        match Engine.replica_decided t.engine ~g ~n:node ~seq:s with
-        | None -> ()
-        | Some d -> (
-            incr decided;
-            (match expect with
-            | Some ed when not (String.equal d ed) ->
-                record t "replica_prefix"
-                  (Printf.sprintf
-                     "g%d/n%d decided seq %d with a digest differing from \
-                      the proposer's entry"
-                     g node s)
-            | _ -> ());
-            match !first with
-            | None -> first := Some d
-            | Some d0 ->
-                if not (String.equal d d0) then
-                  record t "replica_prefix"
+        if honest.(node) then
+          match Engine.replica_decided t.engine ~g ~n:node ~seq:s with
+          | None -> ()
+          | Some d -> (
+              incr decided;
+              (match expect with
+              | Some ed when group_clean && not (String.equal d ed) ->
+                  record ?evidence:(slot_evidence t ~gid:g ~seq:s) t
+                    "replica_prefix"
                     (Printf.sprintf
-                       "two replicas of group %d decided different digests \
-                        at seq %d"
-                       g s))
+                       "g%d/n%d decided seq %d with a digest differing from \
+                        the proposer's entry"
+                       g node s)
+              | _ -> ());
+              match !first with
+              | None -> first := Some d
+              | Some d0 ->
+                  if not (String.equal d d0) then
+                    record ?evidence:(slot_evidence t ~gid:g ~seq:s) t
+                      "replica_prefix"
+                      (Printf.sprintf
+                         "two honest replicas of group %d decided different \
+                          digests at seq %d"
+                         g s))
       done;
-      (* A fully decided sequence is final (PBFT decides each slot at
-         most once): fold it into the checked prefix. *)
-      if !advancing && !decided = n && s = t.agreed.(g) + 1 then
+      (* A sequence decided by every honest replica is final (PBFT
+         decides each slot at most once): fold it into the checked
+         prefix. *)
+      if !advancing && !decided = n_honest && s = t.agreed.(g) + 1 then
         t.agreed.(g) <- s
       else advancing := false;
       incr seq
@@ -220,7 +270,7 @@ let finalize t =
   let ng = Engine.n_groups t.engine in
   for g = 0 to ng - 1 do
     if not (Ledger.verify (Engine.ledger_of t.engine ~gid:g)) then
-      record t "ledger_integrity"
+      record ?evidence:(any_evidence t) t "ledger_integrity"
         (Printf.sprintf "group %d's ledger fails hash-chain verification" g)
   done;
   let heights =
@@ -235,7 +285,7 @@ let finalize t =
             (String.equal fp0
                (Engine.leader_store_fingerprint t.engine ~gid:g))
         then
-          record t "exec_determinism"
+          record ?evidence:(any_evidence t) t "exec_determinism"
             (Printf.sprintf
                "groups 0 and %d executed the same %d-block chain to \
                 different database states"

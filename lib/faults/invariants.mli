@@ -16,9 +16,24 @@
 
     plus, at {!finalize}: per-group ledger hash-chain integrity and
     execution determinism (equal-height ledgers must yield equal
-    database fingerprints). *)
+    database fingerprints).
 
-type violation = { at : float; check : string; detail : string }
+    Under an adversary ({!Massbft_adversary.Adversary}), pass the run's
+    [compromised] predicate and [evidence] log: safety comparisons then
+    cover honest replicas only (a Byzantine node may decide anything
+    without breaking BFT's promise), and each safety violation carries
+    the conflicting signed message pair proving which node caused it —
+    machine-checkable accountability, in the style of BFT forensics. *)
+
+type violation = {
+  at : float;
+  check : string;
+  detail : string;
+  evidence : Massbft_adversary.Evidence.pair option;
+      (** the conflicting signed pair behind this violation, when the
+          adversary's evidence log holds one (safety checks only —
+          liveness violations have no equivocation to show) *)
+}
 
 exception Violation of violation
 (** Raised by checks when [fail_fast] was set. *)
@@ -31,6 +46,8 @@ val create :
   ?liveness_bound_s:float ->
   ?heal_by:float ->
   ?fail_fast:bool ->
+  ?compromised:(Massbft_sim.Topology.addr -> bool) ->
+  ?evidence:Massbft_adversary.Evidence.log ->
   Massbft.Engine.t ->
   Massbft_sim.Sim.t ->
   t
@@ -39,7 +56,15 @@ val create :
     [Fault_spec.heal_time schedule]; an infinite [heal_by], e.g. from a
     never-recovered crash, disables the liveness watchdog entirely).
     With [fail_fast] (default false) the first violation raises
-    {!Violation} out of the simulation instead of only recording. *)
+    {!Violation} out of the simulation instead of only recording.
+
+    [compromised] (default: nobody) marks Byzantine replicas: the
+    replica-agreement check then compares honest replicas only, and the
+    proposer-registry cross-check is skipped for groups containing a
+    compromised node (the registry itself may be forged there).
+    [evidence] is the adversary's accountability log; when given,
+    safety violations carry its conflicting signed pair for the
+    affected slot. *)
 
 val attach : ?period:float -> t -> unit
 (** Polls {!check_now} every [period] (default 0.25) simulated seconds

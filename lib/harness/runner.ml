@@ -7,6 +7,7 @@ module Stats = Massbft_util.Stats
 module Sampler = Massbft_obs.Sampler
 module Saturation = Massbft_obs.Saturation
 module Injector = Massbft_faults.Injector
+module Adversary = Massbft_adversary.Adversary
 
 type result = {
   system : Config.system;
@@ -29,7 +30,7 @@ type result = {
 }
 
 let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
-    ~spec ~cfg () =
+    ?adversary ~spec ~cfg () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
@@ -57,6 +58,13 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
       let registry = Option.map Sampler.registry obs in
       Injector.arm
         (Injector.create ?trace ?registry ~spec ~schedule engine sim topo)
+  | Some _ | None -> ());
+  (* Adversary plans arm the Byzantine interposer on the typed send
+     path; same no-op contract as faults for [None] / []. *)
+  (match adversary with
+  | Some plan when plan <> [] ->
+      let registry = Option.map Sampler.registry obs in
+      Adversary.arm (Adversary.create ?trace ?registry ~spec ~plan engine sim)
   | Some _ | None -> ());
   ignore
     (Sim.at sim warmup (fun () ->
@@ -121,9 +129,10 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
 let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?on_engine
-    ?faults ~spec ~cfg () =
+    ?faults ?adversary ~spec ~cfg () =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
-  run ~duration ~warmup ?trace ?obs ?on_engine ?faults ~spec ~cfg:probe_cfg ()
+  run ~duration ~warmup ?trace ?obs ?on_engine ?faults ?adversary ~spec
+    ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

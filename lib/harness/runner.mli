@@ -35,6 +35,7 @@ val run :
   ?obs:Massbft_obs.Sampler.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
+  ?adversary:Massbft_adversary.Adv_spec.plan ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->
@@ -56,7 +57,9 @@ val run :
     {!Massbft_faults.Injector} over the schedule (times are absolute
     simulated seconds, so faults meant for the measurement window must
     land after [warmup]); omitting it — or passing [[]] — arms nothing
-    and the run is bit-identical to a fault-free one. *)
+    and the run is bit-identical to a fault-free one. [adversary] arms
+    a {!Massbft_adversary.Adversary} over the plan (same absolute-time
+    and no-op contract as [faults]). *)
 
 val run_latency_probe :
   ?duration:float ->
@@ -65,6 +68,7 @@ val run_latency_probe :
   ?obs:Massbft_obs.Sampler.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
+  ?adversary:Massbft_adversary.Adv_spec.plan ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->

@@ -40,13 +40,17 @@ let cfg_of system =
     seed = 0L;
   }
 
-let capture ~system =
+(* [attach] runs between Engine.start and the clock moving — the seam
+   no-op tests use to hang an (empty) adversary or injector on the run
+   and assert the fingerprint still matches the recorded golden. *)
+let capture ?attach ~system () =
   let sim = Sim.create () in
   let topo =
     Topology.create sim (Clusters.nationwide ~groups ~nodes_per_group:4 ())
   in
   let eng = Engine.create sim topo (cfg_of system) in
   Engine.start eng;
+  (match attach with Some f -> f eng sim topo | None -> ());
   Sim.run sim ~until;
   {
     system;

@@ -21,7 +21,7 @@ let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
   List.iter
     (fun system ->
-      let g = Golden.capture ~system in
+      let g = Golden.capture ~system () in
       let file = Filename.concat dir (Golden.file_of_system system) in
       let oc = open_out file in
       output_string oc (Golden.to_string g);

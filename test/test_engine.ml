@@ -601,7 +601,7 @@ let test_golden_fixtures () =
       let recorded =
         Golden.load (Filename.concat "golden" (Golden.file_of_system system))
       in
-      let fresh = Golden.capture ~system in
+      let fresh = Golden.capture ~system () in
       check_int (name ^ " committed") recorded.Golden.committed
         fresh.Golden.committed;
       check_int (name ^ " entries executed") recorded.Golden.entries
@@ -622,7 +622,7 @@ let test_golden_fixtures () =
 
 let test_golden_roundtrip () =
   (* The fixture format itself: parse (print x) = x. *)
-  let g = Golden.capture ~system:Config.Geobft in
+  let g = Golden.capture ~system:Config.Geobft () in
   let g' = Golden.of_string (Golden.to_string g) in
   Alcotest.(check string) "round-trip" (Golden.to_string g) (Golden.to_string g')
 
