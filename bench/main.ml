@@ -255,6 +255,28 @@ let bench_sim_churn =
          assert (!fired = 1_000 && Sim.pending sim = 0);
          ignore !acc))
 
+let bench_shard_barrier =
+  (* The parallel driver's fixed per-window cost, isolated: two shards
+     ping-ponging one cross-shard message per window through the
+     mailbox path, so each window carries minimal real work and the
+     run measures domain spawn + barrier + inbox-drain machinery. 50
+     windows of 10 ms lookahead per run. *)
+  Test.make ~name:"sim/shard-barrier-2x50w"
+    (Staged.stage (fun () ->
+         let sim = Sim.create ~shards:2 ~lookahead:0.01 () in
+         let s0 = Sim.shard sim 0 and s1 = Sim.shard sim 1 in
+         let count = ref 0 in
+         let rec ping me peer () =
+           incr count;
+           (* 12 ms > the 10 ms lookahead, so the post always lands
+              beyond the current window's end as [post] requires. *)
+           Sim.post peer (Sim.now me +. 0.012) (ping peer me)
+         in
+         ignore (Sim.at s0 0.0 (ping s0 s1));
+         ignore (Sim.at s1 0.0 (ping s1 s0));
+         Sim.run_parallel sim ~domains:2 ~until:0.5 ();
+         assert (!count >= 80)))
+
 let micro_tests =
   [
     bench_sha256; bench_hmac; bench_merkle_build; bench_merkle_verify;
@@ -262,7 +284,7 @@ let micro_tests =
     bench_gf16_mul_slice; bench_rs_encode; bench_rs_decode;
     bench_rs16_encode; bench_rs16_decode; bench_plan;
     bench_chunker; bench_rebuild; bench_orderer; bench_aria; bench_pbft;
-    bench_sim; bench_sim_churn;
+    bench_sim; bench_sim_churn; bench_shard_barrier;
   ]
 
 let run_micro ~quick () =
@@ -315,6 +337,31 @@ let run_macros ~quick () =
   macros
 
 (* ------------------------------------------------------------------ *)
+(* Sharded-scheduler scaling table                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling ~quick () =
+  Printf.printf
+    "=== scheduler scaling (MassBFT YCSB-A, groups x domains, %s mode) ===\n"
+    (if quick then "quick" else "full");
+  Printf.printf "  host domains available: %d\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "  %-7s %-8s %9s %16s %15s\n" "groups" "domains" "wall_s"
+    "sim_s/wall_s" "committed_txns";
+  let groups_list, domains_list =
+    if quick then ([ 3 ], [ 1; 2 ]) else ([ 3; 5 ], [ 1; 2; 4 ])
+  in
+  let rows =
+    Bench_report.run_scaling ~quick ~groups_list ~domains_list
+      ~on_row:(fun (s : Bench_report.scaling) ->
+        Printf.printf "  %-7d %-8d %9.2f %16.3f %15d\n%!" s.sc_groups
+          s.sc_domains s.sc_wall_s s.sc_sim_s_per_wall_s s.sc_committed_txns)
+      ()
+  in
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Figure harness                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -354,6 +401,11 @@ let () =
     in
     find argv
   in
+  (* The scaling table runs first: its rows compare drivers against
+     each other, and measuring them from the pristine process keeps
+     them free of the heap growth the micro and macro sections leave
+     behind (a per-row compaction recovers most but not all of it). *)
+  let scaling = run_scaling ~quick () in
   let micros = run_micro ~quick () in
   let macros = run_macros ~quick () in
   (match json_file with
@@ -367,7 +419,7 @@ let () =
       let doc =
         Bench_report.to_json ~date
           ~mode:(if quick then "quick" else "full")
-          ~micros ~macros
+          ~scaling ~micros ~macros ()
       in
       let oc = open_out file in
       output_string oc doc;

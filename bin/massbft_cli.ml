@@ -115,6 +115,14 @@ let scale_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ]
+         ~doc:"OCaml domains pumping the per-group scheduler shards \
+               (clamped to the group count). 1 is the sequential merge \
+               driver; more run the WAN-lookahead parallel driver, which \
+               preserves committed results and invariant verdicts but \
+               not event interleaving (so --trace/--metrics need 1).")
+
 let experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed =
   let cfg =
     {
@@ -164,7 +172,8 @@ let run_cmd =
                  simulated seconds, like --faults).")
   in
   let action system workload nodes groups worldwide duration warmup scale seed
-      latency_probe trace_file metrics_file faults_file adversary_file =
+      domains latency_probe trace_file metrics_file faults_file adversary_file
+      =
     let cfg, spec =
       experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
     in
@@ -177,10 +186,10 @@ let run_cmd =
     let r =
       if latency_probe then
         Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ?faults
-          ?adversary ~spec ~cfg ()
+          ?adversary ~domains ~spec ~cfg ()
       else
-        Runner.run ~duration ~warmup ?trace:sink ?obs ?faults ?adversary ~spec
-          ~cfg ()
+        Runner.run ~duration ~warmup ?trace:sink ?obs ?faults ?adversary
+          ~domains ~spec ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
     List.iter
@@ -219,7 +228,7 @@ let run_cmd =
     Term.(
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
-      $ latency_probe $ trace_file $ metrics_file $ faults_file
+      $ domains_arg $ latency_probe $ trace_file $ metrics_file $ faults_file
       $ adversary_file)
 
 (* ---- trace ---- *)
@@ -443,7 +452,7 @@ let drill_cmd =
                  appear as 'fault'-category spans.")
   in
   let action system all_systems nodes groups worldwide scale seed seeds
-      adversaries duration quick no_shrink artifacts trace_file =
+      adversaries duration quick no_shrink artifacts trace_file domains =
     let duration = if quick then 8.0 else duration in
     let cfg =
       { (Config.default ~system ()) with Config.workload_scale = scale }
@@ -582,7 +591,7 @@ let drill_cmd =
           let c =
             Chaos.campaign ~duration ~shrink_failures:(not no_shrink) ~systems
               ~adversaries:(Option.value ~default:[] adversaries)
-              ~on_run:report ~spec ~cfg ~seeds ()
+              ~on_run:report ~domains ~spec ~cfg ~seeds ()
           in
           let hard = List.filter bad c.Chaos.results in
           Format.printf "campaign: %d runs, %d failed%s@." c.Chaos.total
@@ -609,7 +618,7 @@ let drill_cmd =
                   (fun adversary ->
                     let r =
                       Chaos.drill ~duration ~shrink_failures:(not no_shrink)
-                        ?trace:sink ?adversary ~spec
+                        ?trace:sink ?adversary ~domains ~spec
                         ~cfg:{ cfg with Config.system }
                         ~seed:(Int64.of_int seed) ()
                     in
@@ -639,7 +648,7 @@ let drill_cmd =
     Term.(
       const action $ system_arg $ all_systems $ nodes_arg $ groups_arg
       $ worldwide_arg $ scale $ seed $ seeds $ adversaries $ duration $ quick
-      $ no_shrink $ artifacts $ trace_file)
+      $ no_shrink $ artifacts $ trace_file $ domains_arg)
 
 (* ---- figures ---- *)
 

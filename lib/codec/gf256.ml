@@ -39,18 +39,22 @@ let log a =
 (* Per-coefficient 256-entry product rows (klauspost-style), memoized
    so repeated use of a coefficient — every shard of an encode reuses
    its matrix row's coefficients — costs one table build total instead
-   of one per slice. At most 64 KiB across all 255 non-zero rows. *)
-let mul_rows = Array.make 256 Bytes.empty
+   of one per slice. At most 64 KiB across all 255 non-zero rows. The
+   cells are atomic so a row built by one domain is published to others
+   with its contents visible; a duplicated build races to write the
+   same deterministic bytes, so last-writer-wins is harmless. *)
+let mul_rows = Array.init 256 (fun _ -> Atomic.make Bytes.empty)
 
 let mul_table c =
-  let row = Array.unsafe_get mul_rows c in
+  let cell = Array.unsafe_get mul_rows c in
+  let row = Atomic.get cell in
   if Bytes.length row <> 0 then row
   else begin
     let t = Bytes.create 256 in
     for i = 0 to 255 do
       Bytes.unsafe_set t i (Char.unsafe_chr (mul c i))
     done;
-    mul_rows.(c) <- t;
+    Atomic.set cell t;
     t
   end
 

@@ -47,12 +47,11 @@ let form_batch t (l : leader) =
       decided_at = 0.0;
       committed_at = 0.0;
       ordered_at = 0.0;
-      outcome = None;
-      exec_count = 0;
+      outcome = Atomic.make None;
+      exec_count = Atomic.make 0;
     }
   in
-  Entry_tbl.replace t.entries eid e;
-  Hashtbl.replace t.by_digest digest e;
+  register_entry t e;
   trace_entry t eid "batch_formed" ~node:0
     ~args:[ ("txns", Trace.Int e.txn_count); ("bytes", Trace.Int size) ];
   content_event t (node_of t l.l_addr) eid;
@@ -87,13 +86,16 @@ let try_batch t (l : leader) =
     form_batch t l
   end
 
-(* Arm the per-leader batch timers (called once from Engine.start). *)
+(* Arm the per-leader batch timers (called once from Engine.start).
+   Each leader's timer chain is scheduled through its group's shard
+   handle so the parallel driver runs it on the owning domain. *)
 let start t =
   Array.iter
     (fun l ->
+      let lsim = sim_of t l.l_gid in
       let rec tick () =
         ignore
-          (Sim.after t.sim t.cfg.Config.batch_timeout_s (fun () ->
+          (Sim.after lsim t.cfg.Config.batch_timeout_s (fun () ->
                if alive t l.l_addr then begin
                  l.l_batch_pending <- true;
                  try_batch t l

@@ -159,6 +159,8 @@ let create sim topo cfg =
       leaders;
       entries = Entry_tbl.create 1024;
       by_digest = Hashtbl.create 1024;
+      reg_mu = Mutex.create ();
+      metrics_mu = Mutex.create ();
       plans = Array.make_matrix ng ng None;
       metrics = Metrics.create ();
       shared_store;
@@ -166,13 +168,21 @@ let create sim topo cfg =
       deliver = dispatch;
       on_leader_content = leader_content;
       started = false;
-      node_watch = false;
+      node_watch = Atomic.make false;
       adv_hook = None;
       trace = Trace.null;
     }
   in
   Local_consensus.install t;
   Global_consensus.install t ~n_inst;
+  (* Pre-compute every pairwise transfer plan now: the lazy memoization
+     in [Replication.plan_between] would otherwise race when two shards
+     first need the same plan concurrently under the parallel driver. *)
+  for src = 0 to ng - 1 do
+    for dst = 0 to ng - 1 do
+      if src <> dst then ignore (Replication.plan_between t ~src ~dst)
+    done
+  done;
   t
 
 let set_trace t tr =
@@ -216,25 +226,28 @@ let start t =
   t.started <- true;
   Batcher.start t;
   Global_consensus.start_heartbeats t;
-  (* Byzantine activation. *)
+  (* Byzantine activation: one event per group, on the group's shard,
+     so the flag flips on the domain that reads it. *)
   if t.cfg.Config.byzantine_per_group > 0 then
-    ignore
-      (Sim.at t.sim (Float.max t.cfg.Config.byzantine_from_s (now t)) (fun () ->
-           Array.iter
-             (fun group ->
+    Array.iteri
+      (fun g group ->
+        ignore
+          (Sim.at (sim_of t g)
+             (Float.max t.cfg.Config.byzantine_from_s (now t))
+             (fun () ->
                let n = Array.length group in
                let count =
                  min t.cfg.Config.byzantine_per_group (Intmath.pbft_f n)
                in
                for k = 1 to count do
                  group.(n - k).n_byz <- true
-               done)
-             t.nodes));
-  (* Group crash. *)
+               done)))
+      t.nodes;
+  (* Group crash, on the crashing group's shard. *)
   match t.cfg.Config.crash_group_at with
   | Some (g, at) ->
       ignore
-        (Sim.at t.sim (Float.max at (now t)) (fun () ->
+        (Sim.at (sim_of t g) (Float.max at (now t)) (fun () ->
              Topology.crash_group t.topo g))
   | None -> ()
 
@@ -287,7 +300,7 @@ let migrate_leader t (l : leader) (na : Topology.addr) =
   | Some pbft ->
       for seq = 1 to l.l_next_seq - 1 do
         let eid = { Types.gid = l.l_gid; seq } in
-        match Entry_tbl.find_opt t.entries eid with
+        match with_registry t (fun () -> Entry_tbl.find_opt t.entries eid) with
         | None -> ()
         | Some e ->
             if e.committed_at = 0.0 then begin
@@ -398,20 +411,21 @@ let check_group_leadership t (l : leader) =
   end
 
 (* Armed lazily on the first node-level crash/recovery: fault-free runs
-   schedule nothing, keeping their event streams bit-identical. *)
+   schedule nothing, keeping their event streams bit-identical. Each
+   group's tick chain lives on that group's shard — the arming event may
+   itself be executing on another group's shard, so the first tick goes
+   through [Sim.post] (the election period dwarfs any lookahead); the
+   rescheduling [Sim.after] then stays on the right shard. *)
 let arm_node_watchdogs t =
-  if not t.node_watch then begin
-    t.node_watch <- true;
+  if Atomic.compare_and_set t.node_watch false true then begin
     let period = t.cfg.Config.election_timeout_s in
     Array.iter
       (fun l ->
         let rec tick () =
-          ignore
-            (Sim.after t.sim period (fun () ->
-                 check_group_leadership t l;
-                 tick ()))
+          check_group_leadership t l;
+          ignore (Sim.after (sim_of t l.l_gid) period tick)
         in
-        tick ())
+        Sim.post (sim_of t l.l_gid) (now t +. period) tick)
       t.leaders
   end
 
@@ -493,7 +507,7 @@ let replica_decided t ~g ~n ~seq =
   | Some p -> Pbft.decided p seq
 
 let entry_digest t eid =
-  match Entry_tbl.find_opt t.entries eid with
+  match with_registry t (fun () -> Entry_tbl.find_opt t.entries eid) with
   | Some e -> Some e.digest
   | None -> None
 

@@ -45,7 +45,7 @@ let phase_spans t e ~tnow =
   in
   always @ tail
 
-let record_metrics t e outcome =
+let record_metrics_unlocked t e outcome =
   let m = t.metrics in
   let tnow = now t in
   let n_committed = List.length outcome.Aria.committed in
@@ -83,16 +83,41 @@ let record_metrics t e outcome =
       end)
     (phase_spans t e ~tnow)
 
+(* Summaries and timeseries are plain mutable structures shared by all
+   leaders; proposer shards reaching here under the parallel driver
+   serialize through [metrics_mu]. (Counters are atomic and would not
+   need the lock, but one lock for the whole record is simpler.) *)
+let record_metrics t e outcome =
+  Mutex.lock t.metrics_mu;
+  match record_metrics_unlocked t e outcome with
+  | () -> Mutex.unlock t.metrics_mu
+  | exception exn ->
+      Mutex.unlock t.metrics_mu;
+      raise exn
+
 let do_execute t (l : leader) e =
+  (* Execute-once, replay-elsewhere: the first leader to reach the entry
+     runs the full Aria pass; every group's store is a deterministic
+     replica applying the same entries in the same order, so later
+     leaders reproduce the identical post-state from the memoized write
+     effects. With a shared store ([independent_stores = false]) the
+     effects are already applied, so later leaders touch nothing; with
+     per-group stores each leader replays the effect list onto its own
+     copy — a fraction of the cost of re-running the batch. The outcome
+     cell is atomic for cross-domain publication; a racy double-execute
+     is deterministic, idempotent on disjoint stores, and merely wasted
+     work. *)
   let outcome =
-    match e.outcome with
-    | Some o when not t.cfg.Config.independent_stores -> o
-    | _ ->
+    match Atomic.get e.outcome with
+    | Some o ->
+        if t.cfg.Config.independent_stores then Aria.apply_effects l.l_store o;
+        o
+    | None ->
         let o =
           Aria.execute_batch ~reorder:t.cfg.Config.reorder ~fallback:e.fb_txns
             l.l_store e.txns
         in
-        if not t.cfg.Config.independent_stores then e.outcome <- Some o;
+        Atomic.set e.outcome (Some o);
         o
   in
   ignore
@@ -102,12 +127,13 @@ let do_execute t (l : leader) e =
   l.l_executed_count <- l.l_executed_count + 1;
   Entry_tbl.remove l.l_committed_unexec e.eid;
   (* Once every leader has executed the entry its content (transaction
-     closures, memoized outcome) is dead weight; keep the metadata. *)
-  e.exec_count <- e.exec_count + 1;
-  if e.exec_count >= t.ng && not t.cfg.Config.independent_stores then begin
+     closures, memoized outcome and effects) is dead weight; keep the
+     metadata. *)
+  Atomic.incr e.exec_count;
+  if Atomic.get e.exec_count >= t.ng then begin
     e.txns <- [];
     e.fb_txns <- [];
-    e.outcome <- None
+    Atomic.set e.outcome None
   end;
   if e.eid.Types.gid = l.l_gid then begin
     trace_entry t e.eid "executed" ~node:0
@@ -153,7 +179,7 @@ let rec pump t (l : leader) =
   end
 
 let enqueue t (l : leader) eid =
-  (match Entry_tbl.find_opt t.entries eid with
+  (match with_registry t (fun () -> Entry_tbl.find_opt t.entries eid) with
   | Some e when eid.Types.gid = l.l_gid && e.ordered_at = 0.0 ->
       e.ordered_at <- now t;
       trace_entry t eid "ordered" ~node:0

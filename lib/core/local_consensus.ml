@@ -10,14 +10,14 @@ open Node_ctx
 let local_msg_bytes t m =
   match m with
   | Pbft.Pre_prepare { digest; _ } -> (
-      match Hashtbl.find_opt t.by_digest digest with
+      match entry_by_digest t digest with
       | Some e -> e.size + Types.header_bytes + Types.signature_bytes
       | None -> Types.vote_bytes)
   | Pbft.Prepare _ | Pbft.Commit _ -> Types.vote_bytes
   | Pbft.View_change _ | Pbft.New_view _ -> 4 * Types.vote_bytes
 
 let on_decide t (node : node) (cert : Pbft.certificate) =
-  match Hashtbl.find_opt t.by_digest cert.Pbft.cert_digest with
+  match entry_by_digest t cert.Pbft.cert_digest with
   | None -> ()
   | Some e ->
       let addr = node.n_addr in
@@ -41,7 +41,7 @@ let handle t (node : node) ~(src : Topology.addr) pm =
           (* Receiving the batch: verify every client signature before
              voting (the paper's dominant local cost). *)
           let cost =
-            match Hashtbl.find_opt t.by_digest digest with
+            match entry_by_digest t digest with
             | Some e ->
                 float_of_int e.txn_count *. t.cfg.Config.cost.Config.sig_verify_s
             | None -> 0.0

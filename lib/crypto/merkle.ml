@@ -3,25 +3,29 @@ type tree = { levels : string array array }
 
 type proof = { leaf_index : int; path : string list }
 
-(* Domain-separated hashing through one reused context: feeding the tag
-   and operands as separate updates avoids the per-hash concatenation
-   copy ("\x01" ^ l ^ r), which the replication verify path paid on
-   every tree node of every received chunk. Single-threaded, and
-   neither hash re-enters the other, so one scratch context suffices. *)
-let scratch = Sha256.init ()
+(* Domain-separated hashing through one reused context per domain:
+   feeding the tag and operands as separate updates avoids the per-hash
+   concatenation copy ("\x01" ^ l ^ r), which the replication verify
+   path paid on every tree node of every received chunk. The context is
+   domain-local (the parallel scheduler driver hashes concurrently);
+   neither hash re-enters the other within a domain, so one scratch per
+   domain suffices. *)
+let scratch = Domain.DLS.new_key Sha256.init
 
 let leaf_hash data =
-  Sha256.reset scratch;
-  Sha256.update scratch "\x00";
-  Sha256.update scratch data;
-  Sha256.finalize scratch
+  let c = Domain.DLS.get scratch in
+  Sha256.reset c;
+  Sha256.update c "\x00";
+  Sha256.update c data;
+  Sha256.finalize c
 
 let node_hash l r =
-  Sha256.reset scratch;
-  Sha256.update scratch "\x01";
-  Sha256.update scratch l;
-  Sha256.update scratch r;
-  Sha256.finalize scratch
+  let c = Domain.DLS.get scratch in
+  Sha256.reset c;
+  Sha256.update c "\x01";
+  Sha256.update c l;
+  Sha256.update c r;
+  Sha256.finalize c
 
 let build leaves =
   if leaves = [] then invalid_arg "Merkle.build: empty leaf list";

@@ -169,21 +169,26 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
-(* One-shot digests reuse a single scratch context: the replication
-   verify path hashes every chunk of every entry, and a fresh context
-   per call (8-word state + 64-byte block + 64-word schedule) was the
-   dominant allocation there. All simulation code is single-threaded
-   and [digest] never re-enters itself, so sharing is safe. *)
-let scratch = init ()
+(* One-shot digests reuse a scratch context: the replication verify
+   path hashes every chunk of every entry, and a fresh context per call
+   (8-word state + 64-byte block + 64-word schedule) was the dominant
+   allocation there. The scratch is domain-local, not global — the
+   parallel scheduler driver hashes from several domains at once, and a
+   shared context would silently interleave their block streams into
+   wrong digests. [digest] never re-enters itself within a domain, so
+   per-domain reuse is safe. *)
+let scratch = Domain.DLS.new_key init
 
 let digest s =
-  reset scratch;
-  update scratch s;
-  finalize scratch
+  let c = Domain.DLS.get scratch in
+  reset c;
+  update c s;
+  finalize c
 
 let digest_bytes b =
-  reset scratch;
-  update_bytes scratch b ~pos:0 ~len:(Bytes.length b);
-  finalize scratch
+  let c = Domain.DLS.get scratch in
+  reset c;
+  update_bytes c b ~pos:0 ~len:(Bytes.length b);
+  finalize c
 
 let hex s = Massbft_util.Hexdump.encode (digest s)

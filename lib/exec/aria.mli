@@ -26,6 +26,14 @@ type outcome = {
   logic_aborted : Txn.t list;  (** rolled back by their own logic *)
   reads : int;  (** total read operations executed *)
   writes : int;  (** total write operations executed *)
+  effects : (string * string) list;
+      (** every store write the batch performed, in application order —
+          the batch's cumulative mutation of the store. A node holding
+          an identical pre-batch store reaches the identical post-state
+          by replaying these with {!apply_effects}, skipping
+          re-execution; this is how replica stores under
+          [independent_stores] avoid paying the full Aria pass per
+          group. *)
 }
 
 val execute_batch :
@@ -40,6 +48,11 @@ val execute_batch :
     preceding ones' writes — and always commit (unless their own logic
     aborts). This bounds retries to one round and prevents hot-key
     livelock. *)
+
+val apply_effects : Kvstore.t -> outcome -> unit
+(** Replays [o.effects] onto [store]. Given the store state the batch
+    originally executed against, this reproduces the post-batch store
+    exactly (deterministic replication by write-set shipping). *)
 
 val commit_rate : outcome -> float
 (** committed / (committed + conflicted), 1.0 for empty batches. *)

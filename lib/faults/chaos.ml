@@ -286,8 +286,8 @@ type outcome = {
 }
 
 let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
-    ?registry ?(adversary = []) ~(spec : Topology.spec) ~(cfg : Config.t)
-    schedule =
+    ?registry ?(adversary = []) ?(domains = 1) ~(spec : Topology.spec)
+    ~(cfg : Config.t) schedule =
   (* Recovering from a healed group crash legitimately spans several
      election timeouts (takeover, catch-up, transfer-back), so the
      default stall bound scales with the configured timeout rather than
@@ -299,7 +299,26 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   in
   (* Each run allocates a full cluster; keep long campaigns flat. *)
   Gc.compact ();
-  let sim = Sim.create () in
+  let ng = Array.length spec.Topology.group_sizes in
+  let domains = min domains ng in
+  let parallel = domains > 1 in
+  if parallel then begin
+    (* Same single-writer exclusions as the runner's parallel mode. *)
+    if trace <> None then
+      invalid_arg "Chaos.run_schedule: tracing requires domains = 1";
+    if registry <> None then
+      invalid_arg "Chaos.run_schedule: a registry requires domains = 1";
+    if adversary <> [] then
+      invalid_arg "Chaos.run_schedule: adversary plans require domains = 1"
+  end;
+  let cfg =
+    if parallel && not cfg.Config.independent_stores then
+      { cfg with Config.independent_stores = true }
+    else cfg
+  in
+  let sim =
+    Sim.create ~shards:ng ~lookahead:(Topology.min_wan_one_way spec) ()
+  in
   let topo = Topology.create sim spec in
   let engine = Engine.create sim topo cfg in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
@@ -321,7 +340,6 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   Engine.start engine;
   Injector.arm inj;
   (match adv with Some a -> Adversary.arm a | None -> ());
-  Invariants.attach inv;
   (* Run past the heal point far enough for the liveness watchdog to
      have a verdict. *)
   let until =
@@ -329,7 +347,24 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
       Float.max duration (heal +. liveness_bound_s +. 1.5)
     else duration
   in
-  Sim.run sim ~until;
+  if parallel then begin
+    (* No periodic checker events inside the run: the checkers read
+       cross-shard engine state, so they poll at the lookahead-window
+       barriers instead — the driver's single-threaded safe points. *)
+    let period = 0.25 in
+    let last = ref neg_infinity in
+    Sim.run_parallel sim ~domains ~until
+      ~on_window:(fun w ->
+        if w -. !last >= period then begin
+          last := w;
+          Invariants.check_now inv
+        end)
+      ()
+  end
+  else begin
+    Invariants.attach inv;
+    Sim.run sim ~until
+  end;
   Invariants.finalize inv;
   let violations = Invariants.violations inv in
   let unaccountable =
@@ -420,7 +455,7 @@ type drill_result = {
 }
 
 let drill ?duration ?liveness_bound_s ?trace ?registry ?(shrink_failures = true)
-    ?adversary ~spec ~cfg ~seed () =
+    ?adversary ?domains ~spec ~cfg ~seed () =
   let rng = Rng.create seed in
   let gen_duration = Option.value ~default:10.0 duration in
   (* With an adversary strategy the drill goes all-in on it: the fault
@@ -437,13 +472,13 @@ let drill ?duration ?liveness_bound_s ?trace ?registry ?(shrink_failures = true)
         (triggers, plan)
   in
   let outcome =
-    run_schedule ?duration ?liveness_bound_s ?trace ?registry ~adversary:plan
-      ~spec ~cfg schedule
+    run_schedule ?duration ?liveness_bound_s ?trace ?registry ?domains
+      ~adversary:plan ~spec ~cfg schedule
   in
   let rerun ~schedule ~plan =
     failed
-      (run_schedule ?duration ?liveness_bound_s ~adversary:plan ~spec ~cfg
-         schedule)
+      (run_schedule ?duration ?liveness_bound_s ?domains ~adversary:plan ~spec
+         ~cfg schedule)
   in
   let shrunk, shrunk_adversary =
     if failed outcome && shrink_failures then begin
@@ -479,8 +514,8 @@ type campaign_result = {
 }
 
 let campaign ?duration ?liveness_bound_s ?(shrink_failures = false)
-    ?(systems = Config.all_systems) ?(adversaries = []) ?on_run ~spec ~cfg
-    ~seeds () =
+    ?(systems = Config.all_systems) ?(adversaries = []) ?on_run ?domains ~spec
+    ~cfg ~seeds () =
   (* The third axis: systems x seeds x adversary strategies. An empty
      strategy list keeps the classic two-axis fault campaign. *)
   let axis =
@@ -497,7 +532,7 @@ let campaign ?duration ?liveness_bound_s ?(shrink_failures = false)
               (fun seed ->
                 let r =
                   drill ?duration ?liveness_bound_s ~shrink_failures
-                    ?adversary ~spec
+                    ?adversary ?domains ~spec
                     ~cfg:{ cfg with Config.system } ~seed ()
                 in
                 (match on_run with Some f -> f r | None -> ());

@@ -60,6 +60,7 @@ val run_schedule :
   ?trace:Massbft_trace.Trace.t ->
   ?registry:Massbft_obs.Registry.t ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
+  ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   Fault_spec.schedule ->
@@ -70,7 +71,15 @@ val run_schedule :
     watchdog gets a verdict. [liveness_bound_s] defaults to
     [max 3.0 (4 * election_timeout_s)]: post-heal recovery from a group
     outage legitimately spans several election timeouts (takeover,
-    catch-up, transfer-back). *)
+    catch-up, transfer-back).
+
+    [domains] (default 1, clamped to the group count) selects how many
+    OCaml domains pump the per-group scheduler shards. Parallel runs
+    poll the invariant checkers at the lookahead-window barriers
+    instead of via in-run events, force [independent_stores], and
+    reject [trace]/[registry]/[adversary] (single-writer structures the
+    parallel driver cannot serialize); the verdicts match a sequential
+    run of the same schedule. *)
 
 val failed : outcome -> bool
 
@@ -104,6 +113,7 @@ val drill :
   ?registry:Massbft_obs.Registry.t ->
   ?shrink_failures:bool ->
   ?adversary:string ->
+  ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   seed:int64 ->
@@ -128,6 +138,7 @@ val campaign :
   ?systems:Massbft.Config.system list ->
   ?adversaries:string list ->
   ?on_run:(drill_result -> unit) ->
+  ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   seeds:int64 list ->

@@ -5,6 +5,16 @@
    NIC bandwidths and CPU speed factors, healing back to nominal when
    their window closes.
 
+   Sharded-scheduler discipline: every apply/heal event is scheduled on
+   the shard owning the fault's target group, so the parallel driver
+   mutates engine/NIC/CPU state only from the owning domain. Link
+   faults keep no activation state at all — the hook receives the
+   sender's virtual time and decides from the precomputed windows
+   ([at <= now < at + for_s]), which is what keeps it deterministic
+   when hooks run concurrently on several sending shards. The
+   [every]-gated counters remain single-writer because a link fault
+   names one source group, hence one sending shard.
+
    Everything is armed up front ([arm]) as plain simulator events, so a
    run with an injector replays bit-identically from the same seed and
    schedule. With an empty schedule, [arm] schedules nothing and
@@ -19,9 +29,16 @@ module Trace = Massbft_trace.Trace
 module Registry = Massbft_obs.Registry
 module F = Fault_spec
 
-(* A link fault currently in force; [count] numbers the matching
-   messages so [every]-gated faults hit a deterministic subsequence. *)
-type active = { af : F.fault; count : int ref }
+(* A link fault with its resolved activity window; [count] numbers the
+   matching messages so [every]-gated faults hit a deterministic
+   subsequence. Single-writer: only the fault's [src_g] shard ever
+   sends matching messages. *)
+type lfault = {
+  lf : F.fault;
+  from_s : float;
+  until_s : float;
+  count : int ref;
+}
 
 type t = {
   sim : Sim.t;
@@ -32,7 +49,7 @@ type t = {
   trace : Trace.t;
   registry : Registry.t option;
   kind_counters : (string, Registry.counter) Hashtbl.t;
-  mutable active : active list;
+  mutable link_faults : lfault array;
   mutable injected : int;
   mutable armed : bool;
 }
@@ -50,7 +67,7 @@ let create ?(trace = Trace.null) ?registry ~spec ~schedule engine sim topo =
     trace;
     registry;
     kind_counters = Hashtbl.create 11;
-    active = [];
+    link_faults = [||];
     injected = 0;
     armed = false;
   }
@@ -58,6 +75,8 @@ let create ?(trace = Trace.null) ?registry ~spec ~schedule engine sim topo =
 let schedule t = t.schedule
 let injected_total t = t.injected
 
+(* Runs only in shard-0 events (see [arm]), so the plain mutable count
+   and the registry stay single-writer under the parallel driver. *)
 let count_injection t fault =
   t.injected <- t.injected + 1;
   match t.registry with
@@ -92,70 +111,77 @@ let class_match cls ~bulk =
 
 let dup_spacing_s = 0.001
 
-(* First applicable active fault wins; [every]-gated faults count every
-   matching message but only act on the [every]-th. *)
-let decide a ~(src : Topology.addr) ~(dst : Topology.addr) ~bulk =
-  match a.af with
-  | F.Partition { groups; _ } ->
-      let inside g = List.mem g groups in
-      if inside src.Topology.g <> inside dst.Topology.g then
-        Some Topology.Net_drop
-      else None
-  | F.Link_drop { src_g; dst_g; every; cls; _ } ->
-      if
-        src.Topology.g = src_g
-        && dst.Topology.g = dst_g
-        && class_match cls ~bulk
-      then begin
-        incr a.count;
-        if !(a.count) mod every = 0 then Some Topology.Net_drop else None
-      end
-      else None
-  | F.Link_delay { src_g; dst_g; add_s; cls; _ } ->
-      if
-        src.Topology.g = src_g
-        && dst.Topology.g = dst_g
-        && class_match cls ~bulk
-      then Some (Topology.Net_delay add_s)
-      else None
-  | F.Link_dup { src_g; dst_g; copies; every; cls; _ } ->
-      if
-        src.Topology.g = src_g
-        && dst.Topology.g = dst_g
-        && class_match cls ~bulk
-      then begin
-        incr a.count;
-        if !(a.count) mod every = 0 then
-          Some (Topology.Net_dup { copies; spacing_s = dup_spacing_s })
+(* First applicable window-active fault wins; [every]-gated faults
+   count every matching message but only act on the [every]-th. The
+   boundary convention [from_s <= now < until_s] reproduces the legacy
+   stateful hook: an apply event armed up front fired before any
+   same-time message, and the heal event (seq-allocated at apply time)
+   fired before any message stamped exactly at the window's end. *)
+let decide a ~now ~(src : Topology.addr) ~(dst : Topology.addr) ~bulk =
+  if now < a.from_s || now >= a.until_s then None
+  else
+    match a.lf with
+    | F.Partition { groups; _ } ->
+        let inside g = List.mem g groups in
+        if inside src.Topology.g <> inside dst.Topology.g then
+          Some Topology.Net_drop
         else None
-      end
-      else None
-  | _ -> None
+    | F.Link_drop { src_g; dst_g; every; cls; _ } ->
+        if
+          src.Topology.g = src_g
+          && dst.Topology.g = dst_g
+          && class_match cls ~bulk
+        then begin
+          incr a.count;
+          if !(a.count) mod every = 0 then Some Topology.Net_drop else None
+        end
+        else None
+    | F.Link_delay { src_g; dst_g; add_s; cls; _ } ->
+        if
+          src.Topology.g = src_g
+          && dst.Topology.g = dst_g
+          && class_match cls ~bulk
+        then Some (Topology.Net_delay add_s)
+        else None
+    | F.Link_dup { src_g; dst_g; copies; every; cls; _ } ->
+        if
+          src.Topology.g = src_g
+          && dst.Topology.g = dst_g
+          && class_match cls ~bulk
+        then begin
+          incr a.count;
+          if !(a.count) mod every = 0 then
+            Some (Topology.Net_dup { copies; spacing_s = dup_spacing_s })
+          else None
+        end
+        else None
+    | _ -> None
 
 let hook t : Topology.fault_hook =
- fun ~src ~dst ~bulk ~bytes:_ ->
-  let rec scan = function
-    | [] -> None
-    | a :: rest -> (
-        match decide a ~src ~dst ~bulk with
-        | Some _ as f -> f
-        | None -> scan rest)
+ fun ~src ~dst ~bulk ~bytes:_ ~now ->
+  let n = Array.length t.link_faults in
+  let rec scan i =
+    if i >= n then None
+    else
+      match decide t.link_faults.(i) ~now ~src ~dst ~bulk with
+      | Some _ as f -> f
+      | None -> scan (i + 1)
   in
-  scan t.active
+  scan 0
 
 let is_link_fault = function
   | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ -> true
   | _ -> false
 
-let add_active t fault =
-  t.active <- t.active @ [ { af = fault; count = ref 0 } ]
-
-let remove_active t fault =
-  let rec drop_first = function
-    | [] -> []
-    | a :: rest -> if a.af == fault then rest else a :: drop_first rest
-  in
-  t.active <- drop_first t.active
+(* The group whose shard owns the fault's apply/heal mutations; [None]
+   for link faults, which are window checks in the hook and need no
+   application event. *)
+let target_group = function
+  | F.Crash_node a | F.Recover_node a -> Some a.Topology.g
+  | F.Crash_group g | F.Recover_group g -> Some g
+  | F.Wan_degrade { g; _ } | F.Lan_degrade { g; _ } -> Some g
+  | F.Slow_cpu { addr; _ } -> Some addr.Topology.g
+  | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Apply / heal                                                        *)
@@ -169,8 +195,7 @@ let apply t fault =
   | F.Recover_node a -> Engine.recover_node t.engine a
   | F.Crash_group g -> Engine.crash_group t.engine g
   | F.Recover_group g -> Engine.recover_group t.engine g
-  | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ ->
-      add_active t fault
+  | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ -> ()
   | F.Wan_degrade { g; factor; _ } ->
       List.iter
         (fun a ->
@@ -192,10 +217,8 @@ let apply t fault =
 let heal t fault =
   match fault with
   | F.Crash_node _ | F.Recover_node _ | F.Crash_group _ | F.Recover_group _
-    ->
-      ()
   | F.Partition _ | F.Link_drop _ | F.Link_delay _ | F.Link_dup _ ->
-      remove_active t fault
+      ()
   | F.Wan_degrade { g; _ } ->
       List.iter
         (fun a ->
@@ -225,21 +248,34 @@ let window_of = function
 let arm t =
   if t.armed then invalid_arg "Injector.arm: already armed";
   t.armed <- true;
-  if List.exists (fun { F.fault; _ } -> is_link_fault fault) t.schedule then
+  let tnow = Sim.now t.sim in
+  t.link_faults <-
+    Array.of_list
+      (List.filter_map
+         (fun { F.at; fault } ->
+           if is_link_fault fault then begin
+             let from_s = Float.max at tnow in
+             let for_s = Option.value ~default:0.0 (window_of fault) in
+             Some { lf = fault; from_s; until_s = from_s +. for_s; count = ref 0 }
+           end
+           else None)
+         t.schedule);
+  if Array.length t.link_faults > 0 then
     Topology.set_fault_hook t.topo (Some (hook t));
   List.iter
     (fun { F.at; fault } ->
+      let at = Float.max at tnow in
+      (* Counting + tracing stay on the creation shard (shard 0 for the
+         runner's deployments): one writer for the injected total, the
+         registry and the trace sink. *)
       ignore
-        (Sim.at t.sim
-           (Float.max at (Sim.now t.sim))
-           (fun () ->
+        (Sim.at t.sim at (fun () ->
              count_injection t fault;
              match window_of fault with
              | None ->
                  Trace.instant t.trace ~cat:"fault"
                    (F.kind_name fault)
-                   ~args:[ ("spec", Trace.Str (F.fault_to_string fault)) ];
-                 apply t fault
+                   ~args:[ ("spec", Trace.Str (F.fault_to_string fault)) ]
              | Some for_s ->
                  let span =
                    Trace.span_begin t.trace ~cat:"fault"
@@ -247,9 +283,19 @@ let arm t =
                      ~args:
                        [ ("spec", Trace.Str (F.fault_to_string fault)) ]
                  in
-                 apply t fault;
                  ignore
                    (Sim.after t.sim for_s (fun () ->
-                        heal t fault;
-                        Trace.span_end t.trace span)))))
+                        Trace.span_end t.trace span))));
+      (* Application + heal on the target group's shard. *)
+      match target_group fault with
+      | None -> ()
+      | Some g ->
+          let gsim = Topology.shard_of t.topo g in
+          ignore
+            (Sim.at gsim at (fun () ->
+                 apply t fault;
+                 match window_of fault with
+                 | None -> ()
+                 | Some for_s ->
+                     ignore (Sim.after gsim for_s (fun () -> heal t fault)))))
     t.schedule

@@ -39,8 +39,42 @@ val run_macro : ?quick:bool -> system:Massbft.Config.system -> unit -> macro
     two calls with the same parameters agree on everything except
     [wall_s] and the two [*_per_wall_s] rates derived from it. *)
 
+type scaling = {
+  sc_groups : int;  (** cluster group count (= shard count) *)
+  sc_domains : int;  (** requested driver domains (clamped to groups) *)
+  sc_wall_s : float;
+  sc_sim_s : float;
+  sc_sim_s_per_wall_s : float;
+  sc_committed_txns : int;  (** identical across domain counts — the
+      cross-driver determinism check built into the table *)
+}
+
+val run_scaling :
+  ?quick:bool ->
+  ?groups_list:int list ->
+  ?domains_list:int list ->
+  ?on_row:(scaling -> unit) ->
+  unit ->
+  scaling list
+(** The sharded-scheduler scaling table: one MassBFT/YCSB-A run per
+    (groups × domains) pair over the nationwide cluster, all rows with
+    [independent_stores] forced on (the parallel driver's requirement)
+    so the semantic work is identical across the table and only the
+    driver varies. Every row runs with an enlarged minor heap (restored
+    afterwards) because minor collections are stop-the-world rendezvous
+    across the parallel driver's domains; the "macro" section keeps the
+    untuned runtime for baseline comparability. [on_row] fires after
+    each row, for progress output. Defaults: groups 3 and 5, domains
+    1/2/4. *)
+
 val to_json :
-  date:string -> mode:string -> micros:micro list -> macros:macro list -> string
+  date:string ->
+  mode:string ->
+  ?scaling:scaling list ->
+  micros:micro list ->
+  macros:macro list ->
+  unit ->
+  string
 (** The full report document. [date] is [YYYY-MM-DD]; [mode] is
     ["quick"] or ["full"]. Raises [Invalid_argument] if any float is
     not finite. *)

@@ -30,11 +30,39 @@ type result = {
 }
 
 let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
-    ?adversary ~spec ~cfg () =
+    ?adversary ?(domains = 1) ~spec ~cfg () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
-  let sim = Sim.create () in
+  let ng = Array.length spec.Topology.group_sizes in
+  let domains = Stdlib.min domains ng in
+  let parallel = domains > 1 in
+  if parallel then begin
+    (* The trace sink, the sampler's registry and the adversary's
+       interposer are single-writer structures the parallel driver
+       cannot serialize; the run modes that need them stay sequential. *)
+    if trace <> None then
+      invalid_arg "Runner.run: tracing requires domains = 1";
+    if obs <> None then
+      invalid_arg "Runner.run: the sampler requires domains = 1";
+    if adversary <> None && adversary <> Some [] then
+      invalid_arg "Runner.run: adversary plans require domains = 1"
+  end;
+  (* Domains share nothing through the store: the memoized-outcome
+     shortcut is a cross-shard write, so parallel runs force the
+     independent-stores execution mode (semantically equivalent;
+     see Config). *)
+  let cfg =
+    if parallel && not cfg.Config.independent_stores then
+      { cfg with Config.independent_stores = true }
+    else cfg
+  in
+  (* One shard per group even when running sequentially: the default
+     driver is the sharded merge loop, and [domains] only selects how
+     many OCaml domains pump the same shard structure. *)
+  let sim =
+    Sim.create ~shards:ng ~lookahead:(Topology.min_wan_one_way spec) ()
+  in
   let topo = Topology.create sim spec in
   let engine = Engine.create sim topo cfg in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
@@ -66,12 +94,23 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
       let registry = Option.map Sampler.registry obs in
       Adversary.arm (Adversary.create ?trace ?registry ~spec ~plan engine sim)
   | Some _ | None -> ());
-  ignore
-    (Sim.at sim warmup (fun () ->
-         Topology.reset_traffic_baseline topo;
-         (* Saturation shares cover only the measurement window. *)
-         match obs with Some s -> Sampler.reset s | None -> ()));
-  Sim.run sim ~until:(warmup +. duration);
+  if parallel then begin
+    (* Two-phase drive: run to the warm-up cutoff, take the traffic
+       baseline at the barrier (a single-threaded safe point), then run
+       the measurement window. The sequential mode keeps its in-run
+       event so existing byte-for-byte fixtures are untouched. *)
+    Sim.run_parallel sim ~domains ~until:warmup ();
+    Topology.reset_traffic_baseline topo;
+    Sim.run_parallel sim ~domains ~until:(warmup +. duration) ()
+  end
+  else begin
+    ignore
+      (Sim.at sim warmup (fun () ->
+           Topology.reset_traffic_baseline topo;
+           (* Saturation shares cover only the measurement window. *)
+           match obs with Some s -> Sampler.reset s | None -> ()));
+    Sim.run sim ~until:(warmup +. duration)
+  end;
   let m = Engine.metrics engine in
   let entries = Stats.Counter.get m.Metrics.entries_executed in
   let wan_mb = float_of_int (Engine.wan_bytes engine) /. 1e6 in
@@ -129,10 +168,10 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
 let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?on_engine
-    ?faults ?adversary ~spec ~cfg () =
+    ?faults ?adversary ?domains ~spec ~cfg () =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
-  run ~duration ~warmup ?trace ?obs ?on_engine ?faults ?adversary ~spec
-    ~cfg:probe_cfg ()
+  run ~duration ~warmup ?trace ?obs ?on_engine ?faults ?adversary ?domains
+    ~spec ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

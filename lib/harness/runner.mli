@@ -36,6 +36,7 @@ val run :
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
+  ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->
@@ -59,7 +60,18 @@ val run :
     land after [warmup]); omitting it — or passing [[]] — arms nothing
     and the run is bit-identical to a fault-free one. [adversary] arms
     a {!Massbft_adversary.Adversary} over the plan (same absolute-time
-    and no-op contract as [faults]). *)
+    and no-op contract as [faults]).
+
+    The scheduler always runs one shard per group behind the scenes;
+    [domains] (default 1, clamped to the group count) selects how many
+    OCaml domains pump them. [domains = 1] is the sequential merge
+    driver — byte-identical to the historical single-heap runs.
+    [domains > 1] drives the shards in WAN-lookahead windows
+    ({!Massbft_sim.Sim.run_parallel}): committed transactions, ledgers
+    and invariant verdicts match the sequential run, but event
+    interleaving (hence traces, samplers and adversary interposers,
+    which are rejected) and the exact traffic baseline cut may differ.
+    Parallel runs force [independent_stores]. *)
 
 val run_latency_probe :
   ?duration:float ->
@@ -69,6 +81,7 @@ val run_latency_probe :
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
+  ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
   unit ->

@@ -112,19 +112,21 @@ let watch_topology t topo =
     (Topology.nodes topo)
 
 let watch_sim t sim =
-  (* O(1) reads off the event loop itself: [Sim.pending] is maintained
-     incrementally, so polling it every tick costs nothing regardless
-     of queue depth. *)
+  (* O(shards) reads off the event loop itself: each shard's pending
+     count is maintained incrementally, so polling costs nothing
+     regardless of queue depth. The [_total] aggregates keep the metric
+     names and meanings stable whether the scheduler runs one shard or
+     one per group. *)
   add_probe t ~name:"massbft_sim_pending_events"
-    ~help:"Scheduled (uncancelled, unfired) events in the simulator queue"
+    ~help:"Scheduled (uncancelled, unfired) events across all shard queues"
     ~labels:[]
-    (fun ~now:_ ~dt:_ -> float_of_int (Sim.pending sim));
-  let prev = ref (Sim.dispatched sim) in
+    (fun ~now:_ ~dt:_ -> float_of_int (Sim.pending_total sim));
+  let prev = ref (Sim.dispatched_total sim) in
   add_probe t ~name:"massbft_sim_dispatch_rate"
     ~help:"Events fired per simulated second during the sampling window"
     ~labels:[]
     (fun ~now:_ ~dt ->
-      let cur = Sim.dispatched sim in
+      let cur = Sim.dispatched_total sim in
       let d = cur - !prev in
       prev := cur;
       if dt <= 0.0 then 0.0 else float_of_int d /. dt)

@@ -4,34 +4,88 @@
     virtual time driven by this event loop. Events at equal timestamps
     fire in insertion order, making every run bit-for-bit reproducible
     from its RNG seeds — which the test suite exploits to assert
-    protocol-level invariants over thousands of schedules. *)
+    protocol-level invariants over thousands of schedules.
+
+    The simulator is time-sharded: [create ~shards:n] builds [n] shards,
+    each owning its own event heap, clock and dispatch accounting, glued
+    together by a coordinator. The default sequential driver ({!run})
+    pops the globally minimal (time, seq) event across all shards and is
+    bit-identical to the historical single-heap scheduler. The parallel
+    driver ({!run_parallel}) advances all shards in lockstep windows of
+    [lookahead] simulated seconds on one OCaml domain per shard, which
+    is safe when every cross-shard interaction ({!post}) carries at
+    least [lookahead] seconds of propagation latency — the conservative
+    synchronization argument of classic parallel DES, instantiated here
+    with the minimum WAN latency between groups. *)
 
 type t
+(** A shard handle. A single-shard sim ([create ()]) behaves exactly
+    like the historical global scheduler; all shards of one sim share a
+    coordinator, and any handle can drive {!run}. *)
 
 type timer
 (** A cancellable handle for a scheduled event. *)
 
-val create : unit -> t
+val create : ?shards:int -> ?lookahead:float -> unit -> t
+(** [create ~shards ~lookahead ()] builds a simulator with [shards]
+    (default 1) shards and the given conservative window length in
+    simulated seconds (default 0, meaning the parallel driver is
+    unavailable); returns shard 0. Raises [Invalid_argument] on
+    [shards < 1] or a negative lookahead. *)
+
+val shard : t -> int -> t
+(** [shard t i] is shard [i] of [t]'s simulator.
+    Raises [Invalid_argument] if out of range. *)
+
+val n_shards : t -> int
+val shard_id : t -> int
+
+val lookahead : t -> float
+(** The conservative window length this sim was created with. *)
 
 val now : t -> float
-(** Current virtual time in seconds. *)
+(** Current virtual time in seconds. Under the sequential driver this is
+    the one global clock regardless of which shard handle is queried;
+    inside a parallel worker it is the executing shard's clock, and in a
+    barrier callback it is the window edge all clocks are synced to. *)
 
 val set_trace : t -> Massbft_trace.Trace.t -> unit
-(** Attaches a trace sink; the dispatcher then emits sampled
-    ["sim"]-category counters (events dispatched, events pending) at
-    most every 100 simulated ms. Tracing never schedules events, so it
-    cannot change the simulation. Defaults to the disabled
+(** Attaches a trace sink (shared by all shards); the dispatcher then
+    emits sampled ["sim"]-category counters (events dispatched, events
+    pending) at most every 100 simulated ms per shard. Multi-shard sims
+    tag each shard's counter track with [gid = shard id] so every track
+    stays monotone in the merged export. Tracing never schedules events,
+    so it cannot change the simulation. Defaults to the disabled
     {!Massbft_trace.Trace.null}. *)
 
 val dispatched : t -> int
-(** Events fired since creation (cancelled events excluded). *)
+(** Events fired on this shard since creation (cancelled excluded). *)
+
+val dispatched_total : t -> int
+(** Events fired across all shards. *)
 
 val at : t -> float -> (unit -> unit) -> timer
 (** [at t time f] schedules [f] to run at absolute virtual [time].
-    Raises [Invalid_argument] if [time] is in the past. *)
+    Raises [Invalid_argument] if [time] is in the past. Inside a
+    parallel worker the event is scheduled onto the {e executing} shard
+    (a timer armed by shard [s]'s event runs on [s], whichever handle
+    the caller holds); use {!post} for targeted cross-shard delivery. *)
 
 val after : t -> float -> (unit -> unit) -> timer
-(** [after t delay f] schedules [f] in [delay >= 0] seconds. *)
+(** [after t delay f] schedules [f] in [delay >= 0] seconds from the
+    caller's current time (the executing shard's clock when inside a
+    parallel worker). *)
+
+val post : t -> float -> (unit -> unit) -> unit
+(** [post t time f] schedules [f] at [time] on shard [t] specifically —
+    the cross-shard delivery primitive. From a parallel worker on
+    another shard it enqueues into [t]'s mailbox, stamped
+    (time, source shard, per-source seq) so the merge order is a total
+    order independent of domain interleaving; the conservative window
+    contract requires [time] to lie at or beyond the current window's
+    end (i.e. the propagation latency must be >= the lookahead), and a
+    violation raises [Invalid_argument]. Posted events cannot be
+    cancelled. Sequentially this is equivalent to [at]. *)
 
 val cancel : timer -> unit
 (** Cancelling an already-fired or cancelled timer is a no-op.
@@ -41,23 +95,53 @@ val cancel : timer -> unit
     size tracks live events rather than lifetime scheduling volume. *)
 
 val pending : t -> int
-(** Number of scheduled (uncancelled, unfired) events. Maintained
-    incrementally — O(1), safe to poll from samplers and probes. *)
+(** Number of scheduled (uncancelled, unfired) events on this shard.
+    Maintained incrementally — O(1), safe to poll from samplers. *)
+
+val pending_total : t -> int
+(** Scheduled events across all shards. *)
 
 val heap_size : t -> int
-(** Physical size of the underlying event heap, including cancelled
+(** Physical size of this shard's event heap, including cancelled
     events awaiting compaction. Exposed so tests can assert the
     lazy-deletion bound ([heap_size <= 2 * pending + slack]); use
     {!pending} for the semantic count. *)
 
+val heap_size_total : t -> int
+(** Physical heap size across all shards. *)
+
 val run : t -> until:float -> unit
-(** Executes events in timestamp order until the queue is empty or the
-    next event is beyond [until]; then advances the clock to [until]. *)
+(** The sequential driver: executes events in global (time, seq) order
+    across all shards until every queue is empty or the next event is
+    beyond [until]; then advances all clocks to [until]. Dispatch order
+    is bit-identical to the historical single-heap scheduler. *)
+
+val run_parallel :
+  t ->
+  domains:int ->
+  until:float ->
+  ?on_window:(float -> unit) ->
+  unit ->
+  unit
+(** The parallel driver: advances all shards in lockstep windows of
+    [lookahead] simulated seconds, running min(domains, shards) OCaml
+    domains with a barrier per window, at which cross-shard mailboxes
+    are drained in deterministic (time, src, seq) order and all shard
+    clocks sync to the window edge. [on_window] runs single-threaded at
+    each barrier with the window's end time — the safe point for
+    invariant checks. Events exactly at [until] run through the
+    sequential driver after the last window (windows are half-open).
+    Requires a positive finite lookahead and no attached trace sink.
+    Within-shard execution order is deterministic and independent of
+    [domains]; cross-shard FIFO ties at exactly equal timestamps may
+    order differently than the sequential driver (protocol results are
+    compared by the cross-driver equivalence tests instead of byte
+    identity). *)
 
 val run_until_idle : t -> ?limit:int -> unit -> unit
-(** Executes events until none remain. [limit] (default 100 million)
-    bounds the number of events as a runaway guard; exceeding it raises
-    [Failure]. *)
+(** Executes events (across all shards) until none remain. [limit]
+    (default 100 million) bounds the number of events as a runaway
+    guard; exceeding it raises [Failure]. *)
 
 val step : t -> bool
-(** Executes the single next event; [false] when the queue is empty. *)
+(** Executes the single globally next event; [false] when empty. *)

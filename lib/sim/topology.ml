@@ -28,7 +28,9 @@ type send_fault =
   | Net_delay of float
   | Net_dup of { copies : int; spacing_s : float }
 
-type fault_hook = src:addr -> dst:addr -> bulk:bool -> bytes:int -> send_fault option
+type fault_hook =
+  src:addr -> dst:addr -> bulk:bool -> bytes:int -> now:float ->
+  send_fault option
 
 type t = {
   sim : Sim.t;
@@ -37,11 +39,25 @@ type t = {
   mutable wan_baseline : int;
   mutable lan_baseline : int;
   mutable fault_hook : fault_hook option;
-  mutable faults_dropped : int;
-  mutable faults_delayed : int;
-  mutable faults_duplicated : int;
+  faults_dropped : int Atomic.t;
+  faults_delayed : int Atomic.t;
+  faults_duplicated : int Atomic.t;
   mutable trace : Trace.t;
 }
+
+(* The conservative lookahead a sharded sim of this cluster supports:
+   groups on different shards only interact through WAN propagation, so
+   half the minimum inter-group RTT bounds how far any shard can run
+   ahead without missing an incoming event. [infinity] for one group. *)
+let min_wan_one_way spec =
+  let ng = Array.length spec.group_sizes in
+  let m = ref infinity in
+  for g = 0 to ng - 1 do
+    for h = 0 to ng - 1 do
+      if g <> h then m := Float.min !m (spec.rtt g h /. 2.0)
+    done
+  done;
+  !m
 
 let create sim spec =
   if Array.length spec.group_sizes = 0 then
@@ -51,7 +67,12 @@ let create sim spec =
       if s < 1 then invalid_arg "Topology.create: empty group")
     spec.group_sizes;
   if spec.lan_rtt < 0.0 then invalid_arg "Topology.create: negative lan_rtt";
-  let mk_node () =
+  (* Each group lives on one shard (round-robin when there are fewer
+     shards than groups): its NICs and CPU schedule onto that shard, so
+     the parallel driver never has two domains touching one queue. *)
+  let shard_sim g = Sim.shard sim (g mod Sim.n_shards sim) in
+  let mk_node g =
+    let sim = shard_sim g in
     {
       wan_up = Nic.create sim ~bandwidth_bps:spec.wan_bps;
       wan_down = Nic.create sim ~bandwidth_bps:spec.wan_bps;
@@ -62,7 +83,9 @@ let create sim spec =
     }
   in
   let nodes =
-    Array.map (fun size -> Array.init size (fun _ -> mk_node ())) spec.group_sizes
+    Array.mapi
+      (fun g size -> Array.init size (fun _ -> mk_node g))
+      spec.group_sizes
   in
   {
     sim;
@@ -71,14 +94,15 @@ let create sim spec =
     wan_baseline = 0;
     lan_baseline = 0;
     fault_hook = None;
-    faults_dropped = 0;
-    faults_delayed = 0;
-    faults_duplicated = 0;
+    faults_dropped = Atomic.make 0;
+    faults_delayed = Atomic.make 0;
+    faults_duplicated = Atomic.make 0;
     trace = Trace.null;
   }
 
 let sim t = t.sim
 let n_groups t = Array.length t.nodes
+let shard_of t g = Sim.shard t.sim (g mod Sim.n_shards t.sim)
 
 let group_size t g =
   if g < 0 || g >= n_groups t then invalid_arg "Topology.group_size: bad group";
@@ -137,9 +161,9 @@ let set_lan_bandwidth t a bps =
   Nic.set_bandwidth s.lan_down bps
 
 let set_fault_hook t hook = t.fault_hook <- hook
-let faults_dropped t = t.faults_dropped
-let faults_delayed t = t.faults_delayed
-let faults_duplicated t = t.faults_duplicated
+let faults_dropped t = Atomic.get t.faults_dropped
+let faults_delayed t = Atomic.get t.faults_delayed
+let faults_duplicated t = Atomic.get t.faults_duplicated
 
 (* Local processing latency for a loopback delivery: one event-loop hop,
    effectively immediate but strictly causal. *)
@@ -150,8 +174,9 @@ let send ?(bulk = false) t ~src ~dst ~bytes k =
   if bytes < 0 then invalid_arg "Topology.send: negative size";
   if not src_state.up then ()
   else if addr_equal src dst then
-    ignore
-      (Sim.after t.sim loopback_latency (fun () -> if dst_state.up then k ()))
+    Sim.post (shard_of t dst.g)
+      (Sim.now t.sim +. loopback_latency)
+      (fun () -> if dst_state.up then k ())
   else begin
     (* Injected link faults (chaos testing). The hook is [None] outside
        fault experiments, so the fault-free path costs one match. A
@@ -162,18 +187,18 @@ let send ?(bulk = false) t ~src ~dst ~bytes k =
     let verdict =
       match t.fault_hook with
       | None -> None
-      | Some hook -> hook ~src ~dst ~bulk ~bytes
+      | Some hook -> hook ~src ~dst ~bulk ~bytes ~now:(Sim.now t.sim)
     in
     match verdict with
-    | Some Net_drop -> t.faults_dropped <- t.faults_dropped + 1
+    | Some Net_drop -> Atomic.incr t.faults_dropped
     | (None | Some (Net_delay _) | Some (Net_dup _)) as verdict ->
         let extra_delay, dup =
           match verdict with
           | Some (Net_delay d) when d > 0.0 ->
-              t.faults_delayed <- t.faults_delayed + 1;
+              Atomic.incr t.faults_delayed;
               (d, None)
           | Some (Net_dup { copies; spacing_s }) when copies > 0 ->
-              t.faults_duplicated <- t.faults_duplicated + 1;
+              Atomic.incr t.faults_duplicated;
               (0.0, Some (copies, Float.max spacing_s loopback_latency))
           | _ -> (0.0, None)
         in
@@ -188,30 +213,33 @@ let send ?(bulk = false) t ~src ~dst ~bytes k =
         in
         let one_way = one_way +. extra_delay in
         (* Store-and-forward: uplink serialization, propagation, downlink
-           serialization, then delivery (if the receiver is still up). *)
+           serialization, then delivery (if the receiver is still up).
+           The propagation leg is the only shard crossing: it posts the
+           downlink arrival onto the destination group's shard at an
+           absolute time computed from the sender's clock, which the WAN
+           latency floor keeps at or beyond the parallel lookahead. *)
+        let dst_sim = shard_of t dst.g in
         Nic.transmit ~bulk up ~bytes (fun () ->
-            if Trace.enabled t.trace then begin
-              let tnow = Sim.now t.sim in
+            let tnow = Sim.now t.sim in
+            if Trace.enabled t.trace then
               Trace.span t.trace ~cat:"net" ~gid:src.g ~node:src.n
                 ~args:
                   [ ("dst", Trace.Str (addr_to_string dst));
                     ("bytes", Trace.Int bytes) ]
-                ~b:tnow ~e:(tnow +. one_way) "propagate"
-            end;
-            ignore
-              (Sim.after t.sim one_way (fun () ->
-                   Nic.transmit ~bulk down ~bytes (fun () ->
-                       let deliver () = if dst_state.up then k () in
-                       deliver ();
-                       match dup with
-                       | None -> ()
-                       | Some (copies, spacing) ->
-                           for i = 1 to copies do
-                             ignore
-                               (Sim.after t.sim
-                                  (spacing *. float_of_int i)
-                                  deliver)
-                           done))))
+                ~b:tnow ~e:(tnow +. one_way) "propagate";
+            Sim.post dst_sim (tnow +. one_way) (fun () ->
+                Nic.transmit ~bulk down ~bytes (fun () ->
+                    let deliver () = if dst_state.up then k () in
+                    deliver ();
+                    match dup with
+                    | None -> ()
+                    | Some (copies, spacing) ->
+                        for i = 1 to copies do
+                          ignore
+                            (Sim.after t.sim
+                               (spacing *. float_of_int i)
+                               deliver)
+                        done)))
   end
 
 let sum_over t f =

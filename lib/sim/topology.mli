@@ -27,10 +27,24 @@ type spec = {
   cores : int;  (** CPU cores per node *)
 }
 
+val min_wan_one_way : spec -> float
+(** Half the minimum inter-group RTT — the conservative lookahead a
+    time-sharded sim of this cluster supports, since groups on
+    different shards only interact through WAN propagation. [infinity]
+    for a single-group spec. *)
+
 type t
 
 val create : Sim.t -> spec -> t
+(** Builds the cluster on [sim]'s shards: group [g]'s NICs and CPU
+    schedule onto shard [g mod n_shards], so with one shard per group
+    the parallel driver never has two domains touching one queue. *)
+
 val sim : t -> Sim.t
+
+val shard_of : t -> int -> Sim.t
+(** [shard_of t g] is the sim shard that owns group [g]'s events. *)
+
 val n_groups : t -> int
 val group_size : t -> int -> int
 val nodes : t -> addr list
@@ -90,7 +104,13 @@ type send_fault =
           retransmit). Each extra delivery is still gated on the
           destination being up at its own delivery time. *)
 
-type fault_hook = src:addr -> dst:addr -> bulk:bool -> bytes:int -> send_fault option
+type fault_hook =
+  src:addr -> dst:addr -> bulk:bool -> bytes:int -> now:float ->
+  send_fault option
+(** [now] is the sender's current virtual time, so a hook can make
+    window decisions ([at <= now < at + for_s]) statelessly — the form
+    that stays deterministic under the parallel driver, where hooks run
+    concurrently on the sending group's shard. *)
 
 val set_fault_hook : t -> fault_hook option -> unit
 (** Installs (or clears) the link-fault hook. The hook must be

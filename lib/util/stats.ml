@@ -192,15 +192,18 @@ module Timeseries = struct
               (float_of_int idx *. t.bucket, sum /. float_of_int n))
 end
 
+(* Atomic so the parallel simulation driver can increment protocol
+   counters from several domains without losing counts; uncontended
+   fetch-and-add costs the same as the plain mutable field did. *)
 module Counter = struct
-  type t = { mutable v : int }
+  type t = int Atomic.t
 
-  let create () = { v = 0 }
+  let create () = Atomic.make 0
 
   let add t n =
     if n < 0 then invalid_arg "Stats.Counter.add: negative increment";
-    t.v <- t.v + n
+    ignore (Atomic.fetch_and_add t n)
 
-  let get t = t.v
-  let reset t = t.v <- 0
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
 end

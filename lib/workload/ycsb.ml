@@ -21,7 +21,16 @@ let avg_wire_size cfg =
   let write_fraction = match cfg.mix with A -> 0.5 | B -> 0.05 in
   base + int_of_float (write_fraction *. 2.0 *. float_of_int cfg.value_size)
 
-type t = { cfg : config; zipf : Zipf.t; rng : Rng.t; mutable next_id : int }
+type t = {
+  cfg : config;
+  zipf : Zipf.t;
+  rng : Rng.t;
+  mutable next_id : int;
+  value : string;
+      (* every update writes the same [value_size] filler; strings are
+         immutable, so one shared instance serves every transaction
+         instead of a fresh 100-byte allocation per write *)
+}
 
 let create cfg ~seed =
   if cfg.rows <= 0 || cfg.columns <= 0 then
@@ -31,9 +40,14 @@ let create cfg ~seed =
     zipf = Zipf.create ~n:cfg.rows ~theta:cfg.theta;
     rng = Rng.create seed;
     next_id = 0;
+    value = String.make cfg.value_size 'v';
   }
 
-let key ~row ~col = Printf.sprintf "ycsb/u%d/f%d" row col
+(* Built by concatenation, not [Printf.sprintf]: one key is minted per
+   generated transaction, and the format-string interpreter dominated
+   the generator's cost at full scale. *)
+let key ~row ~col =
+  "ycsb/u" ^ string_of_int row ^ "/f" ^ string_of_int col
 
 let next t =
   let id = t.next_id in
@@ -44,7 +58,7 @@ let next t =
   let is_write = Rng.int t.rng 100 < write_pct in
   let k = key ~row ~col in
   if is_write then begin
-    let value = String.make t.cfg.value_size 'v' in
+    let value = t.value in
     Txn.make ~id ~label:"ycsb.update"
       ~wire_size:(100 + t.cfg.value_size)
       (fun ctx -> ctx.Txn.write k value)

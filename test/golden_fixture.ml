@@ -44,10 +44,14 @@ let cfg_of system =
    no-op tests use to hang an (empty) adversary or injector on the run
    and assert the fingerprint still matches the recorded golden. *)
 let capture ?attach ~system () =
-  let sim = Sim.create () in
-  let topo =
-    Topology.create sim (Clusters.nationwide ~groups ~nodes_per_group:4 ())
+  (* One shard per group, like the runner: the fixtures exercise the
+     sharded sequential merge driver, whose dispatch order is provably
+     identical to the historical single-heap scheduler. *)
+  let spec = Clusters.nationwide ~groups ~nodes_per_group:4 () in
+  let sim =
+    Sim.create ~shards:groups ~lookahead:(Topology.min_wan_one_way spec) ()
   in
+  let topo = Topology.create sim spec in
   let eng = Engine.create sim topo (cfg_of system) in
   Engine.start eng;
   (match attach with Some f -> f eng sim topo | None -> ());

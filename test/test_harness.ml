@@ -133,19 +133,30 @@ let contains ~needle hay =
 let test_bench_json_schema () =
   let micro = { Bench_report.m_name = "sha256/4KiB"; ns_per_run = 1234.5 } in
   let macro = Bench_report.run_macro ~quick:true ~system:Config.Baseline () in
+  let scaling =
+    {
+      Bench_report.sc_groups = 3;
+      sc_domains = 2;
+      sc_wall_s = 1.5;
+      sc_sim_s = 4.0;
+      sc_sim_s_per_wall_s = 4.0 /. 1.5;
+      sc_committed_txns = 42;
+    }
+  in
   let doc =
-    Bench_report.to_json ~date:"2026-08-07" ~mode:"quick" ~micros:[ micro ]
-      ~macros:[ macro ]
+    Bench_report.to_json ~date:"2026-08-07" ~mode:"quick" ~scaling:[ scaling ]
+      ~micros:[ micro ] ~macros:[ macro ] ()
   in
   List.iter
     (fun key ->
       check_bool (key ^ " key present") true
         (contains ~needle:("\"" ^ key ^ "\"") doc))
     [
-      "schema_version"; "date"; "mode"; "micro"; "macro"; "name"; "ns_per_run";
-      "system"; "workload"; "wall_s"; "sim_s"; "sim_s_per_wall_s";
-      "committed_txns"; "committed_txns_per_wall_s"; "throughput_ktps";
-      "mean_latency_ms"; "p99_latency_ms"; "commit_ratio"; "wan_mb";
+      "schema_version"; "date"; "mode"; "host_domains"; "micro"; "macro";
+      "name"; "ns_per_run"; "system"; "workload"; "wall_s"; "sim_s";
+      "sim_s_per_wall_s"; "committed_txns"; "committed_txns_per_wall_s";
+      "throughput_ktps"; "mean_latency_ms"; "p99_latency_ms"; "commit_ratio";
+      "wan_mb"; "scaling"; "groups"; "domains";
     ];
   check_bool "workload is YCSB-A" true
     (contains ~needle:(W.kind_name W.Ycsb_a) doc);
@@ -169,9 +180,32 @@ let test_bench_json_schema () =
        ignore
          (Bench_report.to_json ~date:"2026-08-07" ~mode:"quick"
             ~micros:[ { Bench_report.m_name = "bad"; ns_per_run = Float.nan } ]
-            ~macros:[]);
+            ~macros:[] ());
        false
      with Invalid_argument _ -> true)
+
+let test_bench_scaling_quick () =
+  (* One tiny 2-shard scaling row end-to-end through the public entry
+     point: the committed count must match the sequential row's (the
+     cross-driver determinism contract the table encodes). *)
+  let rows =
+    Bench_report.run_scaling ~quick:true ~groups_list:[ 3 ]
+      ~domains_list:[ 1; 2 ] ()
+  in
+  match rows with
+  | [ a; b ] ->
+      check_int "groups" 3 a.Bench_report.sc_groups;
+      check_int "domains row 1" 1 a.Bench_report.sc_domains;
+      check_int "domains row 2" 2 b.Bench_report.sc_domains;
+      check_int "committed agree across drivers" a.Bench_report.sc_committed_txns
+        b.Bench_report.sc_committed_txns;
+      check_bool "committed positive" true (a.Bench_report.sc_committed_txns > 0);
+      List.iter
+        (fun (r : Bench_report.scaling) ->
+          check_bool "wall finite" true (Float.is_finite r.sc_wall_s);
+          check_bool "rate finite" true (Float.is_finite r.sc_sim_s_per_wall_s))
+        rows
+  | _ -> Alcotest.fail "expected exactly two scaling rows"
 
 let test_bench_macro_deterministic () =
   (* The simulated side of a macro entry is a pure function of the
@@ -253,9 +287,133 @@ let test_all_figures_registered () =
       "fig14"; "fig15"; "ablations"; "tables";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel driver (--domains) equivalence                             *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Massbft.Engine
+module Metrics = Massbft.Metrics
+module Stats = Massbft_util.Stats
+module Ledger = Massbft_exec.Ledger
+module Hexdump = Massbft_util.Hexdump
+module Chaos = Massbft_faults.Chaos
+module Rng = Massbft_util.Rng
+
+let check_string = Alcotest.(check string)
+
+(* The results the issue pins across drivers: committed transactions,
+   entries executed, per-group ledger head hashes and leader store
+   fingerprints. independent_stores is set for the sequential run too,
+   so both drivers execute the exact same mode. *)
+let domains_capture ~domains =
+  let spec = Clusters.nationwide ~nodes_per_group:4 () in
+  let cfg =
+    {
+      (small_cfg Config.Massbft) with
+      Config.workload_scale = 0.01;
+      independent_stores = true;
+    }
+  in
+  let captured = ref None in
+  let r =
+    Runner.run ~warmup:2.0 ~duration:4.0 ~domains
+      ~on_engine:(fun e _ _ -> captured := Some e)
+      ~spec ~cfg ()
+  in
+  match !captured with
+  | None -> Alcotest.fail "runner never exposed the engine"
+  | Some e ->
+      let committed =
+        Stats.Counter.get (Engine.metrics e).Metrics.committed_txns
+      in
+      let heads =
+        List.init 3 (fun g ->
+            Hexdump.encode (Ledger.head_hash (Engine.ledger_of e ~gid:g)))
+      in
+      let fingerprints =
+        List.init 3 (fun g ->
+            Hexdump.encode (Engine.leader_store_fingerprint e ~gid:g))
+      in
+      (committed, Engine.entries_executed_total e, heads, fingerprints,
+       r.Runner.entries_executed)
+
+let test_domains_equivalence () =
+  let c1, e1, h1, f1, re1 = domains_capture ~domains:1 in
+  let c4, e4, h4, f4, re4 = domains_capture ~domains:4 in
+  check_bool "sequential run commits" true (c1 > 0);
+  check_int "committed txns" c1 c4;
+  check_int "entries executed" e1 e4;
+  check_int "result entries" re1 re4;
+  List.iteri
+    (fun g (a, b) -> check_string (Printf.sprintf "g%d ledger head" g) a b)
+    (List.combine h1 h4);
+  List.iteri
+    (fun g (a, b) ->
+      check_string (Printf.sprintf "g%d leader store" g) a b)
+    (List.combine f1 f4)
+
+let test_domains_chaos_equivalence () =
+  let spec = Clusters.nationwide ~nodes_per_group:4 () in
+  let cfg =
+    { (small_cfg Config.Massbft) with Config.independent_stores = true }
+  in
+  let schedule =
+    Chaos.gen_schedule (Rng.create 11L) ~cfg ~spec ~duration:8.0
+  in
+  let go domains =
+    Chaos.run_schedule ~duration:8.0 ~domains ~spec ~cfg schedule
+  in
+  let a = go 1 and b = go 2 in
+  check_bool "sequential run executes" true (a.Chaos.executed > 0);
+  check_int "entries executed" a.Chaos.executed b.Chaos.executed;
+  check_int "faults injected" a.Chaos.injected b.Chaos.injected;
+  check_bool "same failure verdict" (Chaos.failed a) (Chaos.failed b);
+  check_int "same violation count"
+    (List.length a.Chaos.violations)
+    (List.length b.Chaos.violations)
+
+let test_domains_guards () =
+  let spec = Clusters.nationwide ~nodes_per_group:4 () in
+  let cfg = small_cfg Config.Massbft in
+  let rejects what f =
+    check_bool what true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "trace requires domains = 1" (fun () ->
+      Runner.run ~warmup:0.5 ~duration:0.5 ~domains:2
+        ~trace:(Massbft_trace.Trace.create ()) ~spec ~cfg ());
+  rejects "sampler requires domains = 1" (fun () ->
+      let obs = Massbft_obs.Sampler.create (Massbft_obs.Registry.create ()) in
+      Runner.run ~warmup:0.5 ~duration:0.5 ~domains:2 ~obs ~spec ~cfg ());
+  rejects "adversary requires domains = 1" (fun () ->
+      let plan =
+        [
+          {
+            Massbft_adversary.Adv_spec.at = 1.0;
+            strategy =
+              Massbft_adversary.Adv_spec.Equivocate
+                { target = Massbft_adversary.Adv_spec.Leader 0; for_s = 1.0 };
+          };
+        ]
+      in
+      Runner.run ~warmup:0.5 ~duration:0.5 ~domains:2 ~adversary:plan ~spec
+        ~cfg ())
+
 let () =
   Alcotest.run "massbft_harness"
     [
+      ( "domains",
+        [
+          Alcotest.test_case "parallel = sequential results" `Slow
+            test_domains_equivalence;
+          Alcotest.test_case "chaos verdicts across drivers" `Slow
+            test_domains_chaos_equivalence;
+          Alcotest.test_case "parallel mode guards" `Quick
+            test_domains_guards;
+        ] );
       ( "clusters",
         [
           Alcotest.test_case "nationwide defaults" `Quick test_nationwide_defaults;
@@ -273,6 +431,7 @@ let () =
         [
           Alcotest.test_case "json schema" `Quick test_bench_json_schema;
           Alcotest.test_case "macro determinism" `Quick test_bench_macro_deterministic;
+          Alcotest.test_case "scaling table quick" `Slow test_bench_scaling_quick;
         ] );
       ( "figures",
         [
