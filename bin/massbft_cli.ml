@@ -18,6 +18,10 @@ module Chaos = Massbft_faults.Chaos
 module Adv_spec = Massbft_adversary.Adv_spec
 module Evidence = Massbft_adversary.Evidence
 module Topology = Massbft_sim.Topology
+module Prof = Massbft_prof.Prof
+module Prof_export = Massbft_prof.Prof_export
+module Bench_check = Massbft_harness.Bench_check
+module Bench_report = Massbft_harness.Bench_report
 
 (* Schedule/plan files come from users and CI artifacts: every way they
    can be wrong must end in a one-line diagnostic, not a backtrace. *)
@@ -171,24 +175,34 @@ let run_cmd =
                  per line, see DESIGN.md \"Adversary model\"; absolute \
                  simulated seconds, like --faults).")
   in
+  let prof_file =
+    Arg.(value & opt (some string) None & info [ "prof" ] ~docv:"FILE"
+           ~doc:"Also self-profile the simulator's host-side execution \
+                 (execute / barrier-stall / mailbox-merge / coordinator \
+                 wall-time phases plus GC deltas per window) and write the \
+                 profiler's JSON report to $(docv). Works in every run mode \
+                 including --domains > 1; with --trace, the exported trace \
+                 additionally carries the host timeline.")
+  in
   let action system workload nodes groups worldwide duration warmup scale seed
       domains latency_probe trace_file metrics_file faults_file adversary_file
-      =
+      prof_file =
     let cfg, spec =
       experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
     in
     let faults = Option.map (parse_faults_or_die ~spec) faults_file in
     let adversary = Option.map (parse_adversary_or_die ~spec) adversary_file in
     let sink = Option.map (fun _ -> Trace.create ()) trace_file in
+    let prof = Option.map (fun _ -> Prof.create ()) prof_file in
     let obs =
       Option.map (fun _ -> Sampler.create (Obs_registry.create ())) metrics_file
     in
     let r =
       if latency_probe then
-        Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ?faults
-          ?adversary ~domains ~spec ~cfg ()
+        Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ?prof
+          ?faults ?adversary ~domains ~spec ~cfg ()
       else
-        Runner.run ~duration ~warmup ?trace:sink ?obs ?faults ?adversary
+        Runner.run ~duration ~warmup ?trace:sink ?obs ?prof ?faults ?adversary
           ~domains ~spec ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
@@ -216,11 +230,19 @@ let run_cmd =
           (List.length (Obs_registry.collect (Sampler.registry s)))
           (Sampler.tick_count s)
     | _ -> ());
+    (match (prof_file, prof) with
+    | Some file, Some p ->
+        Prof_export.write_json ~windows:true p file;
+        Format.printf "prof: wrote %s@." file;
+        print_string (Prof_export.text (Prof.report p))
+    | _ -> ());
     match (trace_file, sink) with
     | Some file, Some tr ->
-        Trace_export.write_chrome_json tr file;
-        Format.printf "trace: wrote %s (%d events retained, %d dropped)@." file
-          (Trace.length tr) (Trace.dropped tr)
+        let host = Option.map Prof_export.to_trace prof in
+        Trace_export.write_chrome_json ?host tr file;
+        Format.printf "trace: wrote %s (%d events retained, %d dropped%s)@."
+          file (Trace.length tr) (Trace.dropped tr)
+          (if host = None then "" else ", host timeline attached")
     | _ -> ()
   in
   Cmd.v
@@ -229,7 +251,7 @@ let run_cmd =
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
       $ domains_arg $ latency_probe $ trace_file $ metrics_file $ faults_file
-      $ adversary_file)
+      $ adversary_file $ prof_file)
 
 (* ---- trace ---- *)
 
@@ -650,6 +672,148 @@ let drill_cmd =
       $ worldwide_arg $ scale $ seed $ seeds $ adversaries $ duration $ quick
       $ no_shrink $ artifacts $ trace_file $ domains_arg)
 
+(* ---- prof ---- *)
+
+let prof_cmd =
+  let duration =
+    Arg.(value & opt float 6.0 & info [ "duration"; "d" ]
+           ~doc:"Measurement window, simulated seconds.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Also write the profiler's JSON report (with the raw \
+                 per-window log) to $(docv).")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Also write a Perfetto-loadable trace to $(docv). With \
+                 --domains 1 it carries both the simulated timeline and the \
+                 host timeline side by side; parallel runs (which reject \
+                 the sim trace sink) export the host timeline alone.")
+  in
+  let action system workload nodes groups worldwide duration warmup scale seed
+      domains out trace_file =
+    let cfg, spec =
+      experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
+    in
+    let p = Prof.create () in
+    (* The sim-timeline sink only composes with the sequential driver. *)
+    let sink =
+      match trace_file with
+      | Some _ when domains <= 1 -> Some (Trace.create ())
+      | _ -> None
+    in
+    let r = Runner.run ~duration ~warmup ?trace:sink ~prof:p ~domains ~spec ~cfg () in
+    Format.printf "%a@.@." Runner.pp_result r;
+    print_string (Prof_export.text (Prof.report p));
+    (match out with
+    | None -> ()
+    | Some file ->
+        Prof_export.write_json ~windows:true p file;
+        Format.printf "prof: wrote %s@." file);
+    match trace_file with
+    | None -> ()
+    | Some file ->
+        let host = Prof_export.to_trace p in
+        let sim_tr = match sink with Some tr -> tr | None -> Trace.create ~capacity:1 () in
+        Trace_export.write_chrome_json ~host sim_tr file;
+        Format.printf "trace: wrote %s (%s)@." file
+          (if sink = None then "host timeline only"
+           else "sim + host timelines")
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Run one experiment with host-side self-profiling on: account the \
+          simulator's own wall-clock into execute / barrier-stall / \
+          mailbox-merge / coordinator phases per scheduler window, sample GC \
+          deltas, and print the parallel-efficiency report (ranked \
+          wall-time attribution, per-domain busy fractions, lookahead \
+          utilization).")
+    Term.(
+      const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
+      $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
+      $ domains_arg $ out $ trace_file)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Run the full bechamel quota instead of the quick smoke \
+                 pass. The gate compares against committed baselines that \
+                 were measured in full mode; quick mode stays within the \
+                 default tolerance for every current benchmark and is what \
+                 CI uses.")
+  in
+  let check_file =
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE"
+           ~doc:"Compare this run's micro results against the baseline \
+                 report $(docv) (a committed BENCH_<date>.json) and exit \
+                 non-zero when any benchmark regressed past the tolerance \
+                 or disappeared from the suite.")
+  in
+  let tolerance =
+    Arg.(value & opt float 25.0 & info [ "tolerance" ] ~docv:"PCT"
+           ~doc:"Per-benchmark tolerance for --check, in percent.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write this run's micro results to $(docv) in the \
+                 Bench_report schema (micro rows only; the bench executable \
+                 writes full baselines).")
+  in
+  let action full check_file tolerance json_file =
+    if tolerance <= 0.0 then begin
+      prerr_endline "massbft: option '--tolerance': must be positive";
+      exit 124
+    end;
+    let micros = Massbft_bench.Micros.run_micro ~quick:(not full) () in
+    (match json_file with
+    | None -> ()
+    | Some file ->
+        let tm = Unix.localtime (Unix.time ()) in
+        let date =
+          Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+            (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+        in
+        let doc =
+          Bench_report.to_json ~date
+            ~mode:(if full then "full" else "quick")
+            ~micros ~macros:[] ()
+        in
+        let oc = open_out file in
+        output_string oc doc;
+        close_out oc;
+        Format.printf "wrote %s@." file);
+    match check_file with
+    | None -> ()
+    | Some file ->
+        let baseline =
+          try Bench_check.load_baseline file
+          with Failure msg ->
+            prerr_endline ("massbft: bad baseline: " ^ msg);
+            exit 1
+        in
+        let current =
+          List.map
+            (fun (m : Bench_report.micro) -> (m.m_name, m.ns_per_run))
+            micros
+        in
+        let result =
+          Bench_check.compare_micros ~tolerance:(tolerance /. 100.0) ~baseline
+            ~current ()
+        in
+        print_string (Bench_check.render ~baseline result);
+        if not (Bench_check.passed result) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the micro-benchmark suite; with --check, gate against a \
+          committed baseline report and exit non-zero on regressions.")
+    Term.(const action $ full $ check_file $ tolerance $ json_file)
+
 (* ---- figures ---- *)
 
 let figures_cmd =
@@ -721,6 +885,7 @@ let main =
        ~doc:
          "MassBFT: fast and scalable geo-distributed BFT consensus \
           (reproduction of the ICDE 2025 paper).")
-    [ run_cmd; trace_cmd; metrics_cmd; drill_cmd; figures_cmd; list_cmd; plan_cmd ]
+    [ run_cmd; trace_cmd; metrics_cmd; prof_cmd; bench_cmd; drill_cmd;
+      figures_cmd; list_cmd; plan_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,6 +19,9 @@ type macro = {
   p99_latency_ms : float;
   commit_ratio : float;
   wan_mb : float;
+  host_phases : (string * float) list;
+      (* per-phase host wall breakdown from the self-profiler; [] when
+         the row ran unprofiled (the baseline-comparable default) *)
 }
 
 type scaling = {
@@ -30,14 +33,15 @@ type scaling = {
   sc_committed_txns : int;
 }
 
-(* v2 added the "scaling" and "host_domains" fields. *)
-let schema_version = 2
+(* v2 added the "scaling" and "host_domains" fields; v3 the optional
+   per-macro "host_phases" wall breakdown from the self-profiler. *)
+let schema_version = 3
 
 (* Quick mode mirrors the CI figure smoke (short windows, 1% workload
    scale); full mode the figure harness proper. *)
 let windows ~quick = if quick then (1.0, 3.0) else (4.0, 12.0)
 
-let run_macro ?(quick = false) ~system () =
+let run_macro ?(quick = false) ?prof ?domains ~system () =
   let warmup, duration = windows ~quick in
   let cfg =
     {
@@ -49,7 +53,7 @@ let run_macro ?(quick = false) ~system () =
   let engine = ref None in
   let t0 = Unix.gettimeofday () in
   let r =
-    Runner.run ~warmup ~duration
+    Runner.run ~warmup ~duration ?prof ?domains
       ~on_engine:(fun e _ _ -> engine := Some e)
       ~spec ~cfg ()
   in
@@ -74,6 +78,17 @@ let run_macro ?(quick = false) ~system () =
     p99_latency_ms = r.Runner.p99_latency_ms;
     commit_ratio = r.Runner.commit_ratio;
     wan_mb = r.Runner.wan_mb;
+    host_phases =
+      (match prof with
+      | None -> []
+      | Some p ->
+          let rp = Massbft_prof.Prof.report p in
+          [
+            ("execute", rp.Massbft_prof.Prof.rp_execute_span_s);
+            ("barrier_stall", rp.Massbft_prof.Prof.rp_stall_s);
+            ("mailbox_merge", rp.Massbft_prof.Prof.rp_merge_s);
+            ("coordinator", rp.Massbft_prof.Prof.rp_coord_s);
+          ]);
   }
 
 let run_scaling_row ~quick ~groups ~domains =
@@ -185,7 +200,7 @@ let micro_json m =
 let macro_json m =
   let n ctx v = num ~ctx:(m.system ^ "." ^ ctx) v in
   obj
-    [
+    ([
       ("system", str m.system);
       ("workload", str m.workload);
       ("wall_s", n "wall_s" m.wall_s);
@@ -200,6 +215,19 @@ let macro_json m =
       ("commit_ratio", n "commit_ratio" m.commit_ratio);
       ("wan_mb", n "wan_mb" m.wan_mb);
     ]
+    @
+    (* Optional in v3: only profiled rows carry the breakdown, so
+       unprofiled reports stay byte-comparable with v2 consumers that
+       ignore unknown keys. *)
+    (if m.host_phases = [] then []
+     else
+       [
+         ( "host_phases",
+           obj
+             (List.map
+                (fun (k, v) -> (k, n ("host_phases." ^ k) v))
+                m.host_phases) );
+       ]))
 
 let scaling_json s =
   let ctx = Printf.sprintf "scaling[g=%d,d=%d]" s.sc_groups s.sc_domains in

@@ -29,15 +29,31 @@ type macro = {
   p99_latency_ms : float;
   commit_ratio : float;
   wan_mb : float;
+  host_phases : (string * float) list;
+      (** per-phase host wall breakdown (seconds) from the
+          self-profiler: [execute] / [barrier_stall] / [mailbox_merge]
+          / [coordinator]. [[]] when the row ran unprofiled — the
+          default, which keeps rows comparable with pre-v3 baselines.
+          Serialized (schema v3) as the optional ["host_phases"]
+          object. *)
 }
 
-val run_macro : ?quick:bool -> system:Massbft.Config.system -> unit -> macro
+val run_macro :
+  ?quick:bool ->
+  ?prof:Massbft_prof.Prof.t ->
+  ?domains:int ->
+  system:Massbft.Config.system ->
+  unit ->
+  macro
 (** One engine run on YCSB-A over the 3×7 nationwide cluster. Quick
     mode (1 s warmup + 3 s measurement at 1% workload scale) is the CI
     smoke setting; full mode uses the figure-harness windows (4 s +
     12 s at full scale). Simulated-side fields are deterministic:
     two calls with the same parameters agree on everything except
-    [wall_s] and the two [*_per_wall_s] rates derived from it. *)
+    [wall_s] and the two [*_per_wall_s] rates derived from it.
+    [prof] (a fresh profiler, passed through to {!Runner.run}) fills
+    [host_phases] and stays queryable afterwards for the full report;
+    [domains] selects the parallel driver as in {!Runner.run}. *)
 
 type scaling = {
   sc_groups : int;  (** cluster group count (= shard count) *)

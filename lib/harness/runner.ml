@@ -8,6 +8,7 @@ module Sampler = Massbft_obs.Sampler
 module Saturation = Massbft_obs.Saturation
 module Injector = Massbft_faults.Injector
 module Adversary = Massbft_adversary.Adversary
+module Prof = Massbft_prof.Prof
 
 type result = {
   system : Config.system;
@@ -29,11 +30,30 @@ type result = {
   binding_resource : string option;
 }
 
-let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
+(* Once per process: a scaling table whose --domains exceeds the host's
+   cores measures time-sharing overhead, not speedup — say so out loud
+   instead of silently serializing (the BENCH host_domains field records
+   the same fact in the committed artifact). *)
+let warned_oversubscribed = ref false
+
+let warn_if_oversubscribed requested =
+  let host = Domain.recommended_domain_count () in
+  if requested > host && not !warned_oversubscribed then begin
+    warned_oversubscribed := true;
+    Printf.eprintf
+      "massbft: warning: %d domains requested but host reports %d core%s; \
+       parallel rows will time-share, wall-clock numbers measure overhead \
+       rather than speedup\n%!"
+      requested host
+      (if host = 1 then "" else "s")
+  end
+
+let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?prof ?on_engine ?faults
     ?adversary ?(domains = 1) ~spec ~cfg () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
+  if domains > 1 then warn_if_oversubscribed domains;
   let ng = Array.length spec.Topology.group_sizes in
   let domains = Stdlib.min domains ng in
   let parallel = domains > 1 in
@@ -66,6 +86,9 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
   let topo = Topology.create sim spec in
   let engine = Engine.create sim topo cfg in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
+  (* The host profiler hooks the driver loops only (no events, no sim
+     state), so it composes with every run mode, parallel included. *)
+  (match prof with Some p -> Prof.attach p sim | None -> ());
   (* With no sampler, nothing below schedules a single event: the run
      is bit-identical to one without observability. *)
   (match obs with
@@ -111,6 +134,9 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
            match obs with Some s -> Sampler.reset s | None -> ()));
     Sim.run sim ~until:(warmup +. duration)
   end;
+  (* Freeze the profiler's wall endpoint at the moment the clock stops
+     moving: metric extraction below is not scheduler time. *)
+  (match prof with Some p -> Prof.finish p | None -> ());
   let m = Engine.metrics engine in
   let entries = Stats.Counter.get m.Metrics.entries_executed in
   let wan_mb = float_of_int (Engine.wan_bytes engine) /. 1e6 in
@@ -167,11 +193,11 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?on_engine ?faults
    the paper reports its latencies (e.g. GeoBFT's 68 ms is essentially
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
-let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?on_engine
-    ?faults ?adversary ?domains ~spec ~cfg () =
+let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?prof
+    ?on_engine ?faults ?adversary ?domains ~spec ~cfg () =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
-  run ~duration ~warmup ?trace ?obs ?on_engine ?faults ?adversary ?domains
-    ~spec ~cfg:probe_cfg ()
+  run ~duration ~warmup ?trace ?obs ?prof ?on_engine ?faults ?adversary
+    ?domains ~spec ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -33,6 +33,7 @@ val run :
   ?warmup:float ->
   ?trace:Massbft_trace.Trace.t ->
   ?obs:Massbft_obs.Sampler.t ->
+  ?prof:Massbft_prof.Prof.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
@@ -71,13 +72,24 @@ val run :
     and invariant verdicts match the sequential run, but event
     interleaving (hence traces, samplers and adversary interposers,
     which are rejected) and the exact traffic baseline cut may differ.
-    Parallel runs force [independent_stores]. *)
+    Parallel runs force [independent_stores]. Requesting more domains
+    than the host has cores prints a once-per-process warning: the
+    parallel rows then time-share and measure overhead, not speedup.
+
+    [prof] is a fresh, unattached {!Massbft_prof.Prof.t}: the runner
+    attaches it before the clock moves and freezes its wall endpoint
+    the moment the drive loop returns, so {!Massbft_prof.Prof.report}
+    covers exactly the scheduler's own execution. Profiling hooks only
+    window boundaries — no events are scheduled and no simulation
+    state is read — so results (and golden fixtures) are byte-identical
+    with or without it, in every run mode including [domains > 1]. *)
 
 val run_latency_probe :
   ?duration:float ->
   ?warmup:float ->
   ?trace:Massbft_trace.Trace.t ->
   ?obs:Massbft_obs.Sampler.t ->
+  ?prof:Massbft_prof.Prof.t ->
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->

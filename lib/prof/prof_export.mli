@@ -1,0 +1,27 @@
+(** Rendering for {!Prof}: text report, JSON document, and a
+    host-timeline trace sink for the dual-timeline Perfetto export. *)
+
+val schema_version : int
+(** Version of the JSON document layout (currently 1). *)
+
+val text : Prof.report -> string
+(** Ranked "where the wall time went" listing in the style of
+    [Saturation.report], plus per-domain busy fractions and GC totals. *)
+
+val json : ?windows:bool -> Prof.t -> string
+(** The full report as a single-line JSON object ([schema_version],
+    phase totals, ranked attribution, per-shard / per-domain stats, GC
+    deltas). [windows] (default false) appends the raw per-window log
+    under ["window_log"]. *)
+
+val write_json : ?windows:bool -> Prof.t -> string -> unit
+
+val to_trace : Prof.t -> Massbft_trace.Trace.t
+(** Renders the window log as host-time spans — categories
+    ["host.coord"] (setup / window / merge per window, [gid = -1]),
+    ["host.shard"] (per-shard execute, [gid] = shard id) and
+    ["host.domain"] (per-worker barrier stall, [gid] = worker id) —
+    with timestamps in host seconds since the first profiled window.
+    Pass the result as [?host] to
+    {!Massbft_trace.Trace_export.write_chrome_json} to get one Perfetto
+    file showing sim and host timelines side by side. *)

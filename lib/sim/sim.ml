@@ -49,6 +49,38 @@ and coord = {
   mutable parallel : bool;
   mutable window_end : float;  (* current parallel window's exclusive end *)
   mutable trace : Trace.t;
+  mutable prof : host_prof option;
+}
+
+(* Host-side self-profiling sink. The simulator never reads the host
+   clock or accounts wall time itself — it calls these hooks at phase
+   boundaries (a handful of calls per window, never per event) and a
+   profiler aggregates. [None] (the default) keeps every driver loop
+   exactly as fast and as allocation-free as an uninstrumented build.
+
+   Threading contract: [hp_execute] and [hp_stall] run on worker
+   domains (each [sid] / [worker] slot is touched by exactly one
+   domain per window); [hp_coord], [hp_merge], [hp_window] and
+   [hp_seq] run on the driving thread between barriers, when all
+   workers are parked — the same safe point as [run_parallel]'s
+   [on_window]. *)
+and host_prof = {
+  hp_clock : unit -> float;
+      (* host time in seconds; must be monotonic *)
+  hp_execute : sid:int -> dt:float -> events:int -> unit;
+      (* one shard's event execution within one parallel window *)
+  hp_stall : worker:int -> dt:float -> unit;
+      (* one worker's barrier wait before being released into a window *)
+  hp_coord : dt:float -> unit;
+      (* coordinator: next-window scan + setup + worker release *)
+  hp_merge : dt:float -> unit;
+      (* coordinator: mailbox drain + clock advance + on_window *)
+  hp_window : w_end:float -> span:float -> wall:float -> unit;
+      (* one parallel window completed: [span] is the coordinator-side
+         wait-for-workers segment (the parallel execute region), [wall]
+         the window's total coordinator wall time *)
+  hp_seq : until:float -> dt:float -> events:int -> unit;
+      (* one profiled slice of the sequential merge driver *)
 }
 
 (* Hand-specialized (time, seq) order: this comparison runs on every
@@ -71,6 +103,7 @@ let create ?(shards = 1) ?(lookahead = 0.0) () =
       parallel = false;
       window_end = 0.0;
       trace = Trace.null;
+      prof = None;
     }
   in
   coord.shards <-
@@ -123,6 +156,12 @@ let now t =
   else coord.gclock
 
 let set_trace t tr = t.coord.trace <- tr
+
+let set_prof t p =
+  if t.coord.parallel then
+    invalid_arg "Sim.set_prof: parallel driver active";
+  t.coord.prof <- p
+
 let dispatched t = t.dispatched
 
 let sum_shards t f =
@@ -285,9 +324,7 @@ let advance_clocks coord until =
     (fun s -> if s.clock < until then s.clock <- until)
     coord.shards
 
-let run t ~until =
-  let coord = t.coord in
-  if coord.parallel then invalid_arg "Sim.run: parallel driver active";
+let run_plain coord ~until =
   if Array.length coord.shards = 1 then begin
     let s = coord.shards.(0) in
     let continue = ref true in
@@ -301,6 +338,41 @@ let run t ~until =
   end
   else while seq_step coord ~until do () done;
   advance_clocks coord until
+
+let run t ~until =
+  let coord = t.coord in
+  if coord.parallel then invalid_arg "Sim.run: parallel driver active";
+  match coord.prof with
+  | None -> run_plain coord ~until
+  | Some p when not (Float.is_finite until) ->
+      (* Unbounded runs cannot be sliced into windows; account the
+         whole drain as one slice. *)
+      let t0 = p.hp_clock () in
+      let d0 = sum_shards t (fun s -> s.dispatched) in
+      run_plain coord ~until;
+      p.hp_seq ~until ~dt:(p.hp_clock () -. t0)
+        ~events:(sum_shards t (fun s -> s.dispatched) - d0)
+  | Some p ->
+      (* Profiled sequential driver: advance in lookahead-width slices
+         (whole-range when the sim has no lookahead) so per-window wall
+         time and GC deltas are visible without touching the host clock
+         per event. Slicing changes nothing observable — events fire in
+         the same total order and clocks only ever advance — so golden
+         fixtures stay byte-identical under profiling. *)
+      let stride =
+        if coord.lookahead > 0.0 then coord.lookahead
+        else Float.max (until -. coord.gclock) 1e-9
+      in
+      let continue = ref true in
+      while !continue do
+        let w_end = Float.min (coord.gclock +. stride) until in
+        let t0 = p.hp_clock () in
+        let d0 = sum_shards t (fun s -> s.dispatched) in
+        run_plain coord ~until:w_end;
+        p.hp_seq ~until:w_end ~dt:(p.hp_clock () -. t0)
+          ~events:(sum_shards t (fun s -> s.dispatched) - d0);
+        if w_end >= until then continue := false
+      done
 
 let step t =
   let coord = t.coord in
@@ -409,11 +481,17 @@ let run_parallel t ~domains ~until ?on_window () =
      collection stops all domains). Re-apply the coordinator's GC
      parameters inside each worker. *)
   let gc_params = Gc.get () in
+  let prof = coord.prof in
   let worker i () =
     Gc.set gc_params;
     let my_round = ref 0 in
     let running = ref true in
     while !running do
+      (* Barrier-stall accounting starts when the worker goes back to
+         the barrier (or, on the first round, right after spawn) and
+         ends when it is released into a window; the final park before
+         [stop] is shutdown, not stall, and is not recorded. *)
+      let t_park = match prof with Some p -> p.hp_clock () | None -> 0.0 in
       Mutex.lock mu;
       while !round = !my_round && not !stop do
         Condition.wait cv_start mu
@@ -426,11 +504,23 @@ let run_parallel t ~domains ~until ?on_window () =
         my_round := !round;
         let w_end = !w_end_r in
         Mutex.unlock mu;
+        (match prof with
+        | Some p -> p.hp_stall ~worker:i ~dt:(p.hp_clock () -. t_park)
+        | None -> ());
         let err =
           try
             let k = ref i in
             while !k < n do
-              run_shard_window coord.shards.(!k) ~w_end;
+              let s = coord.shards.(!k) in
+              (match prof with
+              | Some p ->
+                  let t0 = p.hp_clock () in
+                  let d0 = s.dispatched in
+                  run_shard_window s ~w_end;
+                  p.hp_execute ~sid:s.sid
+                    ~dt:(p.hp_clock () -. t0)
+                    ~events:(s.dispatched - d0)
+              | None -> run_shard_window s ~w_end);
               k := !k + nd
             done;
             None
@@ -460,6 +550,12 @@ let run_parallel t ~domains ~until ?on_window () =
     (fun () ->
       let continue = ref true in
       while !continue do
+        (* Coordinator phase boundaries: [tA, tB) is window setup (the
+           cross-heap minimum scan, release), [tB, tC) the span spent
+           waiting for workers — the parallel execute region — and
+           [tC, tD) the single-threaded mailbox merge + clock advance +
+           on_window callback. Four clock reads per window. *)
+        let tA = match prof with Some p -> p.hp_clock () | None -> 0.0 in
         match min_next_time coord with
         | Some t0 when t0 < until ->
             let w_end = Float.min (t0 +. coord.lookahead) until in
@@ -469,6 +565,7 @@ let run_parallel t ~domains ~until ?on_window () =
             incr round;
             finished := 0;
             Condition.broadcast cv_start;
+            let tB = match prof with Some p -> p.hp_clock () | None -> 0.0 in
             while !finished < nd do
               Condition.wait cv_done mu
             done;
@@ -476,9 +573,19 @@ let run_parallel t ~domains ~until ?on_window () =
             (match !errors with
             | e :: _ -> raise e
             | [] ->
+                let tC =
+                  match prof with Some p -> p.hp_clock () | None -> 0.0
+                in
                 drain_inboxes coord;
                 advance_clocks coord w_end;
-                (match on_window with Some f -> f w_end | None -> ()))
+                (match on_window with Some f -> f w_end | None -> ());
+                (match prof with
+                | Some p ->
+                    let tD = p.hp_clock () in
+                    p.hp_coord ~dt:(tB -. tA);
+                    p.hp_merge ~dt:(tD -. tC);
+                    p.hp_window ~w_end ~span:(tC -. tB) ~wall:(tD -. tA)
+                | None -> ()))
         | _ -> continue := false
       done);
   (* Events exactly at [until] (and the final clock advance) run through

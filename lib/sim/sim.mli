@@ -58,6 +58,51 @@ val set_trace : t -> Massbft_trace.Trace.t -> unit
     so it cannot change the simulation. Defaults to the disabled
     {!Massbft_trace.Trace.null}. *)
 
+(** {1 Host-side self-profiling hooks}
+
+    Where [set_trace] records {e simulated} time, [set_prof] accounts
+    where the {e host's} wall-clock goes while the simulator runs —
+    the instrument for evaluating the evaluator. The simulator calls
+    the sink at phase boundaries only (a handful of calls per window,
+    never per event); with the default [None] every driver loop is
+    exactly the uninstrumented code path. Attaching a profiler never
+    schedules events or reads simulation state, so profiled runs stay
+    byte-identical to unprofiled ones (golden-fixture verified).
+
+    Threading contract: [hp_execute] / [hp_stall] are called from
+    worker domains (each [sid] or [worker] slot by exactly one domain
+    per window); [hp_coord] / [hp_merge] / [hp_window] / [hp_seq] from
+    the driving thread between barriers, when all workers are parked.
+    The window barrier's mutex gives the happens-before edge that
+    makes worker-written accumulators safe to read from [hp_window]. *)
+
+type host_prof = {
+  hp_clock : unit -> float;
+      (** host-time source in seconds; must be monotonic *)
+  hp_execute : sid:int -> dt:float -> events:int -> unit;
+      (** one shard's event execution within one parallel window *)
+  hp_stall : worker:int -> dt:float -> unit;
+      (** one worker's barrier wait before entering a window (includes
+          the coordinator's inter-window merge, which is stall from the
+          worker's perspective); the final shutdown park is excluded *)
+  hp_coord : dt:float -> unit;
+      (** coordinator: next-window scan, setup and worker release *)
+  hp_merge : dt:float -> unit;
+      (** coordinator: mailbox drain, clock advance, [on_window] *)
+  hp_window : w_end:float -> span:float -> wall:float -> unit;
+      (** a parallel window completed: [span] is the coordinator-side
+          wait-for-workers segment, [wall] the whole window such that
+          [wall = coord + span + merge] up to clock resolution *)
+  hp_seq : until:float -> dt:float -> events:int -> unit;
+      (** one profiled slice of the sequential merge driver (sliced at
+          lookahead width when the sim has one, else the whole range) *)
+}
+
+val set_prof : t -> host_prof option -> unit
+(** Attaches (or clears) the host-profiling sink, shared by all
+    shards. Raises [Invalid_argument] while the parallel driver is
+    active. *)
+
 val dispatched : t -> int
 (** Events fired on this shard since creation (cancelled excluded). *)
 

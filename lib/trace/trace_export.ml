@@ -52,7 +52,22 @@ let add_args b args =
     args;
   Buffer.add_char b '}'
 
-let add_common b (ev : Trace.event) ~ph =
+(* Host-timeline events (from [Prof_export.to_trace]) live in their own
+   pid namespace at >= 1000, well clear of any plausible group count, so
+   Perfetto shows the simulated and host timelines side by side in one
+   file. The category selects the track family; gid indexes within it. *)
+let host_pid_of (ev : Trace.event) =
+  match ev.Trace.cat with
+  | "host.shard" -> 1001 + ev.Trace.gid
+  | "host.domain" -> 1901 + ev.Trace.gid
+  | _ -> 1000 (* "host.coord" and anything uncategorized *)
+
+let host_pid_name pid =
+  if pid = 1000 then "host: coordinator"
+  else if pid >= 1901 then Printf.sprintf "host: domain %d" (pid - 1901)
+  else Printf.sprintf "host: shard %d" (pid - 1001)
+
+let add_common b (ev : Trace.event) ~ph ~pid =
   Buffer.add_string b "{\"name\":";
   buf_add_json_string b ev.Trace.name;
   Buffer.add_string b ",\"cat\":";
@@ -60,7 +75,7 @@ let add_common b (ev : Trace.event) ~ph =
   Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\",\"ts\":" ph);
   add_ts b ev.Trace.ts;
   Buffer.add_string b
-    (Printf.sprintf ",\"pid\":%d,\"tid\":%d" (pid_of ev) (tid_of ev))
+    (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid (tid_of ev))
 
 let sorted_events t =
   List.stable_sort
@@ -69,7 +84,28 @@ let sorted_events t =
       if c <> 0 then c else compare a.Trace.ev_seq b.Trace.ev_seq)
     (Trace.events t)
 
-let to_chrome_json t =
+let add_event b sep pid (ev : Trace.event) =
+  sep ();
+  (match ev.Trace.kind with
+  | Trace.Instant ->
+      add_common b ev ~ph:"i" ~pid;
+      Buffer.add_string b ",\"s\":\"t\",";
+      add_args b (ev.Trace.args @ eid_args ev)
+  | Trace.Counter v ->
+      add_common b ev ~ph:"C" ~pid;
+      Buffer.add_string b ",";
+      add_args b [ ("value", Trace.Float v) ]
+  | Trace.Span_begin ->
+      add_common b ev ~ph:"b" ~pid;
+      Buffer.add_string b (Printf.sprintf ",\"id\":\"0x%x\"," ev.Trace.span);
+      add_args b (ev.Trace.args @ eid_args ev)
+  | Trace.Span_end ->
+      add_common b ev ~ph:"e" ~pid;
+      Buffer.add_string b (Printf.sprintf ",\"id\":\"0x%x\"," ev.Trace.span);
+      add_args b ev.Trace.args);
+  Buffer.add_char b '}'
+
+let to_chrome_json ?host t =
   let evs = sorted_events t in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[\n";
@@ -90,41 +126,35 @@ let to_chrome_json t =
            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
            pid name))
     pids;
-  List.iter
-    (fun (ev : Trace.event) ->
-      sep ();
-      (match ev.Trace.kind with
-      | Trace.Instant ->
-          add_common b ev ~ph:"i";
-          Buffer.add_string b ",\"s\":\"t\",";
-          add_args b (ev.Trace.args @ eid_args ev)
-      | Trace.Counter v ->
-          add_common b ev ~ph:"C";
-          Buffer.add_string b ",";
-          add_args b [ ("value", Trace.Float v) ]
-      | Trace.Span_begin ->
-          add_common b ev ~ph:"b";
+  List.iter (fun ev -> add_event b sep (pid_of ev) ev) evs;
+  (* Host timeline: same document, separate pid namespace. Host spans
+     share the id space of their own sink, disjoint pids keep the two
+     timelines from colliding in viewers. *)
+  (match host with
+  | None -> ()
+  | Some h ->
+      let hevs = sorted_events h in
+      let hpids = List.sort_uniq compare (List.map host_pid_of hevs) in
+      List.iter
+        (fun pid ->
+          sep ();
           Buffer.add_string b
-            (Printf.sprintf ",\"id\":\"0x%x\"," ev.Trace.span);
-          add_args b (ev.Trace.args @ eid_args ev)
-      | Trace.Span_end ->
-          add_common b ev ~ph:"e";
-          Buffer.add_string b
-            (Printf.sprintf ",\"id\":\"0x%x\"," ev.Trace.span);
-          add_args b ev.Trace.args);
-      Buffer.add_char b '}')
-    evs;
+            (Printf.sprintf
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+               pid (host_pid_name pid)))
+        hpids;
+      List.iter (fun ev -> add_event b sep (host_pid_of ev) ev) hevs);
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"";
   Buffer.add_string b
     (Printf.sprintf ",\"otherData\":{\"emitted\":%d,\"dropped\":%d}}\n"
        (Trace.emitted t) (Trace.dropped t));
   Buffer.contents b
 
-let write_chrome_json t path =
+let write_chrome_json ?host t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_chrome_json t))
+    (fun () -> output_string oc (to_chrome_json ?host t))
 
 (* ------------------------------------------------------------------ *)
 (* Critical-path report                                                *)
