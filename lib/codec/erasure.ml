@@ -42,10 +42,33 @@ type codec =
   | C8 of Rs8.t
   | C16 of Rs16.t
 
+(* Codecs are memoized per (data, parity): constructing one builds and
+   inverts the systematic encoding matrix — O(data^3) field ops, ~15M
+   for the GF(2^16) 180+120 regime — while the dissemination path
+   encodes thousands of entries against a handful of transfer-plan
+   geometries. The lock is held across construction so concurrent
+   domains of the parallel driver wait for one deterministic build
+   instead of duplicating it; invalid parameters raise inside
+   [field_for]/[create] before anything is cached, so error behavior
+   is identical on every call. *)
+let codec_cache : (int * int, codec) Hashtbl.t = Hashtbl.create 8
+let codec_lock = Mutex.create ()
+let codec_cache_max = 64
+
 let make_codec ~data ~parity =
-  match field_for ~total:(data + parity) with
-  | Gf8 -> C8 (Rs8.create ~data ~parity)
-  | Gf16 -> C16 (Rs16.create ~data ~parity)
+  Mutex.protect codec_lock (fun () ->
+      match Hashtbl.find_opt codec_cache (data, parity) with
+      | Some c -> c
+      | None ->
+          let c =
+            match field_for ~total:(data + parity) with
+            | Gf8 -> C8 (Rs8.create ~data ~parity)
+            | Gf16 -> C16 (Rs16.create ~data ~parity)
+          in
+          if Hashtbl.length codec_cache >= codec_cache_max then
+            Hashtbl.reset codec_cache;
+          Hashtbl.replace codec_cache (data, parity) c;
+          c)
 
 let codec_shard_size c len =
   match c with

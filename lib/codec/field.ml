@@ -20,6 +20,12 @@ module type S = sig
   val mul_slice_set : int -> Bytes.t -> Bytes.t -> unit
   (** [mul_slice_set c src dst]: [dst <- c*src]. *)
 
+  val mul_row : coeffs:int array -> Bytes.t array -> Bytes.t -> unit
+  (** [mul_row ~coeffs srcs dst]: [dst <- sum_j coeffs.(j)*srcs.(j)],
+      one fused encoding-row application — lengths and coefficients
+      validated once, memoized product tables resolved once, [dst]
+      written without aliasing a source. *)
+
   val symbol_bytes : int
   (** Bytes per symbol (1 or 2); shard lengths must be a multiple. *)
 end

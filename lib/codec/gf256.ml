@@ -31,10 +31,22 @@ let div a b =
   else exp_table.(log_table.(a) - log_table.(b) + 255)
 
 let inv a = div 1 a
-let exp i = exp_table.(i mod 255)
+
+let exp i =
+  (* OCaml's [mod] keeps the dividend's sign, so a negative exponent —
+     legitimate under g^255 = 1 — must be lifted back into [0, 255) or
+     it would index out of bounds. *)
+  let r = i mod 255 in
+  exp_table.(if r < 0 then r + 255 else r)
 
 let log a =
   if a = 0 then invalid_arg "Gf256.log: log of zero" else log_table.(a)
+
+(* See Gf65536.check_coeff: with unsafe table reads below, an
+   out-of-range coefficient would be undefined behavior, not an
+   exception, so every slice entry point validates it up front. *)
+let check_coeff op c =
+  if c < 0 || c >= order then invalid_arg (op ^ ": coefficient out of field")
 
 (* Per-coefficient 256-entry product rows (klauspost-style), memoized
    so repeated use of a coefficient — every shard of an encode reuses
@@ -45,6 +57,7 @@ let log a =
    same deterministic bytes, so last-writer-wins is harmless. *)
 let mul_rows = Array.init 256 (fun _ -> Atomic.make Bytes.empty)
 
+(* Callers must have validated [c] (check_coeff). *)
 let mul_table c =
   let cell = Array.unsafe_get mul_rows c in
   let row = Atomic.get cell in
@@ -59,13 +72,16 @@ let mul_table c =
   end
 
 (* dst <- dst lxor src, 64 bits at a time with a byte-wise tail. XOR is
-   endianness-agnostic, so native-endian loads are safe. *)
+   endianness-agnostic, so native-endian loads are safe. The explicit
+   range check up front is what licenses the unsafe int64 loads in the
+   word loop and the unsafe byte ops in the tail. *)
 let xor_into src dst n =
+  Word.check_range ~op:"Gf256.xor_into" src n;
+  Word.check_range ~op:"Gf256.xor_into" dst n;
   let words = n lsr 3 in
   for w = 0 to words - 1 do
     let o = w lsl 3 in
-    Bytes.set_int64_ne dst o
-      (Int64.logxor (Bytes.get_int64_ne dst o) (Bytes.get_int64_ne src o))
+    Word.set64 dst o (Int64.logxor (Word.get64 dst o) (Word.get64 src o))
   done;
   for i = words lsl 3 to n - 1 do
     Bytes.unsafe_set dst i
@@ -74,30 +90,64 @@ let xor_into src dst n =
          lxor Char.code (Bytes.unsafe_get dst i)))
   done
 
+(* The unchecked kernels require [n] within both buffers (established
+   once by the caller) and [t] a product row. *)
+
+let acc_slice t src dst n =
+  for i = 0 to n - 1 do
+    let p = Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)) in
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr (Char.code p lxor Char.code (Bytes.unsafe_get dst i)))
+  done
+
+let set_slice t src dst n =
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set dst i
+      (Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)))
+  done
+
 let mul_slice c src dst =
   let n = Bytes.length src in
   if Bytes.length dst <> n then
     invalid_arg "Gf256.mul_slice: length mismatch";
+  check_coeff "Gf256.mul_slice" c;
   if c = 1 then xor_into src dst n
-  else if c <> 0 then begin
-    let t = mul_table c in
-    for i = 0 to n - 1 do
-      let p = Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)) in
-      Bytes.unsafe_set dst i
-        (Char.unsafe_chr (Char.code p lxor Char.code (Bytes.unsafe_get dst i)))
-    done
-  end
+  else if c <> 0 then acc_slice (mul_table c) src dst n
 
 let mul_slice_set c src dst =
   let n = Bytes.length src in
   if Bytes.length dst <> n then
     invalid_arg "Gf256.mul_slice_set: length mismatch";
+  check_coeff "Gf256.mul_slice_set" c;
   if c = 0 then Bytes.fill dst 0 n '\x00'
   else if c = 1 then Bytes.blit src 0 dst 0 n
+  else set_slice (mul_table c) src dst n
+
+(* Row-fused matrix-row application; see Gf65536.mul_row. The first
+   non-zero term writes dst outright, the rest accumulate in place. *)
+let mul_row ~coeffs srcs dst =
+  let k = Array.length coeffs in
+  if Array.length srcs <> k then
+    invalid_arg "Gf256.mul_row: coeffs/srcs arity mismatch";
+  let n = Bytes.length dst in
+  Array.iter
+    (fun s ->
+      if Bytes.length s <> n then invalid_arg "Gf256.mul_row: length mismatch")
+    srcs;
+  Array.iter (fun c -> check_coeff "Gf256.mul_row" c) coeffs;
+  let j0 = ref 0 in
+  while !j0 < k && Array.unsafe_get coeffs !j0 = 0 do
+    incr j0
+  done;
+  if !j0 = k then Bytes.fill dst 0 n '\x00'
   else begin
-    let t = mul_table c in
-    for i = 0 to n - 1 do
-      Bytes.unsafe_set dst i
-        (Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)))
+    let c0 = Array.unsafe_get coeffs !j0 in
+    (if c0 = 1 then Bytes.blit (Array.unsafe_get srcs !j0) 0 dst 0 n
+     else set_slice (mul_table c0) (Array.unsafe_get srcs !j0) dst n);
+    for j = !j0 + 1 to k - 1 do
+      let c = Array.unsafe_get coeffs j in
+      if c = 1 then xor_into (Array.unsafe_get srcs j) dst n
+      else if c <> 0 then
+        acc_slice (mul_table c) (Array.unsafe_get srcs j) dst n
     done
   end

@@ -18,8 +18,8 @@ val inv : int -> int
 (** Multiplicative inverse; raises [Division_by_zero] on 0. *)
 
 val exp : int -> int
-(** [exp i] is the generator raised to [i] (any non-negative [i],
-    reduced mod 255). *)
+(** [exp i] is the generator raised to [i], reduced with a Euclidean
+    remainder so negative exponents (g^255 = 1) are valid. *)
 
 val log : int -> int
 (** Discrete log base the generator; raises [Invalid_argument] on 0. *)
@@ -27,7 +27,16 @@ val log : int -> int
 val mul_slice : int -> Bytes.t -> Bytes.t -> unit
 (** [mul_slice c src dst] computes [dst.(i) <- dst.(i) XOR c * src.(i)]
     for every byte — the inner loop of matrix-vector encoding. [src]
-    and [dst] must have equal length. *)
+    and [dst] must have equal length. Raises [Invalid_argument] if the
+    coefficient is outside [0, 255]. *)
 
 val mul_slice_set : int -> Bytes.t -> Bytes.t -> unit
-(** [mul_slice_set c src dst] computes [dst.(i) <- c * src.(i)]. *)
+(** [mul_slice_set c src dst] computes [dst.(i) <- c * src.(i)]. Same
+    validation as {!mul_slice}. *)
+
+val mul_row : coeffs:int array -> Bytes.t array -> Bytes.t -> unit
+(** [mul_row ~coeffs srcs dst] sets [dst] to the field linear
+    combination [sum_j coeffs.(j) * srcs.(j)] — one fused encoding-row
+    application, validating lengths/coefficients once and reusing the
+    memoized per-coefficient product rows. [dst] must not alias a
+    source. *)

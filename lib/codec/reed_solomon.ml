@@ -1,7 +1,22 @@
 module Make (F : Field.S) = struct
   module M = Matrix.Make (F)
 
-  type t = { data : int; parity : int; enc : M.t }
+  type t = {
+    data : int;
+    parity : int;
+    enc : M.t;
+    (* Decode matrices keyed by the chosen row set (klauspost's
+       inversion-tree idea in flat form): rebuilding the same erasure
+       pattern — the common case, since Rebuild feeds shards in index
+       order — costs a hash lookup instead of an O(data^3) inversion,
+       which for GF(2^16) at 180 data shards dominates the decode.
+       Guarded by a mutex for the parallel driver; bounded so a
+       pathological erasure mix cannot grow it without limit. *)
+    dec_cache : (string, M.t) Hashtbl.t;
+    dec_lock : Mutex.t;
+  }
+
+  let dec_cache_max = 256
 
   let create ~data ~parity =
     if data < 1 then invalid_arg "Reed_solomon.create: need >= 1 data shard";
@@ -19,7 +34,13 @@ module Make (F : Field.S) = struct
       | Some ti -> M.mul vm ti
       | None -> assert false
     in
-    { data; parity; enc }
+    {
+      data;
+      parity;
+      enc;
+      dec_cache = Hashtbl.create 16;
+      dec_lock = Mutex.create ();
+    }
 
   let data t = t.data
   let parity t = t.parity
@@ -44,29 +65,52 @@ module Make (F : Field.S) = struct
       shards;
     size
 
-  (* out.(r) <- sum_c rowsel(r, c) * inputs.(c), streamed per slice. *)
+  (* out.(r) <- sum_c rowsel(r, c) * inputs.(c), one fused row pass per
+     output: the field validates the row once, resolves each memoized
+     product table once, and touches every source slice exactly once
+     per output row. *)
   let apply_rows rowsel ~nrows inputs size =
-    let out = Array.init nrows (fun _ -> Bytes.create size) in
-    for r = 0 to nrows - 1 do
-      let dst = out.(r) in
-      let first = ref true in
-      Array.iteri
-        (fun c src ->
-          let coeff = rowsel r c in
-          if !first then begin
-            F.mul_slice_set coeff src dst;
-            first := false
-          end
-          else F.mul_slice coeff src dst)
-        inputs
-    done;
-    out
+    Array.init nrows (fun r ->
+        let dst = Bytes.create size in
+        let coeffs = Array.init (Array.length inputs) (fun c -> rowsel r c) in
+        F.mul_row ~coeffs inputs dst;
+        dst)
 
   let encode t shards =
     let size = check_shards t shards in
     apply_rows
       (fun r c -> M.get t.enc (t.data + r) c)
       ~nrows:t.parity shards size
+
+  (* Two bytes per row index (indices < total <= 65535). *)
+  let dec_key row_idx =
+    let b = Bytes.create (2 * Array.length row_idx) in
+    Array.iteri (fun i r -> Bytes.set_uint16_le b (2 * i) r) row_idx;
+    Bytes.unsafe_to_string b
+
+  let decode_matrix t row_idx =
+    let key = dec_key row_idx in
+    let cached =
+      Mutex.lock t.dec_lock;
+      let v = Hashtbl.find_opt t.dec_cache key in
+      Mutex.unlock t.dec_lock;
+      v
+    in
+    match cached with
+    | Some dec -> Some dec
+    | None -> (
+        let sub = M.select_rows t.enc row_idx in
+        match M.invert sub with
+        | None -> None
+        | Some dec ->
+            Mutex.lock t.dec_lock;
+            (* A concurrent decode of the same pattern computed the same
+               deterministic matrix; replacing it is harmless. *)
+            if Hashtbl.length t.dec_cache >= dec_cache_max then
+              Hashtbl.reset t.dec_cache;
+            Hashtbl.replace t.dec_cache key dec;
+            Mutex.unlock t.dec_lock;
+            Some dec)
 
   let reconstruct t shards =
     let total = total t in
@@ -94,8 +138,7 @@ module Make (F : Field.S) = struct
         else begin
           let row_idx = Array.map fst chosen in
           let inputs = Array.map snd chosen in
-          let sub = M.select_rows t.enc row_idx in
-          match M.invert sub with
+          match decode_matrix t row_idx with
           | None -> Error "reconstruct: singular decode matrix"
           | Some dec ->
               Ok (apply_rows (fun r c -> M.get dec r c) ~nrows:t.data inputs size)

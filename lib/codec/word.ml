@@ -1,0 +1,36 @@
+(* Unchecked word-level access into [Bytes.t] for the slice kernels.
+
+   Both field modules process slices wider than a byte at a time: the
+   GF(2^16) split-table kernel reads/writes 16-bit symbols and the XOR
+   accumulate works in 64-bit words. The stdlib only exposes checked
+   variants of the multi-byte accessors, and a bounds check per symbol
+   costs as much as the table lookups it guards — so the kernels do ONE
+   range check up front (see [check_range]) and then use these
+   compiler-primitive externals, which compile to plain loads/stores.
+
+   Contract: every call site must be dominated by a check that
+   [pos + width <= Bytes.length b]. Keep these out of .mli interfaces —
+   they are a codec-internal tool, not part of the field API. *)
+
+external get16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+(* Native-endian unsigned 16-bit load; [pos + 2 <= length] required. *)
+
+external set16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+(* Native-endian 16-bit store of the low 16 bits; same bound. *)
+
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+(* Native-endian 64-bit load; [pos + 8 <= length] required. *)
+
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+(* Native-endian 64-bit store; same bound. *)
+
+external swap16 : int -> int = "%bswap16"
+
+(* The slice kernels define symbols as little-endian byte pairs (the
+   wire format, see gf65536.mli). On the overwhelmingly common
+   little-endian hosts the native loads above already are LE; this flag
+   routes big-endian hosts through [swap16] at load/store. *)
+let be = Sys.big_endian
+
+let check_range ~op b n =
+  if n < 0 || n > Bytes.length b then invalid_arg (op ^ ": slice out of bounds")

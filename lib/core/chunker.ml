@@ -8,6 +8,10 @@ type chunk = {
   proof : Merkle.proof;
 }
 
+(* Per-entry cost is slice arithmetic plus the Merkle tree only:
+   Erasure memoizes the Reed-Solomon codec per (data, parity), so the
+   encoding-matrix construction is paid once per transfer-plan geometry,
+   not once per entry. *)
 let encode ~(plan : Transfer_plan.t) ~entry =
   let payloads =
     Erasure.encode ~data:plan.Transfer_plan.n_data

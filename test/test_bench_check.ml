@@ -210,9 +210,21 @@ let test_bad_baselines_rejected () =
   | _ -> Alcotest.fail "accepted missing file"
 
 let test_committed_baseline_loads () =
-  (* The actual committed baseline must satisfy the gate's reader —
-     this is the file CI passes to `massbft bench --check`. *)
-  let file = "../BENCH_2026-08-09.json" in
+  (* The newest committed baseline must satisfy the gate's reader —
+     CI picks it the same way (`ls BENCH_*.json | sort | tail -1`). *)
+  let file =
+    Sys.readdir ".."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.rev
+    |> function
+    | [] -> "../BENCH_none.json"
+    | newest :: _ -> "../" ^ newest
+  in
   if Sys.file_exists file then begin
     let b = Bench_check.load_baseline file in
     check_bool "has the full micro suite" true

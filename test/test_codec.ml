@@ -80,6 +80,221 @@ let test_gf_log_exp_inverse () =
     check_int "exp(log a) = a in gf65536" a (Gf65536.exp (Gf65536.log a))
   done
 
+let test_exp_negative_exponents () =
+  (* Regression: OCaml's [mod] keeps the dividend's sign, so a negative
+     exponent used to index exp_table out of bounds. Negative exponents
+     are legitimate under g^(order-1) = 1. *)
+  check_int "gf256 exp(-1) = exp 254" (Gf256.exp 254) (Gf256.exp (-1));
+  check_int "gf256 exp(-255) = exp 0 = 1" 1 (Gf256.exp (-255));
+  check_int "gf256 exp(-1) is inv g" 1
+    (Gf256.mul (Gf256.exp (-1)) (Gf256.exp 1));
+  check_int "gf65536 exp(-1) = exp 65534" (Gf65536.exp 65534)
+    (Gf65536.exp (-1));
+  check_int "gf65536 exp(-65535) = exp 0 = 1" 1 (Gf65536.exp (-65535));
+  check_int "gf65536 exp(-1) is inv g" 1
+    (Gf65536.mul (Gf65536.exp (-1)) (Gf65536.exp 1));
+  (* Large magnitudes on both sides of zero stay in range. *)
+  check_int "gf256 exp(-1000000) indexable" (Gf256.exp (-1000000))
+    (Gf256.exp (-1000000 mod 255 + 255));
+  check_int "gf65536 wraps forward too" (Gf65536.exp 2) (Gf65536.exp (2 + (3 * 65535)))
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_slice_coefficient_validation () =
+  (* Regression: coefficients outside the field used to reach
+     Array.unsafe_get — undefined behavior, not an exception. Every
+     slice entry point must reject them loudly. *)
+  let src = Bytes.make 8 'a' and dst = Bytes.make 8 'b' in
+  List.iter
+    (fun c ->
+      expect_invalid "gf256 mul_slice" (fun () -> Gf256.mul_slice c src dst);
+      expect_invalid "gf256 mul_slice_set" (fun () ->
+          Gf256.mul_slice_set c src dst);
+      expect_invalid "gf256 mul_row" (fun () ->
+          Gf256.mul_row ~coeffs:[| c |] [| src |] dst))
+    [ -1; 256; 65536 ];
+  List.iter
+    (fun c ->
+      expect_invalid "gf65536 mul_slice" (fun () -> Gf65536.mul_slice c src dst);
+      expect_invalid "gf65536 mul_slice_set" (fun () ->
+          Gf65536.mul_slice_set c src dst);
+      expect_invalid "gf65536 mul_row" (fun () ->
+          Gf65536.mul_row ~coeffs:[| c |] [| src |] dst))
+    [ -1; 65536 ]
+
+let test_slice_fast_paths () =
+  let rng = Rng.create 21L in
+  let src = Rng.bytes rng 16 in
+  (* c = 0: mul_slice leaves dst untouched; mul_slice_set zeroes it. *)
+  let dst = Rng.bytes rng 16 in
+  let before = Bytes.copy dst in
+  Gf256.mul_slice 0 src dst;
+  check_bool "gf8 c=0 acc is identity" true (Bytes.equal dst before);
+  Gf65536.mul_slice 0 src dst;
+  check_bool "gf16 c=0 acc is identity" true (Bytes.equal dst before);
+  Gf256.mul_slice_set 0 src dst;
+  check_bool "gf8 c=0 set zeroes" true (Bytes.equal dst (Bytes.make 16 '\x00'));
+  Gf65536.mul_slice_set 1 src dst;
+  check_bool "gf16 c=1 set copies" true (Bytes.equal dst src);
+  (* c = 1: acc is XOR; src xor src = 0. *)
+  Gf256.mul_slice 1 src dst;
+  check_bool "gf8 c=1 acc is xor" true (Bytes.equal dst (Bytes.make 16 '\x00'))
+
+let test_gf16_odd_length_rejected () =
+  let b7 = Bytes.make 7 'x' and b7' = Bytes.make 7 'y' in
+  expect_invalid "odd mul_slice" (fun () -> Gf65536.mul_slice 3 b7 b7');
+  expect_invalid "odd mul_slice_set" (fun () ->
+      Gf65536.mul_slice_set 3 b7 b7');
+  expect_invalid "odd mul_row" (fun () ->
+      Gf65536.mul_row ~coeffs:[| 3 |] [| b7 |] b7');
+  let b8 = Bytes.make 8 'x' in
+  expect_invalid "mismatched mul_slice" (fun () -> Gf65536.mul_slice 3 b8 b7);
+  expect_invalid "mismatched gf8 mul_slice" (fun () ->
+      Gf256.mul_slice 3 b8 b7);
+  expect_invalid "mismatched xor fast path" (fun () ->
+      Gf65536.mul_slice 1 b8 b7)
+
+let get16_le b i =
+  Char.code (Bytes.get b (2 * i)) lor (Char.code (Bytes.get b ((2 * i) + 1)) lsl 8)
+
+(* Split-table kernel vs the scalar log/exp product, over lengths that
+   exercise both the 64-bit quad loop and the scalar tail, including
+   c = 0 and c = 1 fast paths. *)
+let prop_gf16_mul_slice_matches_scalar =
+  QCheck.Test.make ~name:"gf16 split-table slice = scalar product" ~count:300
+    QCheck.(triple (int_range 0 65535) (int_range 0 21) small_int)
+    (fun (c, half_len, seed) ->
+      let n = 2 * half_len in
+      let rng = Rng.create (Int64.of_int ((seed * 65536) + c)) in
+      let src = Rng.bytes rng n in
+      let dst = Rng.bytes rng n in
+      let orig = Bytes.copy dst in
+      Gf65536.mul_slice c src dst;
+      let ok = ref true in
+      for i = 0 to half_len - 1 do
+        let expect = get16_le orig i lxor Gf65536.mul c (get16_le src i) in
+        if get16_le dst i <> expect then ok := false
+      done;
+      !ok)
+
+let prop_gf16_mul_slice_set_matches_scalar =
+  QCheck.Test.make ~name:"gf16 split-table set = scalar product" ~count:300
+    QCheck.(triple (int_range 0 65535) (int_range 0 21) small_int)
+    (fun (c, half_len, seed) ->
+      let n = 2 * half_len in
+      let rng = Rng.create (Int64.of_int ((seed * 65536) + c + 1)) in
+      let src = Rng.bytes rng n in
+      let dst = Rng.bytes rng n in
+      Gf65536.mul_slice_set c src dst;
+      let ok = ref true in
+      for i = 0 to half_len - 1 do
+        if get16_le dst i <> Gf65536.mul c (get16_le src i) then ok := false
+      done;
+      !ok)
+
+let prop_gf8_mul_slice_matches_scalar =
+  QCheck.Test.make ~name:"gf8 table slice = scalar product" ~count:300
+    QCheck.(triple (int_range 0 255) (int_range 0 43) small_int)
+    (fun (c, n, seed) ->
+      let rng = Rng.create (Int64.of_int ((seed * 256) + c)) in
+      let src = Rng.bytes rng n in
+      let dst = Rng.bytes rng n in
+      let orig = Bytes.copy dst in
+      Gf256.mul_slice c src dst;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expect =
+          Char.code (Bytes.get orig i)
+          lxor Gf256.mul c (Char.code (Bytes.get src i))
+        in
+        if Char.code (Bytes.get dst i) <> expect then ok := false
+      done;
+      !ok)
+
+let test_mul_slice_aliasing () =
+  (* src == dst: each symbol is read before its write, so the result is
+     s xor c*s symbol-wise. Guards against a future kernel rewrite
+     (e.g. wider blocking) silently changing aliasing behavior. *)
+  let rng = Rng.create 22L in
+  let b = Rng.bytes rng 20 in
+  let orig = Bytes.copy b in
+  Gf65536.mul_slice 0x2f19 b b;
+  for i = 0 to 9 do
+    let s = get16_le orig i in
+    check_int
+      (Printf.sprintf "gf16 aliased symbol %d" i)
+      (s lxor Gf65536.mul 0x2f19 s)
+      (get16_le b i)
+  done;
+  let a = Rng.bytes rng 13 in
+  let orig = Bytes.copy a in
+  Gf256.mul_slice 0x8e a a;
+  for i = 0 to 12 do
+    let s = Char.code (Bytes.get orig i) in
+    check_int
+      (Printf.sprintf "gf8 aliased byte %d" i)
+      (s lxor Gf256.mul 0x8e s)
+      (Char.code (Bytes.get a i))
+  done
+
+(* mul_row vs a scalar reference sum, with coefficients drawn to hit
+   the 0-skip, 1-XOR and table paths, including all-zero rows and a
+   zero leading run (the first-nonzero-writes-dst optimization). *)
+let prop_gf16_mul_row_matches_scalar =
+  QCheck.Test.make ~name:"gf16 mul_row = scalar row sum" ~count:150
+    QCheck.(triple (int_range 1 6) (int_range 0 9) small_int)
+    (fun (k, half_len, seed) ->
+      let n = 2 * half_len in
+      let rng = Rng.create (Int64.of_int ((seed * 7) + k)) in
+      let coeffs =
+        Array.init k (fun _ ->
+            match Rng.int rng 4 with
+            | 0 -> 0
+            | 1 -> 1
+            | _ -> Rng.int rng 65536)
+      in
+      let srcs = Array.init k (fun _ -> Rng.bytes rng n) in
+      let dst = Rng.bytes rng n in
+      Gf65536.mul_row ~coeffs srcs dst;
+      let ok = ref true in
+      for i = 0 to half_len - 1 do
+        let expect = ref 0 in
+        for j = 0 to k - 1 do
+          expect := !expect lxor Gf65536.mul coeffs.(j) (get16_le srcs.(j) i)
+        done;
+        if get16_le dst i <> !expect then ok := false
+      done;
+      !ok)
+
+let prop_gf8_mul_row_matches_scalar =
+  QCheck.Test.make ~name:"gf8 mul_row = scalar row sum" ~count:150
+    QCheck.(triple (int_range 1 6) (int_range 0 19) small_int)
+    (fun (k, n, seed) ->
+      let rng = Rng.create (Int64.of_int ((seed * 11) + k)) in
+      let coeffs =
+        Array.init k (fun _ ->
+            match Rng.int rng 4 with
+            | 0 -> 0
+            | 1 -> 1
+            | _ -> Rng.int rng 256)
+      in
+      let srcs = Array.init k (fun _ -> Rng.bytes rng n) in
+      let dst = Rng.bytes rng n in
+      Gf256.mul_row ~coeffs srcs dst;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expect = ref 0 in
+        for j = 0 to k - 1 do
+          expect :=
+            !expect lxor Gf256.mul coeffs.(j) (Char.code (Bytes.get srcs.(j) i))
+        done;
+        if Char.code (Bytes.get dst i) <> !expect then ok := false
+      done;
+      !ok)
+
 let test_mul_slice_matches_scalar () =
   let rng = Rng.create 4L in
   let src = Rng.bytes rng 64 in
@@ -359,6 +574,35 @@ let prop_rs_roundtrip =
       | Ok out ->
           Array.for_all2 (fun a b -> Bytes.equal a b) out data)
 
+let prop_cross_field_reconstruct =
+  (* For geometries valid in both fields, GF(2^8) and GF(2^16) codecs
+     must both rebuild the original data after every data shard is
+     dropped and only parity survives — a differential check that the
+     split-table gf16 kernels agree with the byte-table gf8 ones at the
+     codec level, not just per slice. *)
+  QCheck.Test.make ~name:"gf8 and gf16 both rebuild from parity alone" ~count:25
+    QCheck.(pair (int_range 1 8) small_int)
+    (fun (d, seed) ->
+      let p = d in
+      let rng = Rng.create (Int64.of_int ((seed * 17) + d)) in
+      let data = random_shards rng ~n:d ~size:32 in
+      let parity_slots parity =
+        Array.append (Array.make d None) (Array.map Option.some parity)
+      in
+      let ok8 =
+        let rs = Rs8.create ~data:d ~parity:p in
+        match Rs8.reconstruct rs (parity_slots (Rs8.encode rs data)) with
+        | Error _ -> false
+        | Ok out -> Array.for_all2 Bytes.equal out data
+      in
+      let ok16 =
+        let rs = Rs16.create ~data:d ~parity:p in
+        match Rs16.reconstruct rs (parity_slots (Rs16.encode rs data)) with
+        | Error _ -> false
+        | Ok out -> Array.for_all2 Bytes.equal out data
+      in
+      ok8 && ok16)
+
 (* ------------------------------------------------------------------ *)
 (* Erasure (entry-level codec)                                         *)
 (* ------------------------------------------------------------------ *)
@@ -476,8 +720,18 @@ let () =
           Alcotest.test_case "division by zero" `Quick test_gf_zero_division;
           Alcotest.test_case "generator order" `Quick test_gf256_generator_order;
           Alcotest.test_case "log/exp inverse" `Quick test_gf_log_exp_inverse;
+          Alcotest.test_case "exp of negative exponents" `Quick test_exp_negative_exponents;
+          Alcotest.test_case "out-of-field coefficients rejected" `Quick test_slice_coefficient_validation;
+          Alcotest.test_case "c=0 / c=1 fast paths" `Quick test_slice_fast_paths;
+          Alcotest.test_case "odd gf16 lengths rejected" `Quick test_gf16_odd_length_rejected;
+          Alcotest.test_case "aliased src=dst slices" `Quick test_mul_slice_aliasing;
           Alcotest.test_case "mul_slice scalar-equivalence" `Quick test_mul_slice_matches_scalar;
           Alcotest.test_case "gf16 mul_slice_set" `Quick test_mul_slice_set_gf16_matches_scalar;
+          qt prop_gf16_mul_slice_matches_scalar;
+          qt prop_gf16_mul_slice_set_matches_scalar;
+          qt prop_gf8_mul_slice_matches_scalar;
+          qt prop_gf16_mul_row_matches_scalar;
+          qt prop_gf8_mul_row_matches_scalar;
         ] );
       ( "matrix",
         [
@@ -497,6 +751,7 @@ let () =
           Alcotest.test_case "corruption yields wrong data" `Quick test_rs_corrupt_shard_gives_wrong_result;
           Alcotest.test_case "gf16 at 400 shards" `Slow test_rs_gf16_large_shard_count;
           qt prop_rs_roundtrip;
+          qt prop_cross_field_reconstruct;
         ] );
       ( "erasure",
         [
