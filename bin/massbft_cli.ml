@@ -16,6 +16,7 @@ module Saturation = Massbft_obs.Saturation
 module Fault_spec = Massbft_faults.Fault_spec
 module Chaos = Massbft_faults.Chaos
 module Adv_spec = Massbft_adversary.Adv_spec
+module Reconfig_spec = Massbft_reconfig.Reconfig_spec
 module Evidence = Massbft_adversary.Evidence
 module Topology = Massbft_sim.Topology
 module Prof = Massbft_prof.Prof
@@ -24,12 +25,21 @@ module Bench_check = Massbft_harness.Bench_check
 module Bench_report = Massbft_harness.Bench_report
 
 (* Schedule/plan files come from users and CI artifacts: every way they
-   can be wrong must end in a one-line diagnostic, not a backtrace. *)
+   can be wrong must end in a one-line diagnostic naming the file and
+   the first bad token — not a backtrace — and exit 2 (distinct from a
+   run failure's exit 1). *)
+let usage_error = 2
+
+let die_parse ~what ~file msg =
+  prerr_endline (Printf.sprintf "massbft: %s: bad %s: %s" file what msg);
+  exit usage_error
+
 let read_file_or_die ~what file =
   match open_in file with
   | exception Sys_error e ->
-      prerr_endline (Printf.sprintf "massbft: cannot read %s: %s" what e);
-      exit 1
+      prerr_endline
+        (Printf.sprintf "massbft: cannot read %s %s: %s" what file e);
+      exit usage_error
   | ic ->
       let len = in_channel_length ic in
       let text = really_input_string ic len in
@@ -37,32 +47,38 @@ let read_file_or_die ~what file =
       text
 
 let parse_faults_or_die ~(spec : Topology.spec) file =
-  let text = read_file_or_die ~what:"fault schedule" file in
+  let what = "fault schedule" in
+  let text = read_file_or_die ~what file in
   match Fault_spec.of_string text with
-  | exception Fault_spec.Parse_error msg ->
-      prerr_endline ("massbft: bad fault schedule: " ^ msg);
-      exit 1
+  | exception Fault_spec.Parse_error msg -> die_parse ~what ~file msg
   | schedule -> (
       match
         Fault_spec.validate ~group_sizes:spec.Topology.group_sizes schedule
       with
       | Ok () -> schedule
-      | Error msg ->
-          prerr_endline ("massbft: bad fault schedule: " ^ msg);
-          exit 1)
+      | Error msg -> die_parse ~what ~file msg)
 
 let parse_adversary_or_die ~(spec : Topology.spec) file =
-  let text = read_file_or_die ~what:"adversary plan" file in
+  let what = "adversary plan" in
+  let text = read_file_or_die ~what file in
   match Adv_spec.of_string text with
-  | exception Adv_spec.Parse_error msg ->
-      prerr_endline ("massbft: bad adversary plan: " ^ msg);
-      exit 1
+  | exception Adv_spec.Parse_error msg -> die_parse ~what ~file msg
   | plan -> (
       match Adv_spec.validate ~group_sizes:spec.Topology.group_sizes plan with
       | Ok () -> plan
-      | Error msg ->
-          prerr_endline ("massbft: bad adversary plan: " ^ msg);
-          exit 1)
+      | Error msg -> die_parse ~what ~file msg)
+
+let parse_reconfig_or_die ~(spec : Topology.spec) file =
+  let what = "reconfiguration plan" in
+  let text = read_file_or_die ~what file in
+  match Reconfig_spec.of_string text with
+  | exception Reconfig_spec.Parse_error msg -> die_parse ~what ~file msg
+  | plan -> (
+      match
+        Reconfig_spec.validate ~group_sizes:spec.Topology.group_sizes plan
+      with
+      | Ok () -> plan
+      | Error msg -> die_parse ~what ~file msg)
 
 let system_conv =
   let parse s =
@@ -74,7 +90,15 @@ let system_conv =
     | "iss" -> Ok Config.Iss
     | "br" -> Ok Config.Br
     | "ebr" -> Ok Config.Ebr
-    | other -> Error (`Msg (Printf.sprintf "unknown system %S" other))
+    | other ->
+        (* One line, exit 2 — same contract as a malformed plan file, and
+           terser than cmdliner's usage dump for the common typo. *)
+        prerr_endline
+          (Printf.sprintf
+             "massbft: unknown system %S (known: massbft, baseline, geobft, \
+              steward, iss, br, ebr)"
+             other);
+        exit usage_error
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Config.system_name s))
 
@@ -175,6 +199,15 @@ let run_cmd =
                  per line, see DESIGN.md \"Adversary model\"; absolute \
                  simulated seconds, like --faults).")
   in
+  let reconfig_file =
+    Arg.(value & opt (some string) None & info [ "reconfig" ] ~docv:"FILE"
+           ~doc:"Execute the live-membership reconfiguration plan in $(docv) \
+                 (one \"@TIME COMMAND\" per line, see DESIGN.md \
+                 \"Reconfiguration\"; absolute simulated seconds, like \
+                 --faults). Joining slots and groups are provisioned before \
+                 the cluster starts and activated at epoch boundaries after \
+                 state transfer. Requires --domains 1.")
+  in
   let prof_file =
     Arg.(value & opt (some string) None & info [ "prof" ] ~docv:"FILE"
            ~doc:"Also self-profile the simulator's host-side execution \
@@ -186,12 +219,13 @@ let run_cmd =
   in
   let action system workload nodes groups worldwide duration warmup scale seed
       domains latency_probe trace_file metrics_file faults_file adversary_file
-      prof_file =
+      reconfig_file prof_file =
     let cfg, spec =
       experiment_setup ~system ~workload ~nodes ~groups ~worldwide ~scale ~seed
     in
     let faults = Option.map (parse_faults_or_die ~spec) faults_file in
     let adversary = Option.map (parse_adversary_or_die ~spec) adversary_file in
+    let reconfig = Option.map (parse_reconfig_or_die ~spec) reconfig_file in
     let sink = Option.map (fun _ -> Trace.create ()) trace_file in
     let prof = Option.map (fun _ -> Prof.create ()) prof_file in
     let obs =
@@ -200,10 +234,10 @@ let run_cmd =
     let r =
       if latency_probe then
         Runner.run_latency_probe ~duration ~warmup ?trace:sink ?obs ?prof
-          ?faults ?adversary ~domains ~spec ~cfg ()
+          ?faults ?adversary ?reconfig ~domains ~spec ~cfg ()
       else
         Runner.run ~duration ~warmup ?trace:sink ?obs ?prof ?faults ?adversary
-          ~domains ~spec ~cfg ()
+          ?reconfig ~domains ~spec ~cfg ()
     in
     Format.printf "%a@." Runner.pp_result r;
     List.iter
@@ -251,7 +285,7 @@ let run_cmd =
       const action $ system_arg $ workload_arg $ nodes_arg $ groups_arg
       $ worldwide_arg $ duration $ warmup_arg $ scale_arg $ seed_arg
       $ domains_arg $ latency_probe $ trace_file $ metrics_file $ faults_file
-      $ adversary_file $ prof_file)
+      $ adversary_file $ reconfig_file $ prof_file)
 
 (* ---- trace ---- *)
 
@@ -440,6 +474,41 @@ let drill_cmd =
                  provably-equivocating node by a verified \
                  conflicting-signed-message evidence pair.")
   in
+  let kinds_conv =
+    let parse s =
+      let names =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      if names = [] then Error (`Msg "empty reconfiguration kind list")
+      else
+        match
+          List.find_opt
+            (fun n -> not (List.mem n Chaos.reconfig_kinds))
+            names
+        with
+        | Some bad ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown reconfiguration kind %S (known: %s)"
+                    bad
+                    (String.concat ", " Chaos.reconfig_kinds)))
+        | None -> Ok names
+    in
+    Arg.conv
+      (parse, fun fmt l -> Format.pp_print_string fmt (String.concat "," l))
+  in
+  let reconfigs =
+    Arg.(value & opt (some kinds_conv) None & info [ "reconfig" ]
+           ~docv:"KIND[,KIND...]"
+           ~doc:"Drill live membership reconfiguration: each kind becomes a \
+                 campaign axis point whose generated membership-change \
+                 scenario (plus paired chaos — joins race a mid-transfer \
+                 crash of the joining hardware) runs per system and seed. \
+                 Composes with --adversary to drill Byzantine behaviour \
+                 during a membership change. The plan is the scenario's \
+                 identity and is never shrunk.")
+  in
   let all_systems =
     Arg.(value & flag & info [ "all-systems" ]
            ~doc:"Drill every system, not just --system.")
@@ -474,7 +543,8 @@ let drill_cmd =
                  appear as 'fault'-category spans.")
   in
   let action system all_systems nodes groups worldwide scale seed seeds
-      adversaries duration quick no_shrink artifacts trace_file domains =
+      adversaries reconfigs duration quick no_shrink artifacts trace_file
+      domains =
     let duration = if quick then 8.0 else duration in
     let cfg =
       { (Config.default ~system ()) with Config.workload_scale = scale }
@@ -493,9 +563,10 @@ let drill_cmd =
          || not (Chaos.accountable r.Chaos.outcome))
     in
     let artifact_stem (r : Chaos.drill_result) =
-      Printf.sprintf "fail-%s%s-seed%Ld"
+      Printf.sprintf "fail-%s%s%s-seed%Ld"
         (String.lowercase_ascii (Config.system_name r.Chaos.system))
         (match r.Chaos.strategy with None -> "" | Some s -> "-" ^ s)
+        (match r.Chaos.reconfig_kind with None -> "" | Some k -> "-" ^ k)
         r.Chaos.seed
     in
     let save_artifact (r : Chaos.drill_result) =
@@ -507,7 +578,8 @@ let drill_cmd =
           let file = Filename.concat dir (artifact_stem r ^ ".faults") in
           let oc = open_out file in
           Printf.fprintf oc "# %s\n# %s\n%s"
-            (Chaos.repro_line ?adversary:r.Chaos.strategy ~seed:r.Chaos.seed
+            (Chaos.repro_line ?adversary:r.Chaos.strategy
+               ?reconfig:r.Chaos.reconfig_kind ~domains ~seed:r.Chaos.seed
                ~system:r.Chaos.system ())
             (String.concat "; "
                (List.map Massbft_faults.Invariants.violation_to_string
@@ -542,6 +614,16 @@ let drill_cmd =
              | None -> ());
              close_out oc;
              Format.printf "artifact: wrote %s@." afile
+           end);
+          (* The membership plan reproduces through `run --reconfig`, so
+             it also ships as its own loadable file. *)
+          (if r.Chaos.outcome.Chaos.reconfig <> [] then begin
+             let rfile = Filename.concat dir (artifact_stem r ^ ".reconfig") in
+             let oc = open_out rfile in
+             output_string oc
+               (Reconfig_spec.to_string r.Chaos.outcome.Chaos.reconfig);
+             close_out oc;
+             Format.printf "artifact: wrote %s@." rfile
            end);
           match r.Chaos.outcome.Chaos.evidence with
           | [] -> ()
@@ -586,6 +668,13 @@ let drill_cmd =
                 p
           | None -> ()
         end;
+        if r.Chaos.outcome.Chaos.reconfig <> [] then begin
+          Format.printf "  reconfiguration:@.";
+          List.iter
+            (fun e ->
+              Format.printf "    %s@." (Reconfig_spec.event_to_string e))
+            r.Chaos.outcome.Chaos.reconfig
+        end;
         Format.printf "  schedule:@.";
         List.iter
           (fun e -> Format.printf "    %s@." (Fault_spec.event_to_string e))
@@ -598,7 +687,8 @@ let drill_cmd =
               s
         | None -> ());
         Format.printf "  repro: %s@."
-          (Chaos.repro_line ?adversary:r.Chaos.strategy ~seed:r.Chaos.seed
+          (Chaos.repro_line ?adversary:r.Chaos.strategy
+             ?reconfig:r.Chaos.reconfig_kind ~domains ~seed:r.Chaos.seed
              ~system:r.Chaos.system ());
         save_artifact r
       end
@@ -613,6 +703,7 @@ let drill_cmd =
           let c =
             Chaos.campaign ~duration ~shrink_failures:(not no_shrink) ~systems
               ~adversaries:(Option.value ~default:[] adversaries)
+              ~reconfigs:(Option.value ~default:[] reconfigs)
               ~on_run:report ~domains ~spec ~cfg ~seeds ()
           in
           let hard = List.filter bad c.Chaos.results in
@@ -632,20 +723,29 @@ let drill_cmd =
             | None -> [ None ]
             | Some l -> List.map Option.some l
           in
+          let rec_axis =
+            match reconfigs with
+            | None -> [ None ]
+            | Some l -> List.map Option.some l
+          in
           let sink = Option.map (fun _ -> Trace.create ()) trace_file in
           let results =
             List.concat_map
               (fun system ->
-                List.map
+                List.concat_map
                   (fun adversary ->
-                    let r =
-                      Chaos.drill ~duration ~shrink_failures:(not no_shrink)
-                        ?trace:sink ?adversary ~domains ~spec
-                        ~cfg:{ cfg with Config.system }
-                        ~seed:(Int64.of_int seed) ()
-                    in
-                    report r;
-                    r)
+                    List.map
+                      (fun reconfig ->
+                        let r =
+                          Chaos.drill ~duration
+                            ~shrink_failures:(not no_shrink) ?trace:sink
+                            ?adversary ?reconfig ~domains ~spec
+                            ~cfg:{ cfg with Config.system }
+                            ~seed:(Int64.of_int seed) ()
+                        in
+                        report r;
+                        r)
+                      rec_axis)
                   axis)
               systems
           in
@@ -663,14 +763,15 @@ let drill_cmd =
     (Cmd.info "drill"
        ~doc:
          "Chaos drill: generate a seeded random fault schedule (or, with \
-          --adversary, a Byzantine strategy plan), inject it, and check \
+          --adversary, a Byzantine strategy plan; with --reconfig, a live \
+          membership-change scenario under chaos), inject it, and check \
           safety and liveness invariants; failing schedules and plans are \
           shrunk to minimal reproducers. Exits nonzero on any violation a \
           verified evidence pair cannot account for.")
     Term.(
       const action $ system_arg $ all_systems $ nodes_arg $ groups_arg
-      $ worldwide_arg $ scale $ seed $ seeds $ adversaries $ duration $ quick
-      $ no_shrink $ artifacts $ trace_file $ domains_arg)
+      $ worldwide_arg $ scale $ seed $ seeds $ adversaries $ reconfigs
+      $ duration $ quick $ no_shrink $ artifacts $ trace_file $ domains_arg)
 
 (* ---- prof ---- *)
 

@@ -37,8 +37,12 @@ type vc_state = {
 type t = {
   cfg : config;
   cb : callbacks;
-  f : int;
-  quorum : int;
+  mutable n : int;
+      (* current group size; diverges from [cfg.n] only across a live
+         membership reconfiguration (all replicas resize at the same
+         epoch boundary, so quorum math stays consistent group-wide) *)
+  mutable f : int;
+  mutable quorum : int;
   mutable cur_view : int;
   mutable in_view_change : bool;
   slots : (int, slot) Hashtbl.t;
@@ -50,13 +54,14 @@ type t = {
 
 let leader_of_view ~n ~view = view mod n
 
-let create cfg cb =
+let create (cfg : config) cb =
   if cfg.n < 1 then invalid_arg "Pbft.create: empty group";
   if cfg.me < 0 || cfg.me >= cfg.n then invalid_arg "Pbft.create: bad replica id";
   let f = Massbft_util.Intmath.pbft_f cfg.n in
   {
     cfg;
     cb;
+    n = cfg.n;
     f;
     quorum = (2 * f) + 1;
     cur_view = 0;
@@ -73,7 +78,7 @@ let set_trace t tr ~gid =
   t.tr_gid <- gid
 
 let view t = t.cur_view
-let is_leader t = leader_of_view ~n:t.cfg.n ~view:t.cur_view = t.cfg.me
+let is_leader t = leader_of_view ~n:t.n ~view:t.cur_view = t.cfg.me
 
 let decided t seq =
   match Hashtbl.find_opt t.slots seq with
@@ -109,7 +114,7 @@ let slot t seq =
       s
 
 let broadcast t msg =
-  for i = 0 to t.cfg.n - 1 do
+  for i = 0 to t.n - 1 do
     if i <> t.cfg.me then t.cb.send i msg
   done
 
@@ -160,7 +165,7 @@ let accept_pre_prepare t ~seq ~digest =
         s.accepted <- Some digest;
         (* The leader's pre-prepare doubles as its prepare vote. *)
         s.prepares <-
-          add_vote s.prepares digest (leader_of_view ~n:t.cfg.n ~view:t.cur_view);
+          add_vote s.prepares digest (leader_of_view ~n:t.n ~view:t.cur_view);
         if (not t.cfg.skip_prepare) && not (is_leader t) then begin
           s.prepares <- add_vote s.prepares digest t.cfg.me;
           broadcast t (Prepare { view = t.cur_view; seq; digest })
@@ -224,7 +229,7 @@ let maybe_complete_view_change t nv =
   let st = vc_state t nv in
   if
     ISet.cardinal st.vc_voters >= t.quorum
-    && leader_of_view ~n:t.cfg.n ~view:nv = t.cfg.me
+    && leader_of_view ~n:t.n ~view:nv = t.cfg.me
     && t.cur_view < nv
   then begin
     let reproposals =
@@ -261,15 +266,38 @@ let proposed t ~seq = ISet.mem seq t.proposed
    slots keep their digests. *)
 let rejoin t ~view = if view > t.cur_view then enter_view t view
 
+(* Live membership reconfiguration: adopt the group's new active size.
+   Every replica resizes at the same epoch boundary (the totally ordered
+   position of the config entry), so quorum counting never mixes sizes.
+   A retired replica ([me >= n]) simply stops being addressed. *)
+let resize t ~n =
+  if n < 1 then invalid_arg "Pbft.resize: empty group";
+  t.n <- n;
+  t.f <- Massbft_util.Intmath.pbft_f n;
+  t.quorum <- (2 * t.f) + 1
+
+let size t = t.n
+
+(* State transfer: record a decided slot verbatim on a joining replica,
+   without re-running consensus or firing [decide] — the embedder has
+   already applied the transferred prefix. First decision wins, as
+   everywhere else. *)
+let install_decided t ~seq ~digest =
+  let s = slot t seq in
+  if s.decided_digest = None then begin
+    s.accepted <- Some digest;
+    s.decided_digest <- Some digest
+  end
+
 let handle t ~from msg =
-  if from < 0 || from >= t.cfg.n || from = t.cfg.me then ()
+  if from < 0 || from >= t.n || from = t.cfg.me then ()
   else
     match msg with
     | Pre_prepare { view; seq; digest } ->
         if
           view = t.cur_view
           && (not t.in_view_change)
-          && from = leader_of_view ~n:t.cfg.n ~view
+          && from = leader_of_view ~n:t.n ~view
         then accept_pre_prepare t ~seq ~digest
     | Prepare { view; seq; digest } ->
         if view = t.cur_view && not t.in_view_change then begin
@@ -298,7 +326,7 @@ let handle t ~from msg =
           maybe_complete_view_change t new_view
         end
     | New_view { view; reproposals } ->
-        if view > t.cur_view && from = leader_of_view ~n:t.cfg.n ~view then begin
+        if view > t.cur_view && from = leader_of_view ~n:t.n ~view then begin
           enter_view t view;
           List.iter
             (fun (seq, d) -> accept_pre_prepare t ~seq ~digest:d)

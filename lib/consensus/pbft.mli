@@ -98,3 +98,17 @@ val rejoin : t -> view:int -> unit
 (** Post-recovery state transfer: adopt [view] if it is ahead of ours,
     so a replica that was down while its group changed views can vote
     again. Decided slots are kept; stale vote sets are voided. *)
+
+val resize : t -> n:int -> unit
+(** Live membership reconfiguration: adopt the group's new active size
+    (quorum math follows). Every replica must resize at the same epoch
+    boundary; note [leader_of_view] depends on [n], so the embedder
+    re-aligns views across a resize (see Engine). *)
+
+val size : t -> int
+(** The current group size ([n] after any {!resize}). *)
+
+val install_decided : t -> seq:int -> digest:string -> unit
+(** State transfer onto a joining replica: record [digest] as decided at
+    [seq] without re-running consensus or firing [decide]. First
+    decision wins. *)

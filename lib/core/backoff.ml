@@ -1,0 +1,31 @@
+(* Capped exponential backoff with deterministic jitter for retry
+   paths (the replication fetch lane, reconfiguration state transfer).
+
+   The jitter draw hashes (seed, salt, attempt) through a splitmix64
+   finalizer instead of consuming a shared RNG stream: retry lanes on
+   different shards cannot perturb each other's draws, and a rerun with
+   the same seed reproduces every delay bit-exactly — which is what lets
+   chaos drills that exercise retries shrink and replay. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+(* Delay before retry [attempt] (1-based): [base * 2^(attempt-1)] capped
+   at [cap], stretched by a jitter factor in [1, 1.5) so concurrent
+   retriers that failed together don't retry in lockstep. *)
+let delay ~seed ~salt ~attempt ~base ~cap =
+  let a = max 1 attempt in
+  let exp = base *. Float.of_int (1 lsl min 16 (a - 1)) in
+  let d = Float.min cap exp in
+  let h =
+    mix64
+      Int64.(
+        add
+          (mul (add seed 1L) 0x9e3779b97f4a7c15L)
+          (of_int ((salt * 0x01000193) lxor (a * 0x85ebca6b))))
+  in
+  let u = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53 in
+  d *. (1.0 +. (0.5 *. u))

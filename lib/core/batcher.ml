@@ -19,15 +19,28 @@ let form_batch t (l : leader) =
       | [] -> (List.rev acc, [])
       | x :: rest -> take (x :: acc) (n - 1) rest
   in
-  (* Conflicted transactions re-enter through Aria's deterministic
-     fallback lane: they execute serially next time and always commit,
-     bounding retries to one round. *)
-  let retried, rest = take [] t.cfg.Config.max_batch l.l_retry in
-  l.l_retry <- rest;
-  let fresh =
-    List.init
-      (t.cfg.Config.max_batch - List.length retried)
-      (fun _ -> W.next l.l_gen)
+  (* A pending reconfiguration command takes the batch slot alone: the
+     epoch-boundary entry carries zero transactions so its position in
+     the total order is the clean config cut. Otherwise, conflicted
+     transactions re-enter through Aria's deterministic fallback lane:
+     they execute serially next time and always commit, bounding
+     retries to one round. *)
+  let conf =
+    if Queue.is_empty l.l_pending_conf then None
+    else Some (Queue.pop l.l_pending_conf)
+  in
+  let retried, fresh =
+    match conf with
+    | Some _ -> ([], [])
+    | None ->
+        let retried, rest = take [] t.cfg.Config.max_batch l.l_retry in
+        l.l_retry <- rest;
+        let fresh =
+          List.init
+            (t.cfg.Config.max_batch - List.length retried)
+            (fun _ -> W.next l.l_gen)
+        in
+        (retried, fresh)
   in
   let eid = { Types.gid = l.l_gid; seq } in
   let digest = Sha256.digest ("entry:" ^ Types.entry_id_to_string eid) in
@@ -40,6 +53,7 @@ let form_batch t (l : leader) =
       eid;
       digest;
       size;
+      conf;
       txns = fresh;
       fb_txns = retried;
       txn_count = List.length fresh + List.length retried;
@@ -77,6 +91,7 @@ let form_batch t (l : leader) =
 let try_batch t (l : leader) =
   if
     t.started
+    && member_now t l.l_gid
     && alive t l.l_addr
     && l.l_batch_pending
     && l.l_in_flight < t.cfg.Config.pipeline

@@ -143,6 +143,9 @@ let create sim topo cfg =
           l_fetching = Entry_tbl.create 16;
           l_fetch_q = Queue.create ();
           l_fetch_out = 0;
+          l_pending_conf = Queue.create ();
+          l_deferred = Queue.create ();
+          l_skip_commits_below = Array.make (max n_inst 1) 0;
           l_stuck = Hashtbl.create 8;
           l_vc_target = 0;
           l_stall_seq = 0;
@@ -171,6 +174,14 @@ let create sim topo cfg =
       node_watch = Atomic.make false;
       adv_hook = None;
       trace = Trace.null;
+      active_n = Array.init ng (Topology.group_size topo);
+      g_member = Array.make ng true;
+      member_from = Array.make ng 0;
+      member_until = Array.make ng max_int;
+      reconfig_on = false;
+      reconfig_apply = None;
+      reconfig_round = None;
+      fetch_retries = 0;
     }
   in
   Local_consensus.install t;
@@ -327,9 +338,16 @@ let migrate_leader t (l : leader) (na : Topology.addr) =
    (repeated ticks walk the target past dead view leaders). *)
 let check_group_leadership t (l : leader) =
   let g = l.l_gid in
-  let n = Topology.group_size t.topo g in
-  let live = List.filter (alive t) (Topology.group_nodes t.topo g) in
-  if List.length live >= Intmath.pbft_quorum n then begin
+  (* Quorum and view math run over the *active* slots — identical to the
+     physical group whenever no reconfiguration plan is armed. *)
+  let n = active_size t g in
+  let live =
+    if n < 1 then []
+    else List.filter (alive t) (List.init n (fun i -> { Topology.g; n = i }))
+  in
+  (* [n < 1]: a dark (pre-admission) or expelled group under an armed
+     reconfiguration plan — nothing to lead. *)
+  if n >= 1 && List.length live >= Intmath.pbft_quorum n then begin
     let live_leader =
       List.find_opt
         (fun a ->
@@ -481,6 +499,25 @@ let recover_node t (a : Topology.addr) =
       in
       Pbft.rejoin p ~view:maxv);
   arm_node_watchdogs t
+
+(* ------------------------------------------------------------------ *)
+(* Reconfiguration seam                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The reconfiguration controller (massbft_reconfig) spans every stage:
+   it provisions topology slots, drives state transfer over the fetch
+   lane, and applies membership flips at epoch boundaries. It gets the
+   full shared context rather than a bespoke accessor per field. *)
+let ctx (t : t) : Node_ctx.t = t
+
+(* Enqueue a reconfiguration command at the coordinator (group 0). The
+   batcher forms it into a zero-txn epoch-boundary entry that rides the
+   ordinary pipeline, so its position in the total execution order — the
+   epoch cut — is agreed by global consensus like any batch. *)
+let submit_conf t cmd =
+  let l = t.leaders.(0) in
+  Queue.push cmd l.l_pending_conf;
+  Batcher.try_batch t l
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

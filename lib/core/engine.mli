@@ -155,3 +155,22 @@ val entry_digest : t -> Types.entry_id -> string option
 
 val proposed_seqs : t -> gid:int -> int
 (** Highest local sequence number the group has formed a batch for. *)
+
+(** {1 Reconfiguration seam (massbft_reconfig)} *)
+
+val ctx : t -> Node_ctx.t
+(** The full shared context. The reconfiguration controller spans every
+    stage (topology provisioning, state transfer over the fetch lane,
+    epoch-boundary membership flips), so it operates on the context
+    directly instead of through per-field accessors. *)
+
+val submit_conf : t -> string -> unit
+(** Enqueue a reconfiguration command (the DSL's one-line text form) at
+    the coordinator group. It is formed into a zero-txn epoch-boundary
+    entry and ordered through global consensus like any batch; the
+    controller's apply hook fires when leaders execute it. *)
+
+val migrate_leader : t -> Node_ctx.leader -> Massbft_sim.Topology.addr -> unit
+(** Hand the group's acting-leader role to [addr] (the move-leader
+    reconfiguration command; also driven internally after view
+    changes). *)

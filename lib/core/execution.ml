@@ -130,7 +130,10 @@ let do_execute t (l : leader) e =
      closures, memoized outcome and effects) is dead weight; keep the
      metadata. *)
   Atomic.incr e.exec_count;
-  if Atomic.get e.exec_count >= t.ng then begin
+  (* Pruning is disabled under a reconfiguration plan: a dark group's
+     leader executes the backlog only after its cutover, and a joiner's
+     replay must still find the content. *)
+  if (not t.reconfig_on) && Atomic.get e.exec_count >= t.ng then begin
     e.txns <- [];
     e.fb_txns <- [];
     Atomic.set e.outcome None
@@ -142,6 +145,13 @@ let do_execute t (l : leader) e =
     l.l_retry <- l.l_retry @ outcome.Aria.conflicted;
     if measuring t e.created_at then record_metrics t e outcome
   end;
+  (* Epoch boundary: executing a config entry is the agreed cut — the
+     ledger block just appended is the on-chain record of the change,
+     and the controller applies this group's side of the flip now. *)
+  (match e.conf with
+  | Some _ -> (
+      match t.reconfig_apply with Some hook -> hook t l e | None -> ())
+  | None -> ());
   Batcher.try_batch t l
 
 let rec pump t (l : leader) =
@@ -179,13 +189,20 @@ let rec pump t (l : leader) =
   end
 
 let enqueue t (l : leader) eid =
+  (* A leader whose group is not (yet) a member buffers instead of
+     executing: a joining group replays the donor's prefix by state
+     transfer, then drains this buffer at its cutover so nothing
+     commits twice and nothing is lost. *)
+  if t.reconfig_on && not (member_now t l.l_gid) then Queue.push eid l.l_deferred
+  else begin
   (match with_registry t (fun () -> Entry_tbl.find_opt t.entries eid) with
   | Some e when eid.Types.gid = l.l_gid && e.ordered_at = 0.0 ->
       e.ordered_at <- now t;
       trace_entry t eid "ordered" ~node:0
   | _ -> ());
-  Queue.push eid l.l_exec_q;
-  pump t l
+    Queue.push eid l.l_exec_q;
+    pump t l
+  end
 
 let observe (t : Node_ctx.t) sampler =
   Array.iter

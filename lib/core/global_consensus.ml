@@ -18,7 +18,7 @@ open Node_ctx
 let raft_msg_bytes t rmsg =
   match rmsg with
   | Raft.Append { entry = Entry_meta _; _ } ->
-      Types.raft_meta_bytes ~n:(Topology.group_size t.topo 0)
+      Types.raft_meta_bytes ~n:(active_size t 0)
   | Raft.Append { entry = Ts _; _ } | Raft.Append { entry = Noop; _ }
   | Raft.Replace _ ->
       Types.vote_bytes
@@ -58,8 +58,7 @@ let ack_guard t (l : leader) inst ~index payload release =
           (* Verify the sender group's certificate, then reach local
              consensus on the accept decision (skip-prepare PBFT). *)
           let cert_cost =
-            float_of_int
-              (Intmath.pbft_quorum (Topology.group_size t.topo eid.Types.gid))
+            float_of_int (Intmath.pbft_quorum (active_size t eid.Types.gid))
             *. t.cfg.Config.cost.Config.sig_verify_s
           in
           charge_cpu t l.l_addr cert_cost (fun () ->
@@ -75,7 +74,7 @@ let ack_guard t (l : leader) inst ~index payload release =
                        rounds instead. *)
                     if t.strat.ord.o_vts then
                       for j = 0 to t.ng - 1 do
-                        if j <> l.l_gid then
+                        if j <> l.l_gid && member_now t j then
                           send t ~src:l.l_addr ~dst:(leader_addr t j)
                             ~bytes:Types.vote_bytes (Accept_note { eid })
                       done)))
@@ -182,7 +181,16 @@ let steward_propose t (l : leader) e =
 (* ------------------------------------------------------------------ *)
 
 let handle_raft_m t ~(src : Topology.addr) ~(dst : Topology.addr) ~inst rmsg =
-  if is_acting_leader t dst then begin
+  (* A leader outside the current membership (a joining group still in
+     state transfer, a removed group draining away) must not feed its
+     Raft logs: commits its instances processed before the cutover clone
+     would be consumed exactly once and then wiped with the cloned
+     state, silently losing them. After the epoch flip the anti-entropy
+     probes backfill everything, gated by [l_skip_commits_below]. *)
+  if
+    is_acting_leader t dst
+    && ((not t.reconfig_on) || member_now t dst.Topology.g)
+  then begin
     let l = t.leaders.(dst.Topology.g) in
     if inst < Array.length l.l_last_heard then
       l.l_last_heard.(inst) <- now t;
@@ -247,6 +255,29 @@ let direct_broadcast =
     g_start =
       (fun t l e ->
         Replication.send_oneway_copies t l e ~skip:[];
+        (* Under a reconfiguration some groups are dark: they receive no
+           copy, yet the commit threshold stays [ng - 1] notes. Credit
+           the missing notes up front so the exactly-once equality in
+           [handle_recv_note] still fires — the counter walks through
+           every value by +1 increments, so pre-crediting never skips
+           the threshold. Reconfig-free runs never enter this branch. *)
+        (if t.reconfig_on then begin
+           let missing = ref 0 in
+           for j = 0 to t.ng - 1 do
+             if j <> l.l_gid && not (member_now t j) then incr missing
+           done;
+           if !missing > 0 then begin
+             let notes =
+               match Entry_tbl.find_opt l.l_recv_notes e.eid with
+               | Some r -> r
+               | None ->
+                   let r = ref 0 in
+                   Entry_tbl.replace l.l_recv_notes e.eid r;
+                   r
+             in
+             notes := !notes + !missing
+           end
+         end);
         (* No global consensus: the entry is ready for ordering here. *)
         Ordering.mark_round_ready t l e.eid;
         if e.committed_at = 0.0 then begin
@@ -304,7 +335,14 @@ let install t ~n_inst =
                       ~bytes:(raft_msg_bytes t rmsg)
                       (Raft_m { inst; rmsg }));
                 on_deliver = (fun ~index:_ p -> on_raft_deliver t l inst p);
-                on_commit = (fun ~index:_ p -> on_raft_commit t l inst p);
+                on_commit =
+                  (fun ~index p ->
+                    (* Indices at or below the skip mark are history this
+                       leader already received via reconfiguration state
+                       transfer: the raft backfill replays them, but they
+                       must not re-execute. *)
+                    if index > l.l_skip_commits_below.(inst) then
+                      on_raft_commit t l inst p);
                 on_role = (fun role ~term:_ -> on_raft_role t l inst role);
                 ack_guard = (fun ~index p k -> ack_guard t l inst ~index p k);
               });
@@ -330,7 +368,15 @@ let start_heartbeats t =
         let rec tick () =
           ignore
             (Sim.after lsim period (fun () ->
-                 if alive t l.l_addr then begin
+                 (* A dark leader (provisioned but not yet a member, or
+                    already recovered for its catch-up transfer) neither
+                    probes nor campaigns: a stale-log election would only
+                    inflate terms and depose working leaders. Its
+                    [l_last_heard] is refreshed at the cutover clone. *)
+                 if
+                   alive t l.l_addr
+                   && ((not t.reconfig_on) || member_now t l.l_gid)
+                 then begin
                    Array.iteri
                      (fun inst raft ->
                        if Raft.role raft = Raft.Leader then begin

@@ -60,7 +60,7 @@ let handle t (node : node) ~(src : Topology.addr) pm =
    this from its content-gated ack guards. *)
 
 let accept_round t (l : leader) ~tag k =
-  let quorum = Intmath.pbft_quorum (Topology.group_size t.topo l.l_gid) in
+  let quorum = Intmath.pbft_quorum (active_size t l.l_gid) in
   if quorum <= 1 then k ()
   else begin
     Hashtbl.replace l.l_accept_pending tag k;
@@ -82,9 +82,7 @@ let handle_accept_vote t ~(src : Topology.addr) ~(dst : Topology.addr) tag =
     | None -> ()
     | Some votes ->
         votes := ISet.add src.Topology.n !votes;
-        let quorum =
-          Intmath.pbft_quorum (Topology.group_size t.topo dst.Topology.g)
-        in
+        let quorum = Intmath.pbft_quorum (active_size t dst.Topology.g) in
         if ISet.cardinal !votes >= quorum then begin
           match Hashtbl.find_opt l.l_accept_pending tag with
           | Some k ->

@@ -89,6 +89,10 @@ type entry = {
   eid : Types.entry_id;
   digest : string;
   size : int;  (* wire bytes of the batch *)
+  conf : string option;
+      (* a reconfiguration command riding the pipeline as a zero-txn
+         epoch-boundary entry: totally ordered like any batch, so every
+         leader applies the membership flip at the same global position *)
   mutable txns : Txn.t list;
   mutable fb_txns : Txn.t list;  (* Aria fallback lane: retried conflicts *)
   txn_count : int;
@@ -161,6 +165,16 @@ type leader = {
   l_fetching : int ref Entry_tbl.t;  (* wanted content, with attempt count *)
   l_fetch_q : Types.entry_id Queue.t;
   mutable l_fetch_out : int;  (* outstanding fetch requests *)
+  l_pending_conf : string Queue.t;
+      (* reconfiguration commands awaiting an epoch-boundary entry; the
+         batcher drains one per batch slot ahead of client txns *)
+  l_deferred : Types.entry_id Queue.t;
+      (* execution enqueues buffered while this group is not yet a
+         member (a joining group catching up); replayed at cutover *)
+  mutable l_skip_commits_below : int array;
+      (* per global-consensus instance: commit indices at or below this
+         are history a joining leader received via state transfer, not
+         work to re-execute (raft backfill replays the whole log) *)
   l_stuck : (string, int ref) Hashtbl.t;
       (* ticks a led instance's head-of-line entry has been unackable *)
   mutable l_vc_target : int;
@@ -212,6 +226,31 @@ type t = {
   mutable adv_hook : adv_hook option;
       (* the adversary interposer; [None] outside adversary drills *)
   mutable trace : Trace.t;
+  (* -- live-membership state (massbft_reconfig). In reconfig-free runs
+     every array below is the identity configuration and [reconfig_on]
+     is false, so nothing off the static path is ever consulted. *)
+  active_n : int array;
+      (* active node slots per group: slots [0, active_n) participate in
+         PBFT quorums; provisioned spares and retired slots do not *)
+  g_member : bool array;
+      (* instantaneous group membership: gates batching and replication
+         sends (a dark group neither produces nor receives) *)
+  member_from : int array;
+  member_until : int array;
+      (* round-indexed membership window [from, until) for the round-
+         barrier ordering families; derived deterministically from the
+         position of the epoch-boundary entry in the total order *)
+  mutable reconfig_on : bool;  (* a reconfiguration plan is armed *)
+  mutable reconfig_apply : (t -> leader -> entry -> unit) option;
+      (* the reconfig controller's apply hook, invoked by the execution
+         stage when a leader executes an epoch-boundary entry *)
+  mutable reconfig_round : (t -> entry -> int -> unit) option;
+      (* round-barrier seam: the first leader to close the round holding
+         an epoch-boundary entry registers the round-indexed membership
+         masks (idempotent, and deterministic because derived from the
+         entry's position) before any leader evaluates the next round *)
+  mutable fetch_retries : int;
+      (* fetch-lane retries rescheduled by backoff, for the obs registry *)
 }
 
 (* The Table II axes as first-class strategy records, resolved from
@@ -250,6 +289,7 @@ and ord_strategy = {
          Steward's global log executes in commit order, VTS waits for
          timestamps instead) *)
   o_vts : bool;  (* asynchronous VTS ordering is active *)
+  o_rounds : bool;  (* ordering advances by round barriers over groups *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -308,12 +348,20 @@ let entry_of t eid =
   | Some e -> e
   | None -> invalid_arg ("Engine: unknown entry " ^ Types.entry_id_to_string eid)
 
-let group_f t gid = Intmath.pbft_f (Topology.group_size t.topo gid)
+(* Quorum math runs over *active* slots, not physical ones: provisioned
+   spares and retired slots are outside every certificate. Identical to
+   the physical size whenever no reconfiguration plan is armed. *)
+let active_size t gid = t.active_n.(gid)
+let group_f t gid = Intmath.pbft_f t.active_n.(gid)
 let fg t = Intmath.raft_f t.ng
+let member_now t gid = t.g_member.(gid)
+
+let member_in_round t gid round =
+  t.member_from.(gid) <= round && round < t.member_until.(gid)
 
 let copy_bytes t eid =
   let e = entry_of t eid in
-  e.size + Types.certificate_bytes ~n:(Topology.group_size t.topo eid.Types.gid)
+  e.size + Types.certificate_bytes ~n:t.active_n.(eid.Types.gid)
 
 let send ?(bulk = false) t ~src ~dst ~bytes m =
   let ship m =
@@ -337,11 +385,14 @@ let send ?(bulk = false) t ~src ~dst ~bytes m =
                   (Sim.after t.sim adv_delay_s (fun () -> ship adv_msg)))
             ds)
 
+(* Broadcasts cover the group's *active* slots only — a spare past the
+   active prefix is dark until its activation epoch. *)
 let broadcast_group ?(bulk = false) t ~src ~bytes m =
-  List.iter
-    (fun dst ->
-      if not (Topology.addr_equal src dst) then send ~bulk t ~src ~dst ~bytes m)
-    (Topology.group_nodes t.topo src.Topology.g)
+  let gid = src.Topology.g in
+  for n = 0 to t.active_n.(gid) - 1 do
+    let dst = { Topology.g = gid; n } in
+    if not (Topology.addr_equal src dst) then send ~bulk t ~src ~dst ~bytes m
+  done
 
 let charge_cpu t (a : Topology.addr) seconds k = Cpu.submit (cpu_of t a) ~seconds k
 
@@ -442,6 +493,9 @@ let observe t sampler =
   cnt "massbft_entries_executed_total"
     "Entries fully executed inside the measurement window" (fun () ->
       get t.metrics.Metrics.entries_executed);
+  cnt "massbft_fetch_retries_total"
+    "Replication fetch-lane retries rescheduled with backoff" (fun () ->
+      t.fetch_retries);
   Massbft_obs.Registry.gauge_fn reg ~name:"massbft_entries_registered"
     ~help:"Entries known to the registry (all states)" [] (fun () ->
       float_of_int (registered_entries t))

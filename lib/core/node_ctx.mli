@@ -58,6 +58,9 @@ type entry = {
   eid : Types.entry_id;
   digest : string;
   size : int;
+  conf : string option;
+      (** a reconfiguration command riding the pipeline as a zero-txn
+          epoch-boundary entry (see massbft_reconfig) *)
   mutable txns : Txn.t list;
   mutable fb_txns : Txn.t list;
   txn_count : int;
@@ -118,6 +121,9 @@ type leader = {
   l_fetching : int ref Entry_tbl.t;
   l_fetch_q : Types.entry_id Queue.t;
   mutable l_fetch_out : int;
+  l_pending_conf : string Queue.t;
+  l_deferred : Types.entry_id Queue.t;
+  mutable l_skip_commits_below : int array;
   l_stuck : (string, int ref) Hashtbl.t;
   mutable l_vc_target : int;
   mutable l_stall_seq : int;
@@ -150,6 +156,21 @@ type t = {
   node_watch : bool Atomic.t;
   mutable adv_hook : adv_hook option;
   mutable trace : Trace.t;
+  active_n : int array;
+      (** active node slots per group — quorum math runs over these, not
+          the physical sizes (identical without a reconfiguration) *)
+  g_member : bool array;  (** instantaneous group membership *)
+  member_from : int array;
+  member_until : int array;
+      (** round-indexed membership window for round-barrier ordering *)
+  mutable reconfig_on : bool;
+  mutable reconfig_apply : (t -> leader -> entry -> unit) option;
+      (** the reconfig controller's apply hook, fired at execution of an
+          epoch-boundary entry *)
+  mutable reconfig_round : (t -> entry -> int -> unit) option;
+      (** fired (idempotently) when a round barrier closes over an
+          epoch-boundary entry, before the next round is evaluated *)
+  mutable fetch_retries : int;
 }
 
 and strategies = {
@@ -175,6 +196,7 @@ and ord_strategy = {
   o_allows : t -> leader -> int -> bool;
   o_on_commit : t -> leader -> Types.entry_id -> unit;
   o_vts : bool;
+  o_rounds : bool;
 }
 
 val now : t -> float
@@ -202,8 +224,17 @@ val is_acting_leader : t -> Topology.addr -> bool
 val alive : t -> Topology.addr -> bool
 val cpu_of : t -> Topology.addr -> Cpu.t
 val entry_of : t -> Types.entry_id -> entry
+val active_size : t -> int -> int
 val group_f : t -> int -> int
 val fg : t -> int
+
+val member_now : t -> int -> bool
+(** Is the group a member of the current configuration (instantaneous —
+    gates batching and replication sends)? *)
+
+val member_in_round : t -> int -> int -> bool
+(** [member_in_round t gid round]: does the round-barrier ordering
+    expect a contribution from [gid] at [round]? *)
 
 val copy_bytes : t -> Types.entry_id -> int
 (** Wire size of a full entry copy: batch bytes + the sender group's

@@ -6,6 +6,10 @@ type t = {
   entries : Vts.t Entry_tbl.t;
   heads : Vts.t array;  (* heads.(i): next unexecuted entry of group i *)
   last_ts : int array;  (* last timestamp seen from each group's stream *)
+  active : bool array;
+      (* membership mask: an inactive group's head is neither a
+         candidate minimum nor a constraint (all true without a
+         reconfiguration) *)
   mutable executed : int;
   mutable executing : bool;  (* re-entrancy guard for the drain loop *)
 }
@@ -27,6 +31,7 @@ let create ~ng ~on_execute =
       entries = Entry_tbl.create 256;
       heads = [||];
       last_ts = Array.make ng 0;
+      active = Array.make ng true;
       executed = 0;
       executing = false;
     }
@@ -42,11 +47,13 @@ let create ~ng ~on_execute =
 let global_minimum t =
   let rec find i =
     if i >= t.ng then None
+    else if not t.active.(i) then find (i + 1)
     else
       let e1 = t.heads.(i) in
       let wins = ref true in
       for j = 0 to t.ng - 1 do
-        if j <> i && not (Vts.prec e1 t.heads.(j)) then wins := false
+        if j <> i && t.active.(j) && not (Vts.prec e1 t.heads.(j)) then
+          wins := false
       done;
       if !wins then Some e1 else find (i + 1)
   in
@@ -114,3 +121,61 @@ let head_vts t i =
   t.heads.(i)
 
 let pending_timestamps t = Entry_tbl.length t.entries - t.ng
+
+(* ------------------------------------------------------------------ *)
+(* Membership reconfiguration support                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip a group's participation. Deactivation removes a constraint, so
+   the drain loop re-runs (entries blocked only on the departed group's
+   head become decidable); activation adds a candidate whose head must
+   already sit at the right sequence (see [set_head]). Every orderer
+   instance must flip at the same position in the execution order —
+   the controller does so inside the epoch-boundary entry's on_execute,
+   where the re-entrant [drain] call is absorbed by the guard and the
+   outer loop re-evaluates the minimum with the new mask. *)
+let set_active t i b =
+  if i < 0 || i >= t.ng then invalid_arg "Orderer.set_active: bad group id";
+  t.active.(i) <- b;
+  drain t
+
+let is_active t i =
+  if i < 0 || i >= t.ng then invalid_arg "Orderer.is_active: bad group id";
+  t.active.(i)
+
+(* Position a (re)joining group's head at its first post-join sequence
+   number. *)
+let set_head t i ~seq =
+  if i < 0 || i >= t.ng then invalid_arg "Orderer.set_head: bad group id";
+  t.heads.(i) <- get_entry t { Types.gid = i; seq }
+
+let copy_vts (v : Vts.t) =
+  { v with Vts.vts = Array.copy v.Vts.vts; set = Array.copy v.Vts.set }
+
+(* State transfer onto a joining leader's fresh orderer: adopt the
+   donor's exact ordering state (pending VTSs, heads, stream bounds,
+   mask) at the swap instant, so feeding both the same subsequent
+   streams yields the same suffix — the agreement property extended
+   across the join. *)
+let copy_state ~src ~into =
+  if src.ng <> into.ng then
+    invalid_arg "Orderer.copy_state: group count mismatch";
+  Entry_tbl.reset into.entries;
+  Entry_tbl.iter
+    (fun eid v -> Entry_tbl.replace into.entries eid (copy_vts v))
+    src.entries;
+  for i = 0 to src.ng - 1 do
+    let h = src.heads.(i) in
+    into.heads.(i) <-
+      (match
+         Entry_tbl.find_opt into.entries { Types.gid = h.Vts.gid; seq = h.Vts.seq }
+       with
+      | Some v -> v
+      | None ->
+          let v = copy_vts h in
+          Entry_tbl.replace into.entries { Types.gid = h.Vts.gid; seq = h.Vts.seq } v;
+          v);
+    into.last_ts.(i) <- src.last_ts.(i);
+    into.active.(i) <- src.active.(i)
+  done;
+  into.executed <- src.executed

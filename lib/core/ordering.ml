@@ -22,11 +22,16 @@ let rec mark_round_ready t (l : leader) eid =
   end
 
 and try_rounds t (l : leader) =
+  (* Under a membership reconfiguration the barrier spans only the
+     groups whose round-indexed window covers [r] — identical to "all
+     groups" whenever no plan is armed. *)
   let round_complete r =
     let ok = ref true in
     for g = 0 to t.ng - 1 do
-      if not (Entry_tbl.mem l.l_round_ready { Types.gid = g; seq = r }) then
-        ok := false
+      if
+        member_in_round t g r
+        && not (Entry_tbl.mem l.l_round_ready { Types.gid = g; seq = r })
+      then ok := false
     done;
     !ok
   in
@@ -34,7 +39,20 @@ and try_rounds t (l : leader) =
     let r = l.l_next_round in
     l.l_next_round <- r + 1;
     for g = 0 to t.ng - 1 do
-      Execution.enqueue t l { Types.gid = g; seq = r }
+      if member_in_round t g r then begin
+        let eid = { Types.gid = g; seq = r } in
+        (* An epoch-boundary entry in this round fixes the membership
+           masks for later rounds — registered here, synchronously,
+           because rounds close strictly in order but execute
+           asynchronously. *)
+        (if t.reconfig_on then
+           match t.reconfig_round with
+           | Some hook ->
+               let e = entry_of t eid in
+               if e.conf <> None then hook t e r
+           | None -> ());
+        Execution.enqueue t l eid
+      end
     done;
     (* ISS: closing a round may unblock the next epoch's proposals. *)
     Batcher.try_batch t t.leaders.(l.l_gid)
@@ -129,6 +147,7 @@ let sync_rounds =
         seq - l.l_next_round < t.cfg.Config.pipeline);
     o_on_commit = mark_round_ready;
     o_vts = false;
+    o_rounds = true;
   }
 
 let epoch_rounds k =
@@ -143,6 +162,7 @@ let epoch_rounds k =
         epoch = 0 || l.l_next_round > epoch * k);
     o_on_commit = mark_round_ready;
     o_vts = false;
+    o_rounds = true;
   }
 
 let global_log =
@@ -150,6 +170,7 @@ let global_log =
     o_allows = (fun _ _ _ -> true);
     o_on_commit = Execution.enqueue;
     o_vts = false;
+    o_rounds = false;
   }
 
 let async_vts =
@@ -157,6 +178,7 @@ let async_vts =
     o_allows = (fun _ _ _ -> true);
     o_on_commit = (fun _ _ _ -> ());
     o_vts = true;
+    o_rounds = false;
   }
 
 let observe (t : Node_ctx.t) sampler =

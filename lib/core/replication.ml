@@ -18,17 +18,34 @@
 
 open Node_ctx
 
+(* Plans for *active* group sizes under a reconfiguration, keyed by the
+   size pair (two group pairs with the same sizes share a plan). Only
+   consulted when a plan is armed — reconfigured runs are sequential, so
+   the table sees one domain. *)
+let active_plans : (int * int, Transfer_plan.t) Hashtbl.t = Hashtbl.create 16
+
 let plan_between t ~src ~dst =
-  match t.plans.(src).(dst) with
-  | Some p -> p
-  | None ->
-      let p =
-        Transfer_plan.generate
-          ~n1:(Topology.group_size t.topo src)
-          ~n2:(Topology.group_size t.topo dst)
-      in
-      t.plans.(src).(dst) <- Some p;
-      p
+  if t.reconfig_on then begin
+    let key = (active_size t src, active_size t dst) in
+    match Hashtbl.find_opt active_plans key with
+    | Some p -> p
+    | None ->
+        let n1, n2 = key in
+        let p = Transfer_plan.generate ~n1 ~n2 in
+        Hashtbl.replace active_plans key p;
+        p
+  end
+  else
+    match t.plans.(src).(dst) with
+    | Some p -> p
+    | None ->
+        let p =
+          Transfer_plan.generate
+            ~n1:(Topology.group_size t.topo src)
+            ~n2:(Topology.group_size t.topo dst)
+        in
+        t.plans.(src).(dst) <- Some p;
+        p
 
 let chunk_bytes t ~src ~dst ~entry_len =
   Chunker.chunk_wire_size ~plan:(plan_between t ~src ~dst) ~entry_len
@@ -45,8 +62,13 @@ let send_chunks t (node : node) e =
     float_of_int e.size *. t.cfg.Config.cost.Config.encode_per_byte_s
   in
   charge_cpu t node.n_addr encode_cost (fun () ->
+      (* Checked after the encode charge: a membership flip landing
+         inside the charge window can retire this slot out of every
+         active dissemination plan, and a retired slot must not ship
+         chunks. *)
+      if not (t.reconfig_on && node.n_addr.Topology.n >= active_size t g) then
       for j = 0 to t.ng - 1 do
-        if j <> g then begin
+        if j <> g && member_now t j then begin
           let plan = plan_between t ~src:g ~dst:j in
           let bytes = chunk_bytes t ~src:g ~dst:j ~entry_len:e.size in
           let root_tag =
@@ -67,12 +89,12 @@ let send_bijective_copies t (node : node) e =
      cluster-sending plan, f1 + f2 + 1 full copies for similar group
      sizes. *)
   let g = node.n_addr.Topology.g in
+  if t.reconfig_on && node.n_addr.Topology.n >= active_size t g then ()
+  else
   for j = 0 to t.ng - 1 do
-    if j <> g then begin
+    if j <> g && member_now t j then begin
       let plan =
-        Bijective_plan.generate
-          ~n1:(Topology.group_size t.topo g)
-          ~n2:(Topology.group_size t.topo j)
+        Bijective_plan.generate ~n1:(active_size t g) ~n2:(active_size t j)
       in
       List.iter
         (fun r ->
@@ -87,7 +109,7 @@ let send_oneway_copies t (l : leader) e ~skip =
   (* Leader one-way with the GeoBFT optimization: f_j + 1 receivers per
      remote group, who then forward over their LAN. *)
   for j = 0 to t.ng - 1 do
-    if j <> l.l_gid && not (List.mem j skip) then
+    if j <> l.l_gid && member_now t j && not (List.mem j skip) then
       for r = 0 to group_f t j do
         send ~bulk:true t ~src:l.l_addr
           ~dst:{ Topology.g = j; n = r }
@@ -131,17 +153,37 @@ and fetch_issue t (l : leader) eid =
   match Entry_tbl.find_opt l.l_fetching eid with
   | None -> () (* satisfied in the meantime; slot freed on content *)
   | Some attempts ->
-      (* Ask the proposer first, then rotate through the groups. *)
-      let target = (eid.Types.gid + !attempts) mod t.ng in
       incr attempts;
+      let attempt = !attempts in
+      if attempt > 1 then t.fetch_retries <- t.fetch_retries + 1;
+      (* Ask the proposer first, then rotate through the member groups
+         (a dark or departed group cannot serve content). *)
+      let target =
+        let rec pick k left =
+          let c = k mod t.ng in
+          if left = 0 || member_now t c then c else pick (k + 1) (left - 1)
+        in
+        pick (eid.Types.gid + attempt - 1) t.ng
+      in
       if target <> l.l_gid then begin
         trace_entry t eid "fetch_req" ~gid:l.l_gid ~node:0
           ~args:[ ("target", Trace.Int target) ];
         send t ~src:l.l_addr ~dst:(leader_addr t target) ~bytes:Types.vote_bytes
           (Fetch_req { eid })
       end;
+      (* Capped exponential backoff with deterministic jitter: the base
+         equals the old fixed retry period, so the first retry fires on
+         the familiar schedule while a persistent loss (crashed donor,
+         long partition) stops hammering the same dead timer slot. *)
+      let ft = t.cfg.Config.fetch_timeout_s in
+      let delay =
+        Backoff.delay ~seed:t.cfg.Config.seed
+          ~salt:
+            ((eid.Types.gid * 7919) + (eid.Types.seq * 31) + (l.l_gid * 131071))
+          ~attempt ~base:(2.0 *. ft) ~cap:(8.0 *. ft)
+      in
       ignore
-        (Sim.after t.sim (2.0 *. t.cfg.Config.fetch_timeout_s) (fun () ->
+        (Sim.after t.sim delay (fun () ->
              if Entry_tbl.mem l.l_fetching eid then fetch_issue t l eid))
 
 (* A satisfied fetch frees its pump slot (part of the engine's

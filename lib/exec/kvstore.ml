@@ -16,6 +16,9 @@ let get t key =
 let put t key value = Hashtbl.replace t.data key value
 let size t = Hashtbl.length t.data
 
+let copy_into ~src ~dst =
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst.data k v) src.data
+
 let fingerprint t =
   (* XOR of per-binding hashes: order-insensitive and incremental enough
      for test-sized stores. *)

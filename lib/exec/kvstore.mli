@@ -17,6 +17,11 @@ val put : t -> string -> string -> unit
 val size : t -> int
 (** Number of materialized keys (written or faulted-in). *)
 
+val copy_into : src:t -> dst:t -> unit
+(** Overwrite [dst]'s materialized bindings with [src]'s (state transfer
+    onto a joining node's store). Keys present only in [dst] are kept —
+    callers transfer into a fresh store. *)
+
 val fingerprint : t -> string
 (** An order-insensitive digest of the materialized contents — equal
     fingerprints mean equal states. Used by tests to check that all

@@ -27,6 +27,8 @@ module F = Fault_spec
 module A = Massbft_adversary.Adv_spec
 module Adversary = Massbft_adversary.Adversary
 module Evidence = Massbft_adversary.Evidence
+module R = Massbft_reconfig.Reconfig_spec
+module Reconfig = Massbft_reconfig.Reconfig
 
 (* ------------------------------------------------------------------ *)
 (* Schedule generation                                                 *)
@@ -269,12 +271,93 @@ let gen_adversary rng ~(cfg : Config.t) ~(spec : Topology.spec) ~duration
   | s -> invalid_arg ("Chaos.gen_adversary: unknown strategy " ^ s)
 
 (* ------------------------------------------------------------------ *)
+(* Reconfiguration-scenario generation (the fourth campaign axis)      *)
+(* ------------------------------------------------------------------ *)
+
+let reconfig_kinds =
+  [ "node-join"; "node-leave"; "leader-move"; "group-add"; "group-remove" ]
+
+(* One named membership-change kind drawn into a concrete timed plan,
+   plus the chaos that makes it a drill rather than a demo: joins get a
+   50% chance of a mid-transfer crash of the joining hardware itself
+   (exercising the fetch lane's stall watchdog, donor rotation and
+   capped backoff), the other kinds get light degradations. Every fault
+   heals and no fault exceeds the evolving membership's tolerance, so a
+   violation under a generated scenario is a real bug. The join-crash
+   addresses refer to slots of the *provisioned* topology (the joining
+   node is [gs.(g)], the joining group is [ng]) — [run_schedule]
+   provisions before arming the injector, so those slots exist. *)
+let gen_reconfig rng ~(cfg : Config.t) ~(spec : Topology.spec) ~duration ~kind
+    =
+  ignore cfg;
+  let gs = spec.Topology.group_sizes in
+  let ng = Array.length gs in
+  let t_lo = 1.0 and t_hi = Float.max 1.5 (0.35 *. duration) in
+  let at = q (t_lo +. Rng.float rng (t_hi -. t_lo)) in
+  let win lo hi = q (lo +. Rng.float rng (hi -. lo)) in
+  let g = Rng.int rng ng in
+  let mid_transfer_crash addr =
+    if Rng.bool rng then
+      F.sorted
+        [
+          { F.at = q (at +. win 0.2 0.7); fault = F.Crash_node addr };
+          { F.at = q (at +. win 1.2 2.2); fault = F.Recover_node addr };
+        ]
+    else []
+  in
+  let light_degrade target_g =
+    if Rng.bool rng then
+      [
+        {
+          F.at = q (at +. win 0.0 0.5);
+          fault =
+            F.Wan_degrade
+              {
+                g = target_g;
+                factor = float_of_int (8 + Rng.int rng 8) /. 20.0;
+                for_s = win 1.0 2.0;
+              };
+        };
+      ]
+    else []
+  in
+  match kind with
+  | "node-join" ->
+      ( [ { R.at; cmd = R.Add_node g } ],
+        mid_transfer_crash { Topology.g; n = gs.(g) } )
+  | "node-leave" -> (
+      (* The validation floor: a group must keep n >= 4 after the
+         retirement. *)
+      match List.filter (fun g -> gs.(g) >= 5) (List.init ng Fun.id) with
+      | [] ->
+          invalid_arg
+            "Chaos.gen_reconfig: node-leave needs a group of >= 5 nodes"
+      | cs ->
+          let g = List.nth cs (Rng.int rng (List.length cs)) in
+          ([ { R.at; cmd = R.Remove_node g } ], light_degrade g))
+  | "leader-move" ->
+      let n = 1 + Rng.int rng (gs.(g) - 1) in
+      ([ { R.at; cmd = R.Move_leader { Topology.g; n } } ], light_degrade g)
+  | "group-add" ->
+      let size = 4 + Rng.int rng 2 in
+      ( [ { R.at; cmd = R.Add_group { size } } ],
+        mid_transfer_crash { Topology.g = ng; n = 0 } )
+  | "group-remove" ->
+      if ng < 3 then
+        invalid_arg "Chaos.gen_reconfig: group-remove needs >= 3 groups"
+      else
+        let g = 1 + Rng.int rng (ng - 1) in
+        ([ { R.at; cmd = R.Remove_group g } ], light_degrade g)
+  | k -> invalid_arg ("Chaos.gen_reconfig: unknown kind " ^ k)
+
+(* ------------------------------------------------------------------ *)
 (* Running one schedule                                                *)
 (* ------------------------------------------------------------------ *)
 
 type outcome = {
   schedule : F.schedule;
   adversary : A.plan;
+  reconfig : R.plan;
   violations : Invariants.violation list;
   unaccountable : Invariants.violation list;
       (* violations not backed by a verified conflicting-signed pair *)
@@ -282,12 +365,14 @@ type outcome = {
   executed : int;
   injected : int;
   adv_injected : int;
+  epochs : int;  (* reconfiguration boundaries executed *)
+  transfer_retries : int;  (* state-transfer stall recoveries *)
   ran_until : float;
 }
 
 let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
-    ?registry ?(adversary = []) ?(domains = 1) ~(spec : Topology.spec)
-    ~(cfg : Config.t) schedule =
+    ?registry ?(adversary = []) ?(reconfig = []) ?(domains = 1)
+    ~(spec : Topology.spec) ~(cfg : Config.t) schedule =
   (* Recovering from a healed group crash legitimately spans several
      election timeouts (takeover, catch-up, transfer-back), so the
      default stall bound scales with the configured timeout rather than
@@ -299,8 +384,7 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   in
   (* Each run allocates a full cluster; keep long campaigns flat. *)
   Gc.compact ();
-  let ng = Array.length spec.Topology.group_sizes in
-  let domains = min domains ng in
+  let domains = min domains (Array.length spec.Topology.group_sizes) in
   let parallel = domains > 1 in
   if parallel then begin
     (* Same single-writer exclusions as the runner's parallel mode. *)
@@ -309,8 +393,20 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
     if registry <> None then
       invalid_arg "Chaos.run_schedule: a registry requires domains = 1";
     if adversary <> [] then
-      invalid_arg "Chaos.run_schedule: adversary plans require domains = 1"
+      invalid_arg "Chaos.run_schedule: adversary plans require domains = 1";
+    if reconfig <> [] then
+      invalid_arg
+        "Chaos.run_schedule: reconfiguration plans require domains = 1"
   end;
+  (* Reconfiguration plans expand the topology up front (dark slots for
+     everything the plan will activate); an empty plan returns the spec
+     unchanged, byte-identically. *)
+  (match R.validate ~group_sizes:spec.Topology.group_sizes reconfig with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Chaos.run_schedule: bad reconfiguration plan: " ^ e));
+  let provisioned = R.provision ~spec reconfig in
+  let spec = provisioned.R.p_spec in
+  let ng = Array.length spec.Topology.group_sizes in
   let cfg =
     if parallel && not cfg.Config.independent_stores then
       { cfg with Config.independent_stores = true }
@@ -322,13 +418,35 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   let topo = Topology.create sim spec in
   let engine = Engine.create sim topo cfg in
   (match trace with Some tr -> Engine.set_trace engine tr | None -> ());
+  let controller = Reconfig.arm engine ~provisioned reconfig in
   let inj = Injector.create ?trace ?registry ~spec ~schedule engine sim topo in
   let adv =
     match adversary with
     | [] -> None
     | plan -> Some (Adversary.create ?trace ?registry ~spec ~plan engine sim)
   in
-  let heal = Float.max (F.heal_time schedule) (A.heal_time adversary) in
+  (* A join is only "healed" once its state transfer lands and the
+     admission epoch executes; give it a transfer allowance past the
+     command time before the liveness watchdog starts judging. *)
+  let reconfig_heal =
+    if reconfig = [] then neg_infinity
+    else
+      R.last_time reconfig
+      +.
+      if
+        List.exists
+          (fun (e : R.event) ->
+            match e.R.cmd with
+            | R.Add_node _ | R.Add_group _ -> true
+            | _ -> false)
+          reconfig
+      then 6.0
+      else 1.5
+  in
+  let heal =
+    Float.max reconfig_heal
+      (Float.max (F.heal_time schedule) (A.heal_time adversary))
+  in
   let inv =
     match adv with
     | None -> Invariants.create ~liveness_bound_s ~heal_by:heal engine sim
@@ -366,7 +484,17 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
     Sim.run sim ~until
   end;
   Invariants.finalize inv;
-  let violations = Invariants.violations inv in
+  (* The controller's epoch-aware end-of-run checks (boundary agreement
+     across leaders, on-chain config records, join state-transfer
+     equality) merge into the same violation stream the checkers
+     feed. *)
+  let reconfig_violations =
+    List.map
+      (fun (check, detail) ->
+        { Invariants.at = Sim.now sim; check; detail; evidence = None })
+      (Reconfig.final_violations controller)
+  in
+  let violations = Invariants.violations inv @ reconfig_violations in
   let unaccountable =
     (* A violation is accounted for when it carries a conflict pair
        that verifies against the run's evidence log — the adversary was
@@ -382,6 +510,7 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
   {
     schedule;
     adversary;
+    reconfig;
     violations;
     unaccountable;
     evidence =
@@ -391,6 +520,8 @@ let run_schedule ?(duration = 10.0) ?liveness_bound_s ?trace
     executed = Engine.entries_executed_total engine;
     injected = Injector.injected_total inj;
     adv_injected = (match adv with Some a -> Adversary.injected_total a | None -> 0);
+    epochs = Reconfig.epochs controller;
+    transfer_retries = Reconfig.transfer_retries controller;
     ran_until = until;
   }
 
@@ -436,17 +567,19 @@ let shrink ~fails schedule =
 (* Drill and campaign                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let repro_line ?adversary ~seed ~(system : Config.system) () =
-  Printf.sprintf "massbft drill --seed %Ld --system %s%s" seed
+let repro_line ?adversary ?reconfig ?(domains = 1) ~seed
+    ~(system : Config.system) () =
+  Printf.sprintf "massbft drill --seed %Ld --system %s --domains %d%s%s" seed
     (String.lowercase_ascii (Config.system_name system))
-    (match adversary with
-    | None -> ""
-    | Some s -> " --adversary " ^ s)
+    domains
+    (match reconfig with None -> "" | Some k -> " --reconfig " ^ k)
+    (match adversary with None -> "" | Some s -> " --adversary " ^ s)
 
 type drill_result = {
   seed : int64;
   system : Config.system;
   strategy : string option;  (* adversary axis point, if any *)
+  reconfig_kind : string option;  (* reconfiguration axis point, if any *)
   outcome : outcome;
   shrunk : F.schedule option;
       (* minimal failing schedule, when the original failed *)
@@ -455,36 +588,48 @@ type drill_result = {
 }
 
 let drill ?duration ?liveness_bound_s ?trace ?registry ?(shrink_failures = true)
-    ?adversary ?domains ~spec ~cfg ~seed () =
+    ?adversary ?reconfig ?domains ~spec ~cfg ~seed () =
   let rng = Rng.create seed in
   let gen_duration = Option.value ~default:10.0 duration in
   (* With an adversary strategy the drill goes all-in on it: the fault
      schedule carries only the strategy's trigger faults, so the attack
      window never compounds with unrelated random faults into a
-     scenario beyond the system's claimed tolerance. *)
+     scenario beyond the system's claimed tolerance. A reconfiguration
+     kind contributes its membership-change plan plus its own paired
+     chaos; combined with an adversary, both land in the same run (the
+     "Byzantine leader during a membership change" drill). *)
+  let rplan, rfaults =
+    match reconfig with
+    | None -> ([], [])
+    | Some kind -> gen_reconfig rng ~cfg ~spec ~duration:gen_duration ~kind
+  in
   let schedule, plan =
     match adversary with
-    | None -> (gen_schedule rng ~cfg ~spec ~duration:gen_duration, [])
+    | None ->
+        if reconfig = None then
+          (gen_schedule rng ~cfg ~spec ~duration:gen_duration, [])
+        else (rfaults, [])
     | Some strategy ->
         let plan, triggers =
           gen_adversary rng ~cfg ~spec ~duration:gen_duration ~strategy
         in
-        (triggers, plan)
+        (F.sorted (rfaults @ triggers), plan)
   in
   let outcome =
     run_schedule ?duration ?liveness_bound_s ?trace ?registry ?domains
-      ~adversary:plan ~spec ~cfg schedule
+      ~adversary:plan ~reconfig:rplan ~spec ~cfg schedule
   in
   let rerun ~schedule ~plan =
     failed
-      (run_schedule ?duration ?liveness_bound_s ?domains ~adversary:plan ~spec
-         ~cfg schedule)
+      (run_schedule ?duration ?liveness_bound_s ?domains ~adversary:plan
+         ~reconfig:rplan ~spec ~cfg schedule)
   in
   let shrunk, shrunk_adversary =
     if failed outcome && shrink_failures then begin
       (* ddmin each axis in turn: first the adversary plan against the
          full trigger schedule, then the schedule under the minimal
-         plan. *)
+         plan. The reconfiguration plan is the scenario's identity and
+         is never shrunk. *)
       let min_plan =
         if plan = [] then []
         else shrink ~fails:(fun p -> rerun ~schedule ~plan:p) plan
@@ -502,6 +647,7 @@ let drill ?duration ?liveness_bound_s ?trace ?registry ?(shrink_failures = true)
     seed;
     system = cfg.Config.system;
     strategy = adversary;
+    reconfig_kind = reconfig;
     outcome;
     shrunk;
     shrunk_adversary;
@@ -514,31 +660,41 @@ type campaign_result = {
 }
 
 let campaign ?duration ?liveness_bound_s ?(shrink_failures = false)
-    ?(systems = Config.all_systems) ?(adversaries = []) ?on_run ?domains ~spec
-    ~cfg ~seeds () =
-  (* The third axis: systems x seeds x adversary strategies. An empty
-     strategy list keeps the classic two-axis fault campaign. *)
-  let axis =
+    ?(systems = Config.all_systems) ?(adversaries = []) ?(reconfigs = [])
+    ?on_run ?domains ~spec ~cfg ~seeds () =
+  (* The axes: systems x seeds x adversary strategies x reconfiguration
+     kinds. Empty strategy/kind lists keep the classic two-axis fault
+     campaign; both together drill Byzantine behaviour during
+     membership changes. *)
+  let adv_axis =
     match adversaries with
     | [] -> [ None ]
     | strategies -> List.map Option.some strategies
+  in
+  let rec_axis =
+    match reconfigs with
+    | [] -> [ None ]
+    | kinds -> List.map Option.some kinds
   in
   let results =
     List.concat_map
       (fun system ->
         List.concat_map
           (fun adversary ->
-            List.map
-              (fun seed ->
-                let r =
-                  drill ?duration ?liveness_bound_s ~shrink_failures
-                    ?adversary ?domains ~spec
-                    ~cfg:{ cfg with Config.system } ~seed ()
-                in
-                (match on_run with Some f -> f r | None -> ());
-                r)
-              seeds)
-          axis)
+            List.concat_map
+              (fun reconfig ->
+                List.map
+                  (fun seed ->
+                    let r =
+                      drill ?duration ?liveness_bound_s ~shrink_failures
+                        ?adversary ?reconfig ?domains ~spec
+                        ~cfg:{ cfg with Config.system } ~seed ()
+                    in
+                    (match on_run with Some f -> f r | None -> ());
+                    r)
+                  seeds)
+              rec_axis)
+          adv_axis)
       systems
   in
   {
@@ -555,11 +711,14 @@ let pp_drill fmt r =
         (if r.outcome.unaccountable = [] then ", all evidenced" else "")
     else "ok"
   in
-  Format.fprintf fmt "%-9s seed=%-6Ld %s=%-2d executed=%-5d %s"
+  Format.fprintf fmt "%-9s seed=%-6Ld %s=%-2d%s executed=%-5d %s"
     (Config.system_name r.system)
     r.seed
     (match r.strategy with
     | None -> "faults"
     | Some s -> s)
     (List.length r.outcome.schedule + List.length r.outcome.adversary)
+    (match r.reconfig_kind with
+    | None -> ""
+    | Some k -> Printf.sprintf " %s epochs=%d" k r.outcome.epochs)
     r.outcome.executed status

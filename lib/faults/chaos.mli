@@ -38,9 +38,31 @@ val gen_adversary :
     generated plan is a real bug. Raises [Invalid_argument] on an
     unknown strategy name. *)
 
+val reconfig_kinds : string list
+(** The reconfiguration campaign axis: ["node-join"], ["node-leave"],
+    ["leader-move"], ["group-add"], ["group-remove"]. *)
+
+val gen_reconfig :
+  Massbft_util.Rng.t ->
+  cfg:Massbft.Config.t ->
+  spec:Massbft_sim.Topology.spec ->
+  duration:float ->
+  kind:string ->
+  Massbft_reconfig.Reconfig_spec.plan * Fault_spec.schedule
+(** Draw one membership-change scenario of the named kind plus its
+    paired chaos: joins get a 50% chance of a mid-transfer crash of the
+    joining hardware (exercising the fetch lane's stall watchdog, donor
+    rotation and backoff), other kinds get light degradations. Fault
+    addresses may refer to slots of the plan's *provisioned* topology;
+    {!run_schedule} provisions before arming the injector. Raises
+    [Invalid_argument] on an unknown kind, or when the cluster cannot
+    host the scenario (node-leave needs a group of 5, group-remove
+    needs 3 groups). *)
+
 type outcome = {
   schedule : Fault_spec.schedule;
   adversary : Massbft_adversary.Adv_spec.plan;
+  reconfig : Massbft_reconfig.Reconfig_spec.plan;
   violations : Invariants.violation list;
   unaccountable : Invariants.violation list;
       (** violations not backed by a verified conflicting-signed pair
@@ -51,6 +73,8 @@ type outcome = {
   executed : int;  (** entries executed across all groups *)
   injected : int;  (** fault events applied *)
   adv_injected : int;  (** messages the adversary interfered with *)
+  epochs : int;  (** reconfiguration boundaries executed *)
+  transfer_retries : int;  (** state-transfer stall recoveries *)
   ran_until : float;  (** simulated seconds *)
 }
 
@@ -60,6 +84,7 @@ val run_schedule :
   ?trace:Massbft_trace.Trace.t ->
   ?registry:Massbft_obs.Registry.t ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
+  ?reconfig:Massbft_reconfig.Reconfig_spec.plan ->
   ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
@@ -79,7 +104,14 @@ val run_schedule :
     instead of via in-run events, force [independent_stores], and
     reject [trace]/[registry]/[adversary] (single-writer structures the
     parallel driver cannot serialize); the verdicts match a sequential
-    run of the same schedule. *)
+    run of the same schedule.
+
+    [reconfig] validates, provisions and arms a live-membership plan
+    before the cluster starts (sequential mode only); the controller's
+    epoch-aware end-of-run checks merge into [violations], and a join
+    extends the heal horizon by a state-transfer allowance before the
+    liveness watchdog starts judging. An empty or omitted plan changes
+    nothing. *)
 
 val failed : outcome -> bool
 
@@ -99,6 +131,7 @@ type drill_result = {
   seed : int64;
   system : Massbft.Config.system;
   strategy : string option;  (** adversary axis point, if any *)
+  reconfig_kind : string option;  (** reconfiguration axis point, if any *)
   outcome : outcome;
   shrunk : Fault_spec.schedule option;
       (** minimal failing schedule, when the original failed *)
@@ -113,6 +146,7 @@ val drill :
   ?registry:Massbft_obs.Registry.t ->
   ?shrink_failures:bool ->
   ?adversary:string ->
+  ?reconfig:string ->
   ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
@@ -123,7 +157,11 @@ val drill :
     shrink on failure. With [adversary] (a strategy name) the round
     runs that strategy's generated plan plus its trigger faults instead
     of a random fault schedule; on failure both the plan and the
-    schedule are ddmin-shrunk. *)
+    schedule are ddmin-shrunk. With [reconfig] (a member of
+    {!reconfig_kinds}) the round runs that membership-change scenario
+    plus its paired chaos; the reconfiguration plan itself is the
+    scenario's identity and is never shrunk. Both together drill
+    Byzantine behaviour during a membership change. *)
 
 type campaign_result = {
   total : int;
@@ -137,6 +175,7 @@ val campaign :
   ?shrink_failures:bool ->
   ?systems:Massbft.Config.system list ->
   ?adversaries:string list ->
+  ?reconfigs:string list ->
   ?on_run:(drill_result -> unit) ->
   ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
@@ -145,13 +184,21 @@ val campaign :
   unit ->
   campaign_result
 (** Every system (default: all seven) times every seed — times every
-    [adversaries] strategy when the third axis is given, overriding
-    [cfg]'s system per run. [shrink_failures] defaults to false here —
-    campaigns report; {!drill} reproduces and shrinks. *)
+    [adversaries] strategy and every [reconfigs] kind when those axes
+    are given, overriding [cfg]'s system per run. [shrink_failures]
+    defaults to false here — campaigns report; {!drill} reproduces and
+    shrinks. *)
 
 val repro_line :
-  ?adversary:string -> seed:int64 -> system:Massbft.Config.system -> unit ->
+  ?adversary:string ->
+  ?reconfig:string ->
+  ?domains:int ->
+  seed:int64 ->
+  system:Massbft.Config.system ->
+  unit ->
   string
-(** The one-liner that reproduces a campaign failure. *)
+(** The one-liner that reproduces a campaign failure, carrying every
+    axis the failing run used ([--domains], [--reconfig],
+    [--adversary]). *)
 
 val pp_drill : Format.formatter -> drill_result -> unit

@@ -9,6 +9,8 @@ module Saturation = Massbft_obs.Saturation
 module Injector = Massbft_faults.Injector
 module Adversary = Massbft_adversary.Adversary
 module Prof = Massbft_prof.Prof
+module Reconfig = Massbft_reconfig.Reconfig
+module Reconfig_spec = Massbft_reconfig.Reconfig_spec
 
 type result = {
   system : Config.system;
@@ -49,7 +51,7 @@ let warn_if_oversubscribed requested =
   end
 
 let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?prof ?on_engine ?faults
-    ?adversary ?(domains = 1) ~spec ~cfg () =
+    ?adversary ?reconfig ?on_reconfig ?(domains = 1) ~spec ~cfg () =
   (* Sequential experiment sweeps allocate a full cluster per run;
      compact between them so long figure suites stay within memory. *)
   Gc.compact ();
@@ -66,8 +68,21 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?prof ?on_engine ?faults
     if obs <> None then
       invalid_arg "Runner.run: the sampler requires domains = 1";
     if adversary <> None && adversary <> Some [] then
-      invalid_arg "Runner.run: adversary plans require domains = 1"
+      invalid_arg "Runner.run: adversary plans require domains = 1";
+    if reconfig <> None && reconfig <> Some [] then
+      invalid_arg "Runner.run: reconfiguration plans require domains = 1"
   end;
+  (* A reconfiguration plan expands the topology up front: every slot
+     the plan will ever activate is provisioned dark. An empty plan
+     returns the spec unchanged, byte-identically. *)
+  let plan = Option.value ~default:[] reconfig in
+  (match Reconfig_spec.validate ~group_sizes:spec.Topology.group_sizes plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Runner.run: bad reconfiguration plan: " ^ e));
+  let provisioned = Reconfig_spec.provision ~spec plan in
+  let spec = provisioned.Reconfig_spec.p_spec in
+  (* One shard per physical group, dark slots included. *)
+  let ng = Array.length spec.Topology.group_sizes in
   (* Domains share nothing through the store: the memoized-outcome
      shortcut is a cross-shard write, so parallel runs force the
      independent-stores execution mode (semantically equivalent;
@@ -89,6 +104,11 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?prof ?on_engine ?faults
   (* The host profiler hooks the driver loops only (no events, no sim
      state), so it composes with every run mode, parallel included. *)
   (match prof with Some p -> Prof.attach p sim | None -> ());
+  (* Arm the reconfiguration controller before the engine starts: the
+     dark slots must be crashed and the membership masks installed
+     before the first batch timer fires. An empty plan arms nothing. *)
+  let controller = Reconfig.arm engine ~provisioned plan in
+  (match on_reconfig with Some f -> f controller | None -> ());
   (* With no sampler, nothing below schedules a single event: the run
      is bit-identical to one without observability. *)
   (match obs with
@@ -194,10 +214,11 @@ let run ?(duration = 12.0) ?(warmup = 4.0) ?trace ?obs ?prof ?on_engine ?faults
    the bare pipeline latency). Throughput numbers always come from a
    saturated [run]. *)
 let run_latency_probe ?(duration = 6.0) ?(warmup = 2.0) ?trace ?obs ?prof
-    ?on_engine ?faults ?adversary ?domains ~spec ~cfg () =
+    ?on_engine ?faults ?adversary ?reconfig ?on_reconfig ?domains ~spec ~cfg ()
+    =
   let probe_cfg = { cfg with Config.max_batch = 40; pipeline = 2 } in
   run ~duration ~warmup ?trace ?obs ?prof ?on_engine ?faults ?adversary
-    ?domains ~spec ~cfg:probe_cfg ()
+    ?reconfig ?on_reconfig ?domains ~spec ~cfg:probe_cfg ()
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -37,6 +37,8 @@ val run :
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
+  ?reconfig:Massbft_reconfig.Reconfig_spec.plan ->
+  ?on_reconfig:(Massbft_reconfig.Reconfig.t -> unit) ->
   ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->
@@ -62,6 +64,15 @@ val run :
     and the run is bit-identical to a fault-free one. [adversary] arms
     a {!Massbft_adversary.Adversary} over the plan (same absolute-time
     and no-op contract as [faults]).
+
+    [reconfig] validates and arms a live-membership plan
+    ({!Massbft_reconfig.Reconfig}): the topology is expanded by
+    {!Massbft_reconfig.Reconfig_spec.provision} before the cluster is
+    built, the controller is armed before [Engine.start], and
+    [on_reconfig] receives it (for epoch-aware checks and join
+    receipts). An empty or omitted plan provisions and arms nothing —
+    byte-identical to a build without the subsystem. Plans require
+    [domains = 1].
 
     The scheduler always runs one shard per group behind the scenes;
     [domains] (default 1, clamped to the group count) selects how many
@@ -93,6 +104,8 @@ val run_latency_probe :
   ?on_engine:(Massbft.Engine.t -> Massbft_sim.Sim.t -> Massbft_sim.Topology.t -> unit) ->
   ?faults:Massbft_faults.Fault_spec.schedule ->
   ?adversary:Massbft_adversary.Adv_spec.plan ->
+  ?reconfig:Massbft_reconfig.Reconfig_spec.plan ->
+  ?on_reconfig:(Massbft_reconfig.Reconfig.t -> unit) ->
   ?domains:int ->
   spec:Massbft_sim.Topology.spec ->
   cfg:Massbft.Config.t ->

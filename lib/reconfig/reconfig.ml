@@ -1,0 +1,817 @@
+(* The live-membership reconfiguration controller.
+
+   A plan (Reconfig_spec) is armed on a freshly created engine whose
+   topology was expanded by [Reconfig_spec.provision]: every slot the
+   plan will ever activate exists from the start but is dark — crashed
+   and masked out of every quorum — until its epoch. At each plan
+   event the controller powers the dark hardware up, catches it up by a
+   rate-limited chunked state transfer (with capped-backoff retry and
+   donor rotation), and then submits the command's one-line wire form
+   to the coordinator group, where the batcher forms it into a zero-txn
+   epoch-boundary entry. That entry rides global consensus like any
+   batch, so its position in the total order is the agreed cut: the
+   first leader to close its round registers the round-indexed
+   membership masks (the [reconfig_round] seam), and each leader
+   executing it applies the flip at the same logical position (the
+   [reconfig_apply] seam). A joining group's leader is activated by
+   cloning the first executor's replicated state at that exact cut, so
+   it resumes with the incumbents' store fingerprint, ledger head and
+   ordering state, then proposes its own entries from the next epoch. *)
+
+module Sim = Massbft_sim.Sim
+module Topology = Massbft_sim.Topology
+module Engine = Massbft.Engine
+module N = Massbft.Node_ctx
+module Types = Massbft.Types
+module Config = Massbft.Config
+module Backoff = Massbft.Backoff
+module Orderer = Massbft.Orderer
+module Batcher = Massbft.Batcher
+module Execution = Massbft.Execution
+module Replication = Massbft.Replication
+module Global_consensus = Massbft.Global_consensus
+module Pbft = Massbft_consensus.Pbft
+module Kvstore = Massbft_exec.Kvstore
+module Ledger = Massbft_exec.Ledger
+module W = Massbft_workload.Workload
+module Entry_tbl = Types.Entry_tbl
+module Spec = Reconfig_spec
+
+(* ------------------------------------------------------------------ *)
+(* Records the epoch-aware invariants consume                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One leader's application of one epoch boundary: [b_pos] is that
+   leader's executed-entry count at the flip. All leaders execute the
+   same total order, so agreement on (cmd, pos) per boundary is exactly
+   "every group switched at the same sequence number". *)
+type boundary = {
+  b_eid : Types.entry_id;
+  b_cmd : string;
+  b_gid : int;
+  b_pos : int;
+  b_at : float;
+}
+
+type join_report = {
+  j_cmd : string;
+  j_gid : int;
+  j_donor : int;  (* the group that served the state transfer *)
+  j_bytes : int;
+  j_chunks : int;
+  j_retries : int;
+  j_started : float;
+  j_activated : float;
+  j_fingerprint : string;  (* joiner store fingerprint at activation *)
+  j_src_fingerprint : string;  (* clone source's, same instant *)
+  j_height : int;
+  j_src_height : int;
+  j_head : string;
+  j_src_head : string;
+}
+
+(* A chunked snapshot shipment over the bulk lane. One chunk is in
+   flight at a time (the rate limit); a watchdog detects a stalled
+   flow (crashed donor or joiner, partition) and resumes from the last
+   delivered chunk after a capped-backoff delay, rotating to another
+   member donor. *)
+type transfer = {
+  x_wire : string;  (* the command submitted when the transfer lands *)
+  x_dst : Topology.addr;
+  x_gid : int;  (* the joining group (add-group) / host group (add-node) *)
+  x_lan : bool;  (* add-node: intra-group snapshot fetch *)
+  x_bytes : int;
+  x_chunks : int;
+  x_started : float;
+  mutable x_donor : int;
+  mutable x_got : int;
+  mutable x_last : int;
+  mutable x_attempt : int;
+  mutable x_retries : int;
+  mutable x_done : bool;
+}
+
+type t = {
+  eng : Engine.t;
+  c : N.t;
+  plan : Spec.plan;
+  base_ng : int;
+  mutable next_gid : int;  (* next unused gid for add-group *)
+  next_slot : int array;  (* next dark slot to power up, per group *)
+  flipped : unit Entry_tbl.t;  (* round-mask registration, once per eid *)
+  applied : unit Entry_tbl.t;  (* executed-side flip, once per eid *)
+  members_at : int list Entry_tbl.t;  (* membership after each boundary *)
+  pending : (string, transfer) Hashtbl.t;  (* wire command -> transfer *)
+  mutable transfers : transfer list;
+  mutable boundaries : boundary list;  (* newest first *)
+  mutable joins : join_report list;
+  mutable retries : int;
+}
+
+let chunk_bytes = 256 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tokens s =
+  List.filter (fun x -> x <> "") (String.split_on_char ' ' (String.trim s))
+
+let kw_int toks key =
+  let rec go = function
+    | k :: v :: _ when k = key -> int_of_string_opt v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go toks
+
+(* The joining gid rides the wire form ("add-group size 4 gid 3") so
+   every leader admits the same physical group. *)
+let wire_gid wire =
+  match kw_int (tokens wire) "gid" with
+  | Some g -> g
+  | None -> invalid_arg ("Reconfig: add-group wire missing gid: " ^ wire)
+
+let members (c : N.t) =
+  let ms = ref [] in
+  for g = c.N.ng - 1 downto 0 do
+    if c.N.g_member.(g) then ms := g :: !ms
+  done;
+  !ms
+
+let rank g ms =
+  let rec go i = function
+    | [] -> None
+    | x :: r -> if x = g then Some i else go (i + 1) r
+  in
+  go 0 ms
+
+let group_view (c : N.t) g =
+  let v = ref 0 in
+  for n = 0 to c.N.active_n.(g) - 1 do
+    match c.N.nodes.(g).(n).N.n_pbft with
+    | Some p -> if Pbft.view p > !v then v := Pbft.view p
+    | None -> ()
+  done;
+  !v
+
+(* Drive the group's PBFT to the smallest future view whose round-robin
+   leader is [slot] (leader re-placement, and view re-alignment across
+   a resize — [leader_of_view] depends on n). *)
+let drive_leader_to t g slot =
+  let c = t.c in
+  let n = c.N.active_n.(g) in
+  let v = ref (group_view c g + 1) in
+  while !v mod n <> slot do
+    incr v
+  done;
+  for i = 0 to n - 1 do
+    let a = { Topology.g; n = i } in
+    if Topology.alive c.N.topo a then
+      match c.N.nodes.(g).(i).N.n_pbft with
+      | Some p -> Pbft.start_view_change ~target:!v p
+      | None -> ()
+  done
+
+(* After a resize, keep the acting leader in place: if the new view
+   mapping deposed it, drive a view change back to its slot. *)
+let realign t g =
+  let c = t.c in
+  let l = c.N.leaders.(g) in
+  if l.N.l_addr.Topology.n < c.N.active_n.(g) then
+    match (N.node_of c l.N.l_addr).N.n_pbft with
+    | Some p when not (Pbft.is_leader p) ->
+        drive_leader_to t g l.N.l_addr.Topology.n
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* State transfer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let live_donors t ~exclude =
+  let c = t.c in
+  let ds = ref [] in
+  for g = c.N.ng - 1 downto 0 do
+    if
+      g <> exclude && c.N.g_member.(g)
+      && Topology.alive c.N.topo c.N.leaders.(g).N.l_addr
+    then ds := g :: !ds
+  done;
+  match !ds with [] -> [ 0 ] | l -> l
+
+let finish t x =
+  if not x.x_done then begin
+    x.x_done <- true;
+    Engine.submit_conf t.eng x.x_wire
+  end
+
+let rec ship t x =
+  if not x.x_done then
+    if x.x_got >= x.x_chunks then finish t x
+    else begin
+      let c = t.c in
+      let src =
+        if x.x_lan then c.N.leaders.(x.x_gid).N.l_addr
+        else c.N.leaders.(x.x_donor).N.l_addr
+      in
+      let bytes = min chunk_bytes (x.x_bytes - (x.x_got * chunk_bytes)) in
+      (* A send from or to a crashed node is silently dropped by the
+         topology: the continuation never runs and the watchdog takes
+         over. Duplicate chunks from a spurious retry only add traffic;
+         progress counts deliveries. *)
+      Topology.send ~bulk:true c.N.topo ~src ~dst:x.x_dst ~bytes:(max 1 bytes)
+        (fun () ->
+          x.x_got <- x.x_got + 1;
+          ship t x)
+    end
+
+let rec watch t x =
+  if not x.x_done then begin
+    let c = t.c in
+    let s = N.sim_of c x.x_dst.Topology.g in
+    ignore
+      (Sim.after s 0.75 (fun () ->
+           if not x.x_done then begin
+             if x.x_got = x.x_last then begin
+               x.x_attempt <- x.x_attempt + 1;
+               x.x_retries <- x.x_retries + 1;
+               t.retries <- t.retries + 1;
+               if not x.x_lan then begin
+                 let ds = live_donors t ~exclude:x.x_gid in
+                 x.x_donor <- List.nth ds (x.x_attempt mod List.length ds)
+               end;
+               let d =
+                 Backoff.delay ~seed:c.N.cfg.Config.seed
+                   ~salt:((x.x_gid * 131) + x.x_attempt)
+                   ~attempt:x.x_attempt ~base:0.1 ~cap:1.5
+               in
+               ignore (Sim.after s d (fun () -> ship t x))
+             end;
+             x.x_last <- x.x_got;
+             watch t x
+           end))
+  end
+
+let start_transfer t ~wire ~gid ~dst ~lan =
+  let c = t.c in
+  let donor =
+    if lan then gid
+    else match live_donors t ~exclude:gid with d :: _ -> d | [] -> 0
+  in
+  let dl = c.N.leaders.(donor) in
+  let bytes =
+    (Kvstore.size dl.N.l_store * 96)
+    + (Ledger.height dl.N.l_ledger * 160)
+    + 4096
+  in
+  let x =
+    {
+      x_wire = wire;
+      x_dst = dst;
+      x_gid = gid;
+      x_lan = lan;
+      x_bytes = bytes;
+      x_chunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+      x_started = N.now c;
+      x_donor = donor;
+      x_got = 0;
+      x_last = -1;
+      x_attempt = 0;
+      x_retries = 0;
+      x_done = false;
+    }
+  in
+  t.transfers <- x :: t.transfers;
+  Hashtbl.replace t.pending wire x;
+  ship t x;
+  watch t x
+
+(* ------------------------------------------------------------------ *)
+(* Plan-event triggers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let trigger t (cmd : Spec.command) =
+  let c = t.c in
+  match cmd with
+  | Spec.Add_node g ->
+      let slot = t.next_slot.(g) in
+      t.next_slot.(g) <- slot + 1;
+      let a = { Topology.g; n = slot } in
+      Engine.recover_node t.eng a;
+      start_transfer t ~wire:(Spec.command_to_string cmd) ~gid:g ~dst:a
+        ~lan:true
+  | Spec.Remove_node _ | Spec.Move_leader _ | Spec.Remove_group _ ->
+      Engine.submit_conf t.eng (Spec.command_to_string cmd)
+  | Spec.Add_group { size } ->
+      let gid = t.next_gid in
+      t.next_gid <- gid + 1;
+      Engine.recover_group t.eng gid;
+      let wire = Printf.sprintf "add-group size %d gid %d" size gid in
+      start_transfer t ~wire ~gid ~dst:c.N.leaders.(gid).N.l_addr ~lan:false
+
+(* ------------------------------------------------------------------ *)
+(* The epoch flip: per-command executed-side actions                   *)
+(* ------------------------------------------------------------------ *)
+
+let add_join t report = t.joins <- report :: t.joins
+
+let activate_node t g wire =
+  let c = t.c in
+  let slot = c.N.active_n.(g) in
+  c.N.active_n.(g) <- slot + 1;
+  Array.iter
+    (fun (nd : N.node) ->
+      match nd.N.n_pbft with
+      | Some p -> Pbft.resize p ~n:(slot + 1)
+      | None -> ())
+    c.N.nodes.(g);
+  (* State transfer onto the joining replica: the group's decided
+     history and current view, so it votes from the next slot on. *)
+  let src = c.N.leaders.(g).N.l_addr in
+  (match c.N.nodes.(g).(slot).N.n_pbft with
+  | Some p ->
+      for seq = 1 to Engine.proposed_seqs t.eng ~gid:g do
+        match Engine.replica_decided t.eng ~g ~n:src.Topology.n ~seq with
+        | Some d -> Pbft.install_decided p ~seq ~digest:d
+        | None -> ()
+      done;
+      Pbft.rejoin p ~view:(group_view c g)
+  | None -> ());
+  realign t g;
+  let x = Hashtbl.find_opt t.pending wire in
+  let l = c.N.leaders.(g) in
+  let fp = Kvstore.fingerprint l.N.l_store in
+  let h = Ledger.height l.N.l_ledger and hh = Ledger.head_hash l.N.l_ledger in
+  add_join t
+    {
+      j_cmd = wire;
+      j_gid = g;
+      j_donor = g;
+      j_bytes = (match x with Some x -> x.x_bytes | None -> 0);
+      j_chunks = (match x with Some x -> x.x_chunks | None -> 0);
+      j_retries = (match x with Some x -> x.x_retries | None -> 0);
+      j_started = (match x with Some x -> x.x_started | None -> N.now c);
+      j_activated = N.now c;
+      j_fingerprint = fp;
+      j_src_fingerprint = fp;
+      j_height = h;
+      j_src_height = h;
+      j_head = hh;
+      j_src_head = hh;
+    }
+
+let retire_node t g =
+  let c = t.c in
+  let slot = c.N.active_n.(g) - 1 in
+  c.N.active_n.(g) <- slot;
+  Array.iter
+    (fun (nd : N.node) ->
+      match nd.N.n_pbft with Some p -> Pbft.resize p ~n:slot | None -> ())
+    c.N.nodes.(g);
+  Engine.crash_node t.eng { Topology.g; n = slot };
+  realign t g
+
+let place_leader t (a : Topology.addr) =
+  let c = t.c in
+  let l = c.N.leaders.(a.Topology.g) in
+  if not (Topology.addr_equal l.N.l_addr a) then
+    (* The engine's leadership watchdog adopts the new view's leader and
+       migrates the leader record once the view change completes. *)
+    drive_leader_to t a.Topology.g a.Topology.n
+
+let expel_group t g =
+  let c = t.c in
+  c.N.g_member.(g) <- false;
+  if not c.N.strat.N.ord.N.o_rounds then c.N.member_until.(g) <- 0;
+  (* GeoBFT releases a proposer's pipeline slot when [ng - 1] delivery
+     notes arrive; in-flight proposals whose copies reached the
+     departing group before the crash are stranded one note short.
+     Credit the missing note on every decided entry still below the
+     threshold ([committed_at] is no marker here — direct broadcast
+     stamps it at decide time). The counter advances one note per
+     call, so a late real note from the departing group cannot skip
+     the threshold equality. *)
+  if Engine.raft_instances t.eng = 0 then begin
+    let snap = N.entries_snapshot c in
+    Array.iter
+      (fun (pl : N.leader) ->
+        if c.N.g_member.(pl.N.l_gid) then
+          List.iter
+            (fun (e : N.entry) ->
+              let notes =
+                match Entry_tbl.find_opt pl.N.l_recv_notes e.N.eid with
+                | Some r -> !r
+                | None -> 0
+              in
+              if
+                e.N.eid.Types.gid = pl.N.l_gid
+                && e.N.decided_at > 0.0
+                && notes < c.N.ng - 1
+              then Global_consensus.handle_recv_note c ~dst:pl.N.l_addr e.N.eid)
+            snap)
+      c.N.leaders
+  end;
+  Engine.crash_group t.eng g
+
+(* The consistent-cut clone: the first member leader to execute the
+   admission boundary has, at that instant, exactly the agreed pre-epoch
+   state — store, ledger, ordering and commit bookkeeping. The joiner
+   adopts all of it, marks every global-consensus commit index at or
+   below the cut as transferred history (anti-entropy backfills the
+   rest under [l_skip_commits_below]), and starts proposing in the next
+   epoch. *)
+let admit_group t ~(src : N.leader) ~gid ~size wire =
+  let c = t.c in
+  let dst = c.N.leaders.(gid) in
+  c.N.active_n.(gid) <- size;
+  c.N.g_member.(gid) <- true;
+  if not c.N.strat.N.ord.N.o_rounds then c.N.member_from.(gid) <- 0;
+  if dst.N.l_store != src.N.l_store then
+    Kvstore.copy_into ~src:src.N.l_store ~dst:dst.N.l_store;
+  List.iter
+    (fun (b : Ledger.block) ->
+      ignore
+        (Ledger.append dst.N.l_ledger ~gid:b.Ledger.gid ~seq:b.Ledger.seq
+           ~txn_count:b.Ledger.txn_count ~payload_digest:b.Ledger.payload_digest))
+    (Ledger.blocks src.N.l_ledger);
+  dst.N.l_executed_rev <- src.N.l_executed_rev;
+  dst.N.l_executed_count <- src.N.l_executed_count;
+  Array.blit src.N.l_clk_of 0 dst.N.l_clk_of 0 (Array.length src.N.l_clk_of);
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst.N.l_ts_mark k v) src.N.l_ts_mark;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst.N.l_ts_seen k v) src.N.l_ts_seen;
+  Entry_tbl.iter
+    (fun k v -> Entry_tbl.replace dst.N.l_committed_unexec k v)
+    src.N.l_committed_unexec;
+  Entry_tbl.iter
+    (fun k v -> Entry_tbl.replace dst.N.l_round_ready k v)
+    src.N.l_round_ready;
+  dst.N.l_next_round <- src.N.l_next_round;
+  (* Anything buffered while dark is part of the cloned history. *)
+  Queue.clear dst.N.l_deferred;
+  if c.N.strat.N.ord.N.o_rounds then begin
+    (* The zero-transaction boundary executes synchronously inside its
+       round's enqueue sweep (zero CPU cost short-circuits the charge),
+       so the boundary's own round-mates may not have reached the
+       source's queue yet when this clone runs. Rebuild the joiner's
+       backlog from the round structure itself: every member entry of
+       an already-closed round that is not in the cloned ledger, in
+       execution order. *)
+    let in_ledger = Hashtbl.create 64 in
+    List.iter
+      (fun (b : Ledger.block) ->
+        Hashtbl.replace in_ledger (b.Ledger.gid, b.Ledger.seq) ())
+      (Ledger.blocks src.N.l_ledger);
+    for r = 1 to src.N.l_next_round - 1 do
+      for g = 0 to c.N.ng - 1 do
+        if N.member_in_round c g r && not (Hashtbl.mem in_ledger (g, r)) then
+          Queue.push { Types.gid = g; seq = r } dst.N.l_exec_q
+      done
+    done
+  end
+  else Queue.iter (fun x -> Queue.push x dst.N.l_exec_q) src.N.l_exec_q;
+  (* Content for the rebuilt backlog predates the flip, so no copy ever
+     targeted the joiner; fetch it rather than waiting for the pump's
+     head-repair timeout. *)
+  Queue.iter
+    (fun eid ->
+      if
+        Engine.entry_digest t.eng eid <> None
+        && not (N.has_content (N.node_of c dst.N.l_addr) eid)
+      then Replication.want_fetch c dst eid)
+    dst.N.l_exec_q;
+  (match (src.N.l_orderer, dst.N.l_orderer) with
+  | Some s, Some d ->
+      Orderer.copy_state ~src:s ~into:d;
+      Orderer.set_active d gid true
+  | _ -> ());
+  let n_inst = Engine.raft_instances t.eng in
+  dst.N.l_skip_commits_below <-
+    Array.init n_inst (fun i ->
+        Engine.raft_commit_index t.eng ~gid:src.N.l_gid ~inst:i);
+  Array.fill dst.N.l_last_heard 0 (Array.length dst.N.l_last_heard) (N.now c);
+  if c.N.strat.N.ord.N.o_rounds then
+    dst.N.l_next_seq <- c.N.member_from.(gid);
+  dst.N.l_in_flight <- 0;
+  dst.N.l_batch_pending <- true;
+  (* GeoBFT ships copies point-to-point at proposal time: entries of
+     post-cut rounds proposed before this flip never targeted the
+     joiner, and its round barrier would starve waiting for them. Fetch
+     whatever is already registered; later proposals include it. *)
+  if n_inst = 0 then begin
+    let from_seq = max 1 c.N.member_from.(gid) in
+    for j = 0 to c.N.ng - 1 do
+      if j <> gid && c.N.g_member.(j) then
+        for seq = from_seq to Engine.proposed_seqs t.eng ~gid:j do
+          let eid = { Types.gid = j; seq } in
+          if
+            Engine.entry_digest t.eng eid <> None
+            && not (N.has_content (N.node_of c dst.N.l_addr) eid)
+          then Replication.want_fetch c dst eid
+        done
+    done
+  end;
+  let x = Hashtbl.find_opt t.pending wire in
+  add_join t
+    {
+      j_cmd = wire;
+      j_gid = gid;
+      j_donor = (match x with Some x -> x.x_donor | None -> src.N.l_gid);
+      j_bytes = (match x with Some x -> x.x_bytes | None -> 0);
+      j_chunks = (match x with Some x -> x.x_chunks | None -> 0);
+      j_retries = (match x with Some x -> x.x_retries | None -> 0);
+      j_started = (match x with Some x -> x.x_started | None -> N.now c);
+      j_activated = N.now c;
+      j_fingerprint = Kvstore.fingerprint dst.N.l_store;
+      j_src_fingerprint = Kvstore.fingerprint src.N.l_store;
+      j_height = Ledger.height dst.N.l_ledger;
+      j_src_height = Ledger.height src.N.l_ledger;
+      j_head = Ledger.head_hash dst.N.l_ledger;
+      j_src_head = Ledger.head_hash src.N.l_ledger;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* The two engine seams                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Round-barrier seam: the first leader to close the round holding the
+   boundary registers the round-indexed membership window before any
+   leader evaluates the next round's barrier. Only the window is
+   registered here — the instantaneous flip waits for execution. *)
+let on_round t (e : N.entry) r =
+  if not (Entry_tbl.mem t.flipped e.N.eid) then begin
+    Entry_tbl.replace t.flipped e.N.eid ();
+    let c = t.c in
+    let wire = Option.get e.N.conf in
+    match Spec.command_of_string wire with
+    | Spec.Add_group _ -> c.N.member_from.(wire_gid wire) <- r + 1
+    | Spec.Remove_group g -> c.N.member_until.(g) <- r + 1
+    | Spec.Add_node _ | Spec.Remove_node _ | Spec.Move_leader _ -> ()
+  end
+
+(* Executed-side flip, applied once globally (first executor) plus a
+   per-executor part: each leader flips its own orderer mask and key
+   range at its own execution of the boundary, which is the same
+   position in every leader's order. *)
+let apply_once t (l : N.leader) (e : N.entry) wire cmd =
+  if not (Entry_tbl.mem t.applied e.N.eid) then begin
+    Entry_tbl.replace t.applied e.N.eid ();
+    let c = t.c in
+    (match cmd with
+    | Spec.Add_node g -> activate_node t g wire
+    | Spec.Remove_node g -> retire_node t g
+    | Spec.Move_leader a -> place_leader t a
+    | Spec.Add_group { size } -> admit_group t ~src:l ~gid:(wire_gid wire) ~size wire
+    | Spec.Remove_group g -> expel_group t g);
+    let ms = members c in
+    Entry_tbl.replace t.members_at e.N.eid ms;
+    match cmd with
+    | Spec.Add_group _ ->
+        (* The joiner never executes its own admission entry — the clone
+           is its execution. Give it its key range and a synthetic
+           boundary record at the donor's position, then start it. *)
+        let gid = wire_gid wire in
+        let dst = c.N.leaders.(gid) in
+        (match rank gid ms with
+        | Some i -> W.set_shard dst.N.l_gen ~index:i ~count:(List.length ms)
+        | None -> ());
+        t.boundaries <-
+          {
+            b_eid = e.N.eid;
+            b_cmd = wire;
+            b_gid = gid;
+            b_pos = dst.N.l_executed_count;
+            b_at = N.now c;
+          }
+          :: t.boundaries;
+        Execution.pump c dst;
+        Batcher.try_batch c dst
+    | _ -> ()
+  end
+
+let on_apply t (l : N.leader) (e : N.entry) =
+  let c = t.c in
+  let wire = match e.N.conf with Some w -> w | None -> assert false in
+  let cmd = Spec.command_of_string wire in
+  apply_once t l e wire cmd;
+  t.boundaries <-
+    {
+      b_eid = e.N.eid;
+      b_cmd = wire;
+      b_gid = l.N.l_gid;
+      b_pos = l.N.l_executed_count;
+      b_at = N.now c;
+    }
+    :: t.boundaries;
+  match cmd with
+  | Spec.Add_group _ | Spec.Remove_group _ ->
+      let g, joins =
+        match cmd with
+        | Spec.Add_group _ -> (wire_gid wire, true)
+        | Spec.Remove_group g -> (g, false)
+        | _ -> assert false
+      in
+      (match l.N.l_orderer with
+      | Some o when l.N.l_gid <> g -> Orderer.set_active o g joins
+      | _ -> ());
+      (match Entry_tbl.find_opt t.members_at e.N.eid with
+      | Some ms -> (
+          match rank l.N.l_gid ms with
+          | Some i -> W.set_shard l.N.l_gen ~index:i ~count:(List.length ms)
+          | None -> ())
+      | None -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let arm eng ~(provisioned : Spec.provisioned) plan =
+  let c = Engine.ctx eng in
+  let ng = c.N.ng in
+  let base_ng =
+    let b = ref ng in
+    (try
+       for g = 0 to ng - 1 do
+         if not provisioned.Spec.p_member.(g) then begin
+           b := g;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !b
+  in
+  let t =
+    {
+      eng;
+      c;
+      plan;
+      base_ng;
+      next_gid = base_ng;
+      next_slot = Array.copy provisioned.Spec.p_active;
+      flipped = Entry_tbl.create 8;
+      applied = Entry_tbl.create 8;
+      members_at = Entry_tbl.create 8;
+      pending = Hashtbl.create 8;
+      transfers = [];
+      boundaries = [];
+      joins = [];
+      retries = 0;
+    }
+  in
+  if plan <> [] then begin
+    c.N.reconfig_on <- true;
+    Array.blit provisioned.Spec.p_active 0 c.N.active_n 0 ng;
+    Array.blit provisioned.Spec.p_member 0 c.N.g_member 0 ng;
+    for g = 0 to ng - 1 do
+      if not provisioned.Spec.p_member.(g) then begin
+        (* dark until its admission epoch *)
+        c.N.member_from.(g) <- max_int;
+        Topology.crash_group c.N.topo g
+      end
+      else begin
+        let phys = Topology.group_size c.N.topo g in
+        let act = provisioned.Spec.p_active.(g) in
+        for n = act to phys - 1 do
+          Topology.crash c.N.topo { Topology.g; n }
+        done;
+        if act < phys then
+          Array.iter
+            (fun (nd : N.node) ->
+              match nd.N.n_pbft with
+              | Some p -> Pbft.resize p ~n:act
+              | None -> ())
+            c.N.nodes.(g)
+      end
+    done;
+    c.N.reconfig_round <- Some (fun _c e r -> on_round t e r);
+    c.N.reconfig_apply <- Some (fun _c l e -> on_apply t l e);
+    (* Leader re-placement and post-resize re-alignment ride the
+       engine's leadership watchdog; fault-free reconfig runs need it
+       armed up front. *)
+    Engine.arm_watchdogs eng;
+    let s0 = N.sim_of c 0 in
+    List.iter
+      (fun (ev : Spec.event) ->
+        ignore (Sim.at s0 ev.Spec.at (fun () -> trigger t ev.Spec.cmd)))
+      (Spec.sorted plan)
+  end;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and the epoch-aware final checks                          *)
+(* ------------------------------------------------------------------ *)
+
+let boundaries t = List.rev t.boundaries
+let joins t = List.rev t.joins
+let transfer_retries t = t.retries
+let epochs t = Entry_tbl.length t.applied
+let transfers_bytes t = List.fold_left (fun a x -> a + x.x_bytes) 0 t.transfers
+
+let boundary_to_string b =
+  Printf.sprintf "@%.3f %s at %s pos %d (g%d)" b.b_at b.b_cmd
+    (Types.entry_id_to_string b.b_eid)
+    b.b_pos b.b_gid
+
+let join_to_string j =
+  Printf.sprintf
+    "g%d joined via g%d: %d bytes / %d chunks / %d retries in %.3fs; \
+     fingerprint %s height %d"
+    j.j_gid j.j_donor j.j_bytes j.j_chunks j.j_retries
+    (j.j_activated -. j.j_started)
+    (if j.j_fingerprint = j.j_src_fingerprint then "matches donor"
+     else "DIVERGES from donor")
+    j.j_height
+
+(* End-of-run epoch-aware checks, reported as (check, detail) pairs the
+   chaos layer merges with the standard invariant violations:
+   - epoch agreement: every leader applied each boundary with the same
+     command at the same position in its executed stream;
+   - on-chain record: each boundary is a zero-txn block in the
+     coordinator's ledger;
+   - join state transfer: at activation the joiner's store fingerprint,
+     ledger height and head hash equalled the clone source's;
+   - join chain agreement: a joined group's ledger stays a prefix-
+     consistent replica of the coordinator's afterwards. *)
+let final_violations t =
+  let c = t.c in
+  let vs = ref [] in
+  let add check detail = vs := (check, detail) :: !vs in
+  let by_eid = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let k = Types.entry_id_to_string b.b_eid in
+      let prev = try Hashtbl.find by_eid k with Not_found -> [] in
+      Hashtbl.replace by_eid k (b :: prev))
+    t.boundaries;
+  Hashtbl.iter
+    (fun k bs ->
+      match bs with
+      | [] | [ _ ] -> ()
+      | b0 :: rest ->
+          List.iter
+            (fun b ->
+              if b.b_cmd <> b0.b_cmd then
+                add "epoch_agreement"
+                  (Printf.sprintf "boundary %s: g%d applied %S, g%d applied %S"
+                     k b.b_gid b.b_cmd b0.b_gid b0.b_cmd);
+              if b.b_pos <> b0.b_pos then
+                add "epoch_agreement"
+                  (Printf.sprintf
+                     "boundary %s: g%d flipped at position %d, g%d at %d" k
+                     b.b_gid b.b_pos b0.b_gid b0.b_pos))
+            rest)
+    by_eid;
+  if t.boundaries <> [] then begin
+    let on_chain = Hashtbl.create 64 in
+    List.iter
+      (fun (b : Ledger.block) ->
+        Hashtbl.replace on_chain (b.Ledger.gid, b.Ledger.seq) b.Ledger.txn_count)
+      (Ledger.blocks (Engine.ledger_of t.eng ~gid:0));
+    Entry_tbl.iter
+      (fun (eid : Types.entry_id) () ->
+        match Hashtbl.find_opt on_chain (eid.Types.gid, eid.Types.seq) with
+        | Some 0 -> ()
+        | Some n ->
+            add "epoch_on_chain"
+              (Printf.sprintf "boundary %s recorded with %d txns (want 0)"
+                 (Types.entry_id_to_string eid)
+                 n)
+        | None ->
+            add "epoch_on_chain"
+              (Printf.sprintf "boundary %s missing from the coordinator ledger"
+                 (Types.entry_id_to_string eid)))
+      t.applied
+  end;
+  List.iter
+    (fun j ->
+      if j.j_fingerprint <> j.j_src_fingerprint then
+        add "join_state_transfer"
+          (Printf.sprintf "g%d activated with a store diverging from g%d"
+             j.j_gid j.j_donor);
+      if j.j_height <> j.j_src_height || j.j_head <> j.j_src_head then
+        add "join_state_transfer"
+          (Printf.sprintf
+             "g%d activated at ledger height %d/head %s; source %d/%s" j.j_gid
+             j.j_height
+             (String.sub (j.j_head ^ String.make 8 '0') 0 8)
+             j.j_src_height
+             (String.sub (j.j_src_head ^ String.make 8 '0') 0 8));
+      if j.j_gid > 0 && j.j_gid < c.N.ng && c.N.g_member.(j.j_gid) then begin
+        let lj = Engine.ledger_of t.eng ~gid:j.j_gid in
+        let l0 = Engine.ledger_of t.eng ~gid:0 in
+        let p = Ledger.equal_prefix lj l0 in
+        let m = min (Ledger.height lj) (Ledger.height l0) in
+        if p < m then
+          add "join_chain_agreement"
+            (Printf.sprintf "g%d diverges from g0 at height %d" j.j_gid p);
+        if
+          Ledger.height lj = Ledger.height l0
+          && Engine.leader_store_fingerprint t.eng ~gid:j.j_gid
+             <> Engine.leader_store_fingerprint t.eng ~gid:0
+        then
+          add "join_exec_determinism"
+            (Printf.sprintf
+               "g%d equal-height store fingerprint differs from g0" j.j_gid)
+      end)
+    t.joins;
+  List.rev !vs

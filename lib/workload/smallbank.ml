@@ -9,11 +9,35 @@ type config = {
 let default =
   { accounts = 1_000_000; initial_balance = 10_000; hotspot_fraction = 0.0 }
 
-type t = { cfg : config; rng : Rng.t; mutable next_id : int }
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  mutable next_id : int;
+  mutable shard : (int * int) option;
+      (* (index, count): post-reshard account range; None = all accounts *)
+}
 
 let create cfg ~seed =
   if cfg.accounts < 2 then invalid_arg "Smallbank.create: need >= 2 accounts";
-  { cfg; rng = Rng.create seed; next_id = 0 }
+  { cfg; rng = Rng.create seed; next_id = 0; shard = None }
+
+let set_shard t ~index ~count =
+  if count < 1 || index < 0 || index >= count then
+    invalid_arg "Smallbank.set_shard: need 0 <= index < count";
+  t.shard <- Some (index, count)
+
+let shard_span t =
+  match t.shard with
+  | None -> t.cfg.accounts
+  | Some (_, c) -> max 1 (t.cfg.accounts / c)
+
+let shard_account t a =
+  match t.shard with
+  | None -> a
+  | Some (i, c) ->
+      let span = max 1 (t.cfg.accounts / c) in
+      let lo = min (i * span) (max 0 (t.cfg.accounts - span)) in
+      lo + (a mod span)
 
 let checking_key a = Printf.sprintf "sb/c/%d" a
 let savings_key a = Printf.sprintf "sb/s/%d" a
@@ -27,19 +51,22 @@ let preload cfg key =
   else None
 
 let pick_account t =
-  if
-    t.cfg.hotspot_fraction > 0.0
-    && Rng.float t.rng 1.0 < t.cfg.hotspot_fraction
-  then Rng.int t.rng (min 100 t.cfg.accounts)
-  else Rng.int t.rng t.cfg.accounts
+  shard_account t
+    (if
+       t.cfg.hotspot_fraction > 0.0
+       && Rng.float t.rng 1.0 < t.cfg.hotspot_fraction
+     then Rng.int t.rng (min 100 t.cfg.accounts)
+     else Rng.int t.rng t.cfg.accounts)
 
 let pick_two t =
   let a = pick_account t in
-  let rec other () =
-    let b = pick_account t in
-    if b = a then other () else b
-  in
-  (a, other ())
+  if shard_span t < 2 then (a, (a + 1) mod t.cfg.accounts)
+  else
+    let rec other () =
+      let b = pick_account t in
+      if b = a then other () else b
+    in
+    (a, other ())
 
 let wire = 108
 

@@ -22,6 +22,10 @@ val next : t -> Txn.t
     TransactSavings, Amalgamate, WriteCheck, SendPayment. Wire size is
     the paper's 108 B average. *)
 
+val set_shard : t -> index:int -> count:int -> unit
+(** Restrict subsequent draws to shard [index] of [count] contiguous
+    account ranges (deterministic resharding after a group add/remove). *)
+
 val checking_key : int -> string
 val savings_key : int -> string
 

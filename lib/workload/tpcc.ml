@@ -26,6 +26,8 @@ type t = {
   c_item : int;
   mutable next_id : int;
   mutable flip : bool;  (* alternate NewOrder / Payment for an exact 50/50 *)
+  mutable shard : (int * int) option;
+      (* (index, count): post-reshard warehouse range; None = all *)
 }
 
 let create cfg ~seed =
@@ -38,7 +40,42 @@ let create cfg ~seed =
     c_item = Rng.int rng 8192;
     next_id = 0;
     flip = false;
+    shard = None;
   }
+
+let set_shard t ~index ~count =
+  if count < 1 || index < 0 || index >= count then
+    invalid_arg "Tpcc.set_shard: need 0 <= index < count";
+  t.shard <- Some (index, count)
+
+let shard_span t =
+  match t.shard with
+  | None -> t.cfg.warehouses
+  | Some (_, c) -> max 1 (t.cfg.warehouses / c)
+
+(* Warehouse ids are 1-based; fold a whole-range draw into the shard's
+   contiguous slice without consuming extra RNG draws. *)
+let shard_warehouse t w =
+  match t.shard with
+  | None -> w
+  | Some (i, c) ->
+      let span = max 1 (t.cfg.warehouses / c) in
+      let lo = min (i * span) (max 0 (t.cfg.warehouses - span)) in
+      1 + lo + ((w - 1) mod span)
+
+let pick_warehouse t =
+  shard_warehouse t (Rng.int_in t.rng ~lo:1 ~hi:t.cfg.warehouses)
+
+(* A warehouse distinct from [w], within the shard; degenerate
+   single-warehouse shards fall back to [w] itself. *)
+let pick_other_warehouse t ~w =
+  if shard_span t < 2 then w
+  else
+    let rec pick () =
+      let x = pick_warehouse t in
+      if x = w then pick () else x
+    in
+    pick ()
 
 (* TPC-C non-uniform random: hot values spread by a per-run constant. *)
 let nurand rng ~a ~c ~lo ~hi =
@@ -77,7 +114,7 @@ let wire = 232
 
 let new_order t ~id =
   let cfg = t.cfg in
-  let w = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
+  let w = pick_warehouse t in
   let d = Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse in
   let c =
     nurand t.rng ~a:1023 ~c:t.c_customer ~lo:1 ~hi:cfg.customers_per_district
@@ -89,13 +126,8 @@ let new_order t ~id =
         let i = nurand t.rng ~a:8191 ~c:t.c_item ~lo:1 ~hi:cfg.items in
         (* 1 % of lines come from a remote warehouse. *)
         let supply_w =
-          if cfg.warehouses > 1 && Rng.int t.rng 100 = 0 then begin
-            let rec pick () =
-              let x = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
-              if x = w then pick () else x
-            in
-            pick ()
-          end
+          if cfg.warehouses > 1 && Rng.int t.rng 100 = 0 then
+            pick_other_warehouse t ~w
           else w
         in
         let qty = Rng.int_in t.rng ~lo:1 ~hi:10 in
@@ -127,17 +159,13 @@ let new_order t ~id =
 
 let payment t ~id =
   let cfg = t.cfg in
-  let w = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
+  let w = pick_warehouse t in
   let d = Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse in
   (* 15 % of payments are made by a customer of a remote warehouse. *)
   let cw, cd =
-    if cfg.warehouses > 1 && Rng.int t.rng 100 < cfg.remote_payment_pct then begin
-      let rec pick () =
-        let x = Rng.int_in t.rng ~lo:1 ~hi:cfg.warehouses in
-        if x = w then pick () else x
-      in
-      (pick (), Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse)
-    end
+    if cfg.warehouses > 1 && Rng.int t.rng 100 < cfg.remote_payment_pct then
+      ( pick_other_warehouse t ~w,
+        Rng.int_in t.rng ~lo:1 ~hi:cfg.districts_per_warehouse )
     else (w, d)
   in
   let c =

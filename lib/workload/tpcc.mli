@@ -26,6 +26,12 @@ val next : t -> Txn.t
 val next_of : t -> [ `New_order | `Payment ] -> Txn.t
 (** Draw a transaction of a specific profile (for targeted tests). *)
 
+val set_shard : t -> index:int -> count:int -> unit
+(** Restrict subsequent draws to shard [index] of [count] contiguous
+    warehouse ranges (deterministic resharding after a group
+    add/remove). Remote picks stay within the shard; a single-warehouse
+    shard degrades to all-local. *)
+
 val preload : config -> (string -> string option)
 (** Store initializer: district next-order-ids start at 1, stock at 100,
     balances at 0, warehouse/district tax rates fixed. *)

@@ -53,6 +53,12 @@ let next t =
 
 let kind t = t.kind
 
+let set_shard t ~index ~count =
+  match t.gen with
+  | G_ycsb g -> Ycsb.set_shard g ~index ~count
+  | G_smallbank g -> Smallbank.set_shard g ~index ~count
+  | G_tpcc g -> Tpcc.set_shard g ~index ~count
+
 let preload ?(scale = 1.0) kind key =
   match kind with
   | Ycsb_a | Ycsb_b -> None (* YCSB cells default to absent *)

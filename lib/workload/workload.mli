@@ -20,5 +20,12 @@ val create : ?scale:float -> kind -> seed:int64 -> t
 val next : t -> Txn.t
 val kind : t -> kind
 
+val set_shard : t -> index:int -> count:int -> unit
+(** Restrict this stream to shard [index] of [count] contiguous key
+    ranges — the deterministic reshard applied to every group's
+    generator when a group joins or leaves (rows for YCSB, accounts for
+    SmallBank, warehouses for TPC-C). RNG consumption is unchanged, so
+    a run without a reconfiguration is byte-identical. *)
+
 val preload : ?scale:float -> kind -> string -> string option
 (** The store initializer matching [create] with the same [scale]. *)

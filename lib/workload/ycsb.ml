@@ -26,6 +26,8 @@ type t = {
   zipf : Zipf.t;
   rng : Rng.t;
   mutable next_id : int;
+  mutable shard : (int * int) option;
+      (* (index, count): post-reshard key range; None = whole table *)
   value : string;
       (* every update writes the same [value_size] filler; strings are
          immutable, so one shared instance serves every transaction
@@ -40,8 +42,25 @@ let create cfg ~seed =
     zipf = Zipf.create ~n:cfg.rows ~theta:cfg.theta;
     rng = Rng.create seed;
     next_id = 0;
+    shard = None;
     value = String.make cfg.value_size 'v';
   }
+
+let set_shard t ~index ~count =
+  if count < 1 || index < 0 || index >= count then
+    invalid_arg "Ycsb.set_shard: need 0 <= index < count";
+  t.shard <- Some (index, count)
+
+(* Fold a whole-table row draw into this shard's contiguous slice. The
+   RNG consumption is unchanged, so the stream stays deterministic
+   across a reshard. *)
+let shard_row t row =
+  match t.shard with
+  | None -> row
+  | Some (i, c) ->
+      let span = max 1 (t.cfg.rows / c) in
+      let lo = min (i * span) (max 0 (t.cfg.rows - span)) in
+      lo + (row mod span)
 
 (* Built by concatenation, not [Printf.sprintf]: one key is minted per
    generated transaction, and the format-string interpreter dominated
@@ -52,7 +71,7 @@ let key ~row ~col =
 let next t =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let row = Zipf.scrambled t.zipf t.rng ~hash_seed:0x5eedL in
+  let row = shard_row t (Zipf.scrambled t.zipf t.rng ~hash_seed:0x5eedL) in
   let col = Rng.int t.rng t.cfg.columns in
   let write_pct = match t.cfg.mix with A -> 50 | B -> 5 in
   let is_write = Rng.int t.rng 100 < write_pct in

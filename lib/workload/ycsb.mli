@@ -27,5 +27,10 @@ val next : t -> Txn.t
 (** Draws the next transaction: a read or an update of one cell of a
     Zipf-popular row. *)
 
+val set_shard : t -> index:int -> count:int -> unit
+(** Restrict subsequent draws to shard [index] of [count] contiguous
+    row ranges (deterministic resharding after a group add/remove). The
+    RNG stream is consumed exactly as without a shard. *)
+
 val key : row:int -> col:int -> string
 (** The key encoding, exposed so stores can be preloaded. *)
